@@ -1,0 +1,427 @@
+(* Benchmark harness: regenerates the paper's Table 1 and Table 2 plus the
+   ablations documented in DESIGN.md, and provides Bechamel micro
+   benchmarks ("speed").
+
+     dune exec bench/main.exe -- [table1|table2|ablations|speed|all]
+                                 [--full] [--seconds N]
+
+   Default is a "quick" profile sized for a laptop-class single core (the
+   larger paper nets run with the scaled knob presets of
+   Merlin_core.Config); --full uses the paper's own settings where
+   feasible and the complete net/circuit list. *)
+
+open Merlin_tech
+open Merlin_net
+open Merlin_report.Report
+module Flows = Merlin_flows.Flows
+module FR = Merlin_circuit.Flow_runner
+
+let tech = Tech.default
+let buffers = Buffer_lib.default
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table1 ~full () =
+  let nets = Net_gen.table1_nets tech in
+  let nets =
+    if full then nets
+    else
+      (* Quick profile: skip the largest nets (35-73 sinks); see
+         EXPERIMENTS.md for their full-run rows. *)
+      List.filter (fun (_, _, net) -> Net.n_sinks net <= 24) nets
+  in
+  let header =
+    [ "circuit"; "net"; "sinks";
+      "I:area"; "I:delay"; "I:rt(s)";
+      "II:a/I"; "II:d/I"; "II:rt/I";
+      "III:a/I"; "III:d/I"; "III:rt/I"; "loops" ]
+  in
+  let ratios2 = ref [] and ratios3 = ref [] in
+  let row (circuit, name, net) =
+    Printf.eprintf "[table1] %s %s (n=%d)...\n%!" circuit name (Net.n_sinks net);
+    let cfg3 =
+      if full && Net.n_sinks net <= 16 then Merlin_core.Config.paper_table1
+      else if full then Merlin_core.Config.scaled (Net.n_sinks net)
+      else begin
+        (* Quick profile: tight knobs so the whole table fits a coffee
+           break on one core; --full restores the scaled presets. *)
+        let base = Merlin_core.Config.scaled (Net.n_sinks net) in
+        { base with
+          Merlin_core.Config.max_iters = 2;
+          candidate_limit = min 12 base.Merlin_core.Config.candidate_limit;
+          max_curve = min 5 base.Merlin_core.Config.max_curve;
+          quant_req = Float.max 20.0 base.Merlin_core.Config.quant_req;
+          quant_load = Float.max 15.0 base.Merlin_core.Config.quant_load;
+          quant_area = Float.max 10.0 base.Merlin_core.Config.quant_area }
+      end
+    in
+    let m1 = Flows.flow1 ~tech ~buffers net in
+    let m2 = Flows.flow2 ~tech ~buffers net in
+    let m3 = Flows.flow3 ~tech ~buffers ~cfg:cfg3 net in
+    let r_a2 = ratio m2.Flows.area m1.Flows.area
+    and r_d2 = ratio m2.Flows.delay m1.Flows.delay
+    and r_t2 = ratio m2.Flows.runtime m1.Flows.runtime
+    and r_a3 = ratio m3.Flows.area m1.Flows.area
+    and r_d3 = ratio m3.Flows.delay m1.Flows.delay
+    and r_t3 = ratio m3.Flows.runtime m1.Flows.runtime in
+    ratios2 := (r_a2, r_d2, r_t2) :: !ratios2;
+    ratios3 := (r_a3, r_d3, r_t3) :: !ratios3;
+    [ S circuit; S name; I (Net.n_sinks net);
+      F m1.Flows.area; F m1.Flows.delay; F m1.Flows.runtime;
+      R r_a2; R r_d2; R r_t2;
+      R r_a3; R r_d3; R r_t3; I m3.Flows.loops ]
+  in
+  let rows = List.map row nets in
+  let avg sel rs = mean (List.map sel rs) in
+  let avg_row =
+    [ S "Average"; S ""; S ""; S ""; S ""; S "";
+      R (avg (fun (a, _, _) -> a) !ratios2);
+      R (avg (fun (_, d, _) -> d) !ratios2);
+      R (avg (fun (_, _, t) -> t) !ratios2);
+      R (avg (fun (a, _, _) -> a) !ratios3);
+      R (avg (fun (_, d, _) -> d) !ratios3);
+      R (avg (fun (_, _, t) -> t) !ratios3); S "" ]
+  in
+  print
+    ~title:
+      "Table 1: per-net buffer area, delay and runtime (Flow I absolute; \
+       Flows II/III as ratios over Flow I)"
+    ~header (rows @ [ avg_row ]);
+  Printf.printf
+    "Paper averages for reference: II = 0.71/0.81/1.95, III = 0.88/0.46/13.49\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table2 ~full () =
+  let scale_down = if full then 60 else 200 in
+  let circuits =
+    List.map (fun (name, _, _, _) -> name) Merlin_circuit.Circuit_gen.table2_specs
+  in
+  let circuits =
+    if full then circuits
+    else (* Quick profile: a representative subset. *)
+      [ "C432"; "B9"; "Duke2" ]
+  in
+  let header =
+    [ "circuit"; "gates";
+      "I:area"; "I:delay"; "I:rt(s)";
+      "II:a/I"; "II:d/I"; "II:rt/I";
+      "III:a/I"; "III:d/I"; "III:rt/I" ]
+  in
+  let ratios2 = ref [] and ratios3 = ref [] in
+  let row name =
+    Printf.eprintf "[table2] %s...\n%!" name;
+    let netlist =
+      Merlin_circuit.Placement.place
+        (Merlin_circuit.Circuit_gen.generate ~scale_down ~name ())
+    in
+    let r1 = FR.run ~tech ~buffers ~flow:FR.Flow1 netlist in
+    let r2 = FR.run ~tech ~buffers ~flow:FR.Flow2 netlist in
+    let r3 = FR.run ~tech ~buffers ~flow:FR.Flow3 netlist in
+    let ra2 = ratio r2.FR.area r1.FR.area
+    and rd2 = ratio r2.FR.delay r1.FR.delay
+    and rt2 = ratio r2.FR.runtime r1.FR.runtime
+    and ra3 = ratio r3.FR.area r1.FR.area
+    and rd3 = ratio r3.FR.delay r1.FR.delay
+    and rt3 = ratio r3.FR.runtime r1.FR.runtime in
+    ratios2 := (ra2, rd2, rt2) :: !ratios2;
+    ratios3 := (ra3, rd3, rt3) :: !ratios3;
+    [ S name; I (Array.length netlist.Merlin_circuit.Netlist.gates);
+      F r1.FR.area; F r1.FR.delay; F r1.FR.runtime;
+      R ra2; R rd2; R rt2; R ra3; R rd3; R rt3 ]
+  in
+  let rows = List.map row circuits in
+  let avg sel rs = mean (List.map sel rs) in
+  let avg_row =
+    [ S "Average"; S ""; S ""; S ""; S "";
+      R (avg (fun (a, _, _) -> a) !ratios2);
+      R (avg (fun (_, d, _) -> d) !ratios2);
+      R (avg (fun (_, _, t) -> t) !ratios2);
+      R (avg (fun (a, _, _) -> a) !ratios3);
+      R (avg (fun (_, d, _) -> d) !ratios3);
+      R (avg (fun (_, _, t) -> t) !ratios3) ]
+  in
+  print
+    ~title:
+      "Table 2: post-layout circuit area, critical delay and total runtime \
+       (Flow I absolute; Flows II/III as ratios over Flow I)"
+    ~header (rows @ [ avg_row ]);
+  Printf.printf
+    "Paper averages for reference: II = 1.02/1.05/0.91, III = 1.07/0.85/1.85\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let progress fmt = Printf.eprintf (fmt ^^ "\n%!")
+
+let ablation_neighborhood () =
+  progress "[ablations] A: neighborhood sizes";
+  (* Ablation A: Theorem 1 -- neighborhood size is a Fibonacci number. *)
+  let header = [ "n"; "enumerated"; "closed form F(n+1)"; "paper Binet(n+2)" ] in
+  let rows =
+    List.map
+      (fun n ->
+         let enumerated =
+           if n <= 14 then
+             I (List.length
+                  (Merlin_order.Order.neighborhood (Merlin_order.Order.identity n)))
+           else S "-"
+         in
+         [ I n; enumerated;
+           I (Merlin_order.Order.neighborhood_size n);
+           F (Merlin_order.Order.theorem1_closed_form n) ])
+      [ 1; 2; 3; 4; 5; 6; 8; 10; 12; 16; 20 ]
+  in
+  print ~title:"Ablation A (Theorem 1): |N(Pi)| vs closed form" ~header rows
+
+let run_merlin_with ?candidates ?init ~cfg net =
+  let t0 = Unix.gettimeofday () in
+  match Merlin_core.Merlin.run ?candidates ?init ~cfg ~tech ~buffers net with
+  | None -> (nan, nan, 0, Unix.gettimeofday () -. t0)
+  | Some out ->
+    ( out.Merlin_core.Merlin.best.Merlin_curves.Solution.req,
+      out.Merlin_core.Merlin.best.Merlin_curves.Solution.area,
+      out.Merlin_core.Merlin.loops,
+      Unix.gettimeofday () -. t0 )
+
+let ablation_candidates () =
+  progress "[ablations] B: candidate sets";
+  (* Ablation B: Section III.1's claim that the candidate-set choice does
+     not matter much once its size is linear in n. *)
+  let net = Net_gen.random_net ~seed:101 ~name:"ablB" ~n:8 tech in
+  let cfg = Merlin_core.Config.scaled 8 in
+  let pts = Net.terminals net in
+  let sets =
+    [ ("reduced Hanan (default)", None);
+      ("full Hanan (capped 36)",
+       Some (Array.of_list (Merlin_geometry.Hanan.reduced pts ~limit:36)));
+      ("center of mass",
+       Some (Array.of_list (Merlin_geometry.Hanan.center_of_mass_set pts ~limit:24)));
+      ("terminals only", Some (Array.of_list pts)) ]
+  in
+  let header = [ "candidate set"; "k"; "req (ps)"; "buf area"; "time (s)" ] in
+  let rows =
+    List.map
+      (fun (name, candidates) ->
+         let k =
+           match candidates with
+           | Some c -> Array.length c
+           | None ->
+             Array.length (Merlin_core.Bubble_construct.candidate_set cfg net)
+         in
+         let req, area, _, t = run_merlin_with ?candidates ~cfg net in
+         [ S name; I k; F req; F area; F t ])
+      sets
+  in
+  print ~title:"Ablation B: candidate-location set choice (n=8)" ~header rows
+
+let ablation_alpha () =
+  progress "[ablations] C: alpha sweep";
+  (* Ablation C: quality/runtime vs the branching bound alpha. *)
+  let net = Net_gen.random_net ~seed:103 ~name:"ablC" ~n:8 tech in
+  let header = [ "alpha"; "req (ps)"; "buf area"; "loops"; "time (s)" ] in
+  let rows =
+    List.map
+      (fun alpha ->
+         let cfg = { (Merlin_core.Config.scaled 8) with Merlin_core.Config.alpha } in
+         let req, area, loops, t = run_merlin_with ~cfg net in
+         [ I alpha; F req; F area; I loops; F t ])
+      [ 2; 4; 6; 10; 15 ]
+  in
+  print ~title:"Ablation C: branching bound alpha (n=8)" ~header rows
+
+let ablation_initial_order () =
+  progress "[ablations] D: initial orders";
+  (* Ablation D: Section IV's claim that the initial order has a small
+     effect on final quality. *)
+  let net = Net_gen.random_net ~seed:104 ~name:"ablD" ~n:8 tech in
+  let cfg = Merlin_core.Config.scaled 8 in
+  let orders =
+    [ ("TSP (paper setup)", Merlin_order.Tsp.order net);
+      ("required time", Merlin_order.Heuristics.by_required_time net);
+      ("x sweep", Merlin_order.Heuristics.by_x_sweep net);
+      ("random#1", Merlin_order.Heuristics.random ~seed:1 net);
+      ("random#2", Merlin_order.Heuristics.random ~seed:2 net) ]
+  in
+  let header = [ "initial order"; "req (ps)"; "buf area"; "loops"; "time (s)" ] in
+  let rows =
+    List.map
+      (fun (name, init) ->
+         let req, area, loops, t = run_merlin_with ~init ~cfg net in
+         [ S name; F req; F area; I loops; F t ])
+      orders
+  in
+  print ~title:"Ablation D: initial sink order (n=8)" ~header rows
+
+let ablation_placement () =
+  progress "[ablations] E: chain placement";
+  (* Ablation E: the Flush_ends restriction vs the paper's full chain
+     placement. *)
+  let header = [ "n"; "placement"; "req (ps)"; "merges"; "time (s)" ] in
+  let rows =
+    List.concat_map
+      (fun n ->
+         let net = Net_gen.random_net ~seed:105 ~name:"ablE" ~n tech in
+         let order = Merlin_order.Tsp.order net in
+         List.map
+           (fun (name, placement) ->
+              let cfg =
+                { (Merlin_core.Config.scaled n) with
+                  Merlin_core.Config.chain_placement = placement }
+              in
+              let t0 = Unix.gettimeofday () in
+              let r =
+                Merlin_core.Bubble_construct.construct ~cfg ~tech ~buffers net order
+              in
+              let req =
+                match
+                  Merlin_curves.Curve.best_req r.Merlin_core.Bubble_construct.curve
+                with
+                | Some s -> s.Merlin_curves.Solution.req
+                | None -> nan
+              in
+              [ I n; S name; F req; I r.Merlin_core.Bubble_construct.merges;
+                F (Unix.gettimeofday () -. t0) ])
+           [ ("all positions (paper)", Merlin_core.Config.All_positions);
+             ("flush ends (fast)", Merlin_core.Config.Flush_ends) ])
+      [ 6; 8 ]
+  in
+  print ~title:"Ablation E: chain placement restriction" ~header rows
+
+let ablation_bubbling () =
+  progress "[ablations] F: bubbling on/off";
+  (* Ablation F: the paper's core contribution.  With bubbling disabled
+     the engine is an order-constrained hierarchical construction for the
+     single initial order; the outer loop then has no move to make. *)
+  let header =
+    [ "n"; "seed"; "bubbling"; "req (ps)"; "buf area"; "loops"; "time (s)" ]
+  in
+  let rows =
+    List.concat_map
+      (fun (n, seed) ->
+         let net = Net_gen.random_net ~seed ~name:"ablF" ~n tech in
+         List.map
+           (fun (label, bubbling) ->
+              let cfg =
+                { (Merlin_core.Config.scaled n) with Merlin_core.Config.bubbling }
+              in
+              let req, area, loops, t = run_merlin_with ~cfg net in
+              [ I n; I seed; S label; F req; F area; I loops; F t ])
+           [ ("on (MERLIN)", true); ("off (fixed order)", false) ])
+      [ (8, 42); (8, 77); (10, 7) ]
+  in
+  print ~title:"Ablation F: local order-perturbation (bubbling)" ~header rows
+
+let ablations () =
+  ablation_neighborhood ();
+  ablation_candidates ();
+  ablation_alpha ();
+  ablation_initial_order ();
+  ablation_placement ();
+  ablation_bubbling ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let speed ~seconds () =
+  let open Bechamel in
+  let net8 = Net_gen.random_net ~seed:42 ~name:"bench8" ~n:8 tech in
+  let net16 = Net_gen.random_net ~seed:43 ~name:"bench16" ~n:16 tech in
+  let fast3 =
+    { (Merlin_core.Config.scaled 8) with
+      Merlin_core.Config.max_iters = 1;
+      candidate_limit = 10;
+      max_curve = 5 }
+  in
+  let star net =
+    Merlin_rtree.Rtree.node net.Net.source
+      (Array.to_list (Array.map Merlin_rtree.Rtree.leaf net.Net.sinks))
+  in
+  let tests =
+    [ Test.make ~name:"tsp-order-n16"
+        (Staged.stage (fun () -> ignore (Merlin_order.Tsp.order net16)));
+      Test.make ~name:"lttree-n16"
+        (Staged.stage (fun () ->
+             ignore
+               (Merlin_lttree.Lttree.best ~buffers ~max_fanout:10
+                  ~driver:net16.Net.driver
+                  (Array.to_list net16.Net.sinks))));
+      Test.make ~name:"ptree-route-n8"
+        (Staged.stage (fun () -> ignore (Merlin_ptree.Ptree.route ~tech net8)));
+      Test.make ~name:"van-ginneken-n8"
+        (Staged.stage (fun () ->
+             ignore
+               (Merlin_ginneken.Van_ginneken.insert ~tech ~buffers net8
+                  (star net8))));
+      Test.make ~name:"merlin-n5-1loop"
+        (Staged.stage (fun () ->
+             let net = Net_gen.random_net ~seed:5 ~name:"b5" ~n:5 tech in
+             ignore (Merlin_core.Merlin.run ~cfg:fast3 ~tech ~buffers net))) ]
+  in
+  let header = [ "benchmark"; "time/run" ] in
+  let rows =
+    List.map
+      (fun test ->
+         let cfg =
+           Benchmark.cfg ~limit:2000 ~quota:(Time.second seconds) ()
+         in
+         let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test in
+         let ols =
+           Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+         in
+         let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+         Hashtbl.fold
+           (fun name result acc ->
+              let estimate =
+                match Analyze.OLS.estimates result with
+                | Some [ e ] -> e
+                | Some _ | None -> nan
+              in
+              let pretty =
+                if Float.is_nan estimate then "-"
+                else if estimate > 1e9 then Printf.sprintf "%.2f s" (estimate /. 1e9)
+                else if estimate > 1e6 then Printf.sprintf "%.2f ms" (estimate /. 1e6)
+                else Printf.sprintf "%.1f us" (estimate /. 1e3)
+              in
+              [ S name; S pretty ] :: acc)
+           results [])
+      tests
+    |> List.concat
+  in
+  print ~title:"Bechamel micro benchmarks (monotonic clock per run)" ~header rows
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let full = List.mem "--full" args in
+  let seconds =
+    let rec find = function
+      | "--seconds" :: v :: _ -> float_of_string v
+      | _ :: rest -> find rest
+      | [] -> 1.0
+    in
+    find args
+  in
+  let what =
+    List.find_opt
+      (fun a -> List.mem a [ "table1"; "table2"; "ablations"; "speed"; "all" ])
+      args
+  in
+  match what with
+  | Some "table1" -> table1 ~full ()
+  | Some "table2" -> table2 ~full ()
+  | Some "ablations" -> ablations ()
+  | Some "speed" -> speed ~seconds ()
+  | Some "all" | None ->
+    table1 ~full ();
+    table2 ~full ();
+    ablations ();
+    speed ~seconds ()
+  | Some _ -> assert false

@@ -1,0 +1,147 @@
+(* Command-line interface to the buffered routing tree flows.
+
+     merlin-cli gen --sinks 12 --seed 7 -o net.txt
+     merlin-cli route net.txt --flow merlin --alpha 10
+     merlin-cli route --random 10 --flow all
+     merlin-cli route net.txt --objective area:50
+*)
+
+open Cmdliner
+open Merlin_tech
+open Merlin_net
+module Flows = Merlin_flows.Flows
+
+let tech = Tech.default
+let buffers = Buffer_lib.default
+
+let load_net file random seed =
+  match (file, random) with
+  | Some path, _ -> Net_io.load path
+  | None, Some n -> Net_gen.random_net ~seed ~name:"random" ~n tech
+  | None, None ->
+    prerr_endline "either a net file or --random N is required";
+    exit 2
+
+let parse_objective = function
+  | None -> Merlin_core.Objective.Best_req
+  | Some s ->
+    (match String.split_on_char ':' s with
+     | [ "best" ] -> Merlin_core.Objective.Best_req
+     | [ "area"; v ] ->
+       Merlin_core.Objective.Max_req_under_area (float_of_string v)
+     | [ "req"; v ] ->
+       Merlin_core.Objective.Min_area_over_req (float_of_string v)
+     | _ ->
+       prerr_endline "objective must be best, area:<budget> or req:<floor>";
+       exit 2)
+
+let print_metrics (m : Flows.metrics) =
+  Format.printf
+    "%-16s area=%.2f delay=%.1fps req=%.1fps buffers=%d wirelength=%d \
+     loops=%d runtime=%.2fs@."
+    m.Flows.flow m.Flows.area m.Flows.delay m.Flows.root_req m.Flows.n_buffers
+    m.Flows.wirelength m.Flows.loops m.Flows.runtime
+
+(* ---- route ---- *)
+
+let route file random seed flow alpha objective show_tree verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let net = load_net file random seed in
+  Format.printf "%a@." Net.pp net;
+  let cfg =
+    let base = Merlin_core.Config.scaled (Net.n_sinks net) in
+    match alpha with
+    | None -> base
+    | Some alpha -> { base with Merlin_core.Config.alpha }
+  in
+  let objective = parse_objective objective in
+  let run_flow3 () =
+    match Merlin_core.Merlin.run ~cfg ~objective ~tech ~buffers net with
+    | None ->
+      prerr_endline "objective infeasible on the final solution curve";
+      exit 1
+    | Some out ->
+      let ev = Merlin_rtree.Eval.net tech net out.Merlin_core.Merlin.tree in
+      Format.printf
+        "MERLIN: req=%.1fps delay=%.1fps area=%.2f buffers=%d loops=%d@."
+        ev.Merlin_rtree.Eval.root_req ev.Merlin_rtree.Eval.net_delay
+        ev.Merlin_rtree.Eval.area
+        (Merlin_rtree.Rtree.n_buffers out.Merlin_core.Merlin.tree)
+        out.Merlin_core.Merlin.loops;
+      Format.printf "hierarchy: %a@." Merlin_core.Catree.pp
+        out.Merlin_core.Merlin.hierarchy;
+      if show_tree then
+        Format.printf "tree:@.%a@." Merlin_rtree.Rtree.pp
+          out.Merlin_core.Merlin.tree
+  in
+  (match flow with
+   | "merlin" -> run_flow3 ()
+   | "lttree-ptree" -> print_metrics (Flows.flow1 ~tech ~buffers net)
+   | "ptree-vg" -> print_metrics (Flows.flow2 ~tech ~buffers net)
+   | "all" -> List.iter print_metrics (Flows.all ~tech ~buffers ~cfg3:cfg net)
+   | other ->
+     Printf.eprintf "unknown flow %s (merlin|lttree-ptree|ptree-vg|all)\n" other;
+     exit 2);
+  0
+
+(* ---- gen ---- *)
+
+let gen sinks seed output =
+  let net = Net_gen.random_net ~seed ~name:"generated" ~n:sinks tech in
+  (match output with
+   | Some path ->
+     Net_io.save path net;
+     Printf.printf "wrote %s (%d sinks)\n" path sinks
+   | None -> print_string (Net_io.to_string net));
+  0
+
+(* ---- cmdliner plumbing ---- *)
+
+let file_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"NET" ~doc:"Net file (Net_io format)")
+
+let random_arg =
+  Arg.(value & opt (some int) None & info [ "random" ] ~docv:"N" ~doc:"Use a random net with $(docv) sinks")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed")
+
+let flow_arg =
+  Arg.(value & opt string "merlin" & info [ "flow" ] ~doc:"merlin | lttree-ptree | ptree-vg | all")
+
+let alpha_arg =
+  Arg.(value & opt (some int) None & info [ "alpha" ] ~doc:"Max branching factor of the C-alpha tree")
+
+let objective_arg =
+  Arg.(value & opt (some string) None & info [ "objective" ] ~doc:"best | area:<budget> | req:<floor>")
+
+let tree_arg = Arg.(value & flag & info [ "tree" ] ~doc:"Print the routing tree")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging")
+
+let route_cmd =
+  Cmd.v
+    (Cmd.info "route" ~doc:"Build a buffered routing tree for a net")
+    Term.(
+      const route $ file_arg $ random_arg $ seed_arg $ flow_arg $ alpha_arg
+      $ objective_arg $ tree_arg $ verbose_arg)
+
+let gen_cmd =
+  let sinks = Arg.(value & opt int 8 & info [ "sinks" ] ~doc:"Sink count") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a random net (paper Section IV recipe)")
+    Term.(const gen $ sinks $ seed_arg $ output)
+
+let main =
+  Cmd.group
+    (Cmd.info "merlin-cli" ~version:"1.0.0"
+       ~doc:"MERLIN buffered routing tree generation (DAC 1999 reproduction)")
+    [ route_cmd; gen_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/circuit_flow.ml: Buffer_lib Format List Merlin_circuit Merlin_report Merlin_tech Tech

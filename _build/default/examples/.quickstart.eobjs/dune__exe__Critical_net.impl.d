@@ -1,0 +1,1 @@
+examples/critical_net.ml: Buffer_lib Format List Merlin_flows Merlin_net Merlin_report Merlin_tech Net Net_gen Tech

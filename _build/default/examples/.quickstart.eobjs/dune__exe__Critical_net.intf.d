@@ -1,0 +1,1 @@
+examples/critical_net.mli:

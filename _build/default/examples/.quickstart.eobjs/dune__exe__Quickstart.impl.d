@@ -1,0 +1,1 @@
+examples/quickstart.ml: Buffer_lib Check Curve Eval Format Merlin_core Merlin_curves Merlin_net Merlin_order Merlin_rtree Merlin_tech Net Net_gen Rtree Solution Tech Unix

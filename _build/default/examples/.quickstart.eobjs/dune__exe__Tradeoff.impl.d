@@ -1,0 +1,1 @@
+examples/tradeoff.ml: Buffer_lib Curve Format List Merlin_core Merlin_curves Merlin_net Merlin_order Merlin_rtree Merlin_tech Net Net_gen Option Solution Tech

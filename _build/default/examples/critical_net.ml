@@ -1,0 +1,30 @@
+(* The paper's motivating scenario: one timing-critical net, compared
+   across the three experimental flows of Section IV (Table 1 shape):
+   LTTREE+PTREE, PTREE+van Ginneken, and MERLIN. *)
+
+open Merlin_tech
+open Merlin_net
+module Flows = Merlin_flows.Flows
+open Merlin_report.Report
+
+let () =
+  let tech = Tech.default in
+  let buffers = Buffer_lib.default in
+  let net = Net_gen.random_net ~seed:99 ~name:"critical" ~n:12 tech in
+  Format.printf "%a@." Net.pp net;
+  let results = Flows.all ~tech ~buffers net in
+  let flow1 = List.hd results in
+  let header =
+    [ "flow"; "buf area"; "delay(ps)"; "req(ps)"; "rt(s)"; "bufs"; "wl";
+      "area/I"; "delay/I" ]
+  in
+  let rows =
+    List.map
+      (fun (m : Flows.metrics) ->
+         [ S m.Flows.flow; F m.Flows.area; F m.Flows.delay; F m.Flows.root_req;
+           F m.Flows.runtime; I m.Flows.n_buffers; I m.Flows.wirelength;
+           R (ratio m.Flows.area flow1.Flows.area);
+           R (ratio m.Flows.delay flow1.Flows.delay) ])
+      results
+  in
+  print ~title:"One critical net, three flows" ~header rows

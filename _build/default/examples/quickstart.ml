@@ -1,0 +1,30 @@
+(* Quickstart: build one random net, run MERLIN, print the outcome. *)
+open Merlin_tech
+open Merlin_net
+open Merlin_rtree
+open Merlin_curves
+
+let () =
+  let tech = Tech.default in
+  let buffers = Buffer_lib.default in
+  let net = Net_gen.random_net ~seed:42 ~name:"quickstart" ~n:8 tech in
+  Format.printf "%a@." Net.pp net;
+  let t0 = Unix.gettimeofday () in
+  match Merlin_core.Merlin.run ~tech ~buffers net with
+  | None -> print_endline "infeasible"
+  | Some out ->
+    let dt = Unix.gettimeofday () -. t0 in
+    Format.printf "loops=%d merges=%d time=%.2fs@." out.Merlin_core.Merlin.loops
+      out.Merlin_core.Merlin.merges dt;
+    let best = out.Merlin_core.Merlin.best in
+    Format.printf "best: req=%.1f area=%.2f buffers=%d wirelen=%d@."
+      best.Solution.req best.Solution.area
+      (Rtree.n_buffers out.Merlin_core.Merlin.tree)
+      (Rtree.wirelength out.Merlin_core.Merlin.tree);
+    let ev = Eval.net tech net out.Merlin_core.Merlin.tree in
+    Format.printf "eval: root_req=%.1f delay=%.1f area=%.2f (check req match)@."
+      ev.Eval.root_req ev.Eval.net_delay ev.Eval.area;
+    Format.printf "order=%a@." Merlin_order.Order.pp out.Merlin_core.Merlin.order;
+    Format.printf "curve size=%d valid=%b@."
+      (Curve.size out.Merlin_core.Merlin.curve)
+      (Check.is_valid net out.Merlin_core.Merlin.tree)

@@ -1,0 +1,1 @@
+lib/circuit/circuit_gen.ml: Array Gate Hashtbl List Merlin_geometry Netlist Point Random

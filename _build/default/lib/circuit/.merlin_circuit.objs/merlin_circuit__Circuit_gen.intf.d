@@ -1,0 +1,1 @@
+lib/circuit/circuit_gen.mli: Merlin_geometry Netlist Point

@@ -1,0 +1,1 @@
+lib/circuit/flow_runner.ml: Array Float List Merlin_core Merlin_flows Merlin_net Merlin_rtree Net Netlist Sta Unix

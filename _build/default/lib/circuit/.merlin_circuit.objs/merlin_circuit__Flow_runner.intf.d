@@ -1,0 +1,1 @@
+lib/circuit/flow_runner.mli: Buffer_lib Merlin_core Merlin_tech Netlist Tech

@@ -1,0 +1,1 @@
+lib/circuit/gate.ml: Array Delay_model List Merlin_tech Random

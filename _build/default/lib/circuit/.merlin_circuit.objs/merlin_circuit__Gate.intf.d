@@ -1,0 +1,1 @@
+lib/circuit/gate.mli: Delay_model Merlin_tech Random

@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Array Format Gate List Merlin_geometry Point Printf

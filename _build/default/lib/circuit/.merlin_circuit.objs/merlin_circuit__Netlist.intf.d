@@ -1,0 +1,1 @@
+lib/circuit/netlist.mli: Format Gate Merlin_geometry Point

@@ -1,0 +1,1 @@
+lib/circuit/placement.ml: Array List Merlin_geometry Netlist Point Random

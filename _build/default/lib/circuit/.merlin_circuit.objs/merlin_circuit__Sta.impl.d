@@ -1,0 +1,1 @@
+lib/circuit/sta.ml: Array Delay_model Eval Gate Hashtbl Int List Merlin_net Merlin_rtree Merlin_tech Net Netlist Printf Rtree Sink

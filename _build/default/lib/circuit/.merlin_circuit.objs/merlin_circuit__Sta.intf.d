@@ -1,0 +1,1 @@
+lib/circuit/sta.mli: Delay_model Merlin_net Merlin_rtree Merlin_tech Net Netlist Rtree Tech

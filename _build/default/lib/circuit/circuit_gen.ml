@@ -1,0 +1,86 @@
+open Merlin_geometry
+
+let table2_specs =
+  [ ("C1355", 3630.0, 8.18, 1276.0);
+    ("C1908", 7768.0, 14.47, 2560.0);
+    ("C2670", 9428.0, 12.40, 1699.0);
+    ("C3540", 15762.0, 22.17, 5436.0);
+    ("C432", 3574.0, 10.13, 1382.0);
+    ("C6288", 28497.0, 52.94, 13547.0);
+    ("C7552", 35189.0, 19.80, 9250.0);
+    ("Alu4", 8191.0, 15.69, 2842.0);
+    ("B9", 1210.0, 2.81, 271.0);
+    ("Dalu", 10344.0, 18.59, 3465.0);
+    ("Desa", 32388.0, 27.00, 19427.0);
+    ("Duke2", 5499.0, 9.00, 2554.0);
+    ("K2", 22823.0, 26.66, 5831.0);
+    ("Rot", 8315.0, 7.80, 1572.0);
+    ("T481", 8917.0, 10.12, 5239.0) ]
+
+let no_positions ~n = Array.make n Point.origin
+
+(* Layered random DAG: gates are assigned to levels; each gate reads from
+   nodes at strictly lower levels, preferring recent ones (locality), which
+   yields the long-and-narrow structure of mapped combinational logic and a
+   realistic fanout distribution (most nets small, a few large). *)
+let random ~seed ~n_gates ~n_inputs ~name =
+  if n_gates < 1 || n_inputs < 2 then invalid_arg "Circuit_gen.random";
+  let rng = Random.State.make [| seed; n_gates; n_inputs |] in
+  let pick_arity () =
+    match Random.State.int rng 10 with
+    | 0 | 1 -> 1
+    | 2 | 3 | 4 | 5 -> 2
+    | 6 | 7 | 8 -> 3
+    | _ -> 4
+  in
+  let gates =
+    Array.init n_gates (fun g ->
+        let avail = n_inputs + g in
+        let arity = min (pick_arity ()) (min 4 avail) in
+        let kind = Gate.pick ~rng ~n_inputs:arity in
+        let pick_fanin () =
+          (* Locality: half the picks come from the most recent quarter. *)
+          if g > 8 && Random.State.bool rng then
+            n_inputs + g - 1 - Random.State.int rng (max 1 (g / 4))
+          else Random.State.int rng avail
+        in
+        let rec distinct acc k =
+          if k = 0 then acc
+          else
+            let f = pick_fanin () in
+            if List.mem f acc then distinct acc k
+            else distinct (f :: acc) (k - 1)
+        in
+        { Netlist.kind; fanins = Array.of_list (distinct [] arity) })
+  in
+  (* Outputs: every gate output nobody reads, plus a few sampled others. *)
+  let read = Array.make (n_inputs + n_gates) false in
+  Array.iter
+    (fun g -> Array.iter (fun f -> read.(f) <- true) g.Netlist.fanins)
+    gates;
+  let outputs = ref [] in
+  for g = n_gates - 1 downto 0 do
+    if not read.(n_inputs + g) then outputs := (n_inputs + g) :: !outputs
+  done;
+  let netlist =
+    { Netlist.name;
+      n_inputs;
+      gates;
+      outputs = !outputs;
+      positions = no_positions ~n:(n_inputs + n_gates) }
+  in
+  Netlist.validate netlist;
+  netlist
+
+let generate ?(scale_down = 40) ~name () =
+  let area =
+    match List.assoc_opt name (List.map (fun (n, a, _, _) -> (n, a)) table2_specs) with
+    | Some a -> a
+    | None -> 8000.0
+  in
+  let avg_gate_area = 2.2 in
+  let n_gates =
+    max 30 (int_of_float (area /. avg_gate_area) / scale_down)
+  in
+  let n_inputs = max 4 (n_gates / 6) in
+  random ~seed:(Hashtbl.hash name) ~n_gates ~n_inputs ~name

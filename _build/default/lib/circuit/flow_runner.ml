@@ -1,0 +1,88 @@
+open Merlin_net
+
+type flow = Flow1 | Flow2 | Flow3
+
+let flow_name = function
+  | Flow1 -> "I:LTTREE+PTREE"
+  | Flow2 -> "II:PTREE+VG"
+  | Flow3 -> "III:MERLIN"
+
+type result = {
+  circuit : string;
+  flow : flow;
+  area : float;
+  delay : float;
+  runtime : float;
+  n_buffers : int;
+  wirelength : int;
+  nets_optimized : int;
+}
+
+let default_merlin_cfg n =
+  let cfg = Merlin_core.Config.scaled n in
+  (* Table 2 setup: at most 3 MERLIN loops per net, alpha = 10. *)
+  { cfg with
+    Merlin_core.Config.max_iters = min 3 cfg.Merlin_core.Config.max_iters;
+    alpha = min 10 (max 2 cfg.Merlin_core.Config.alpha) }
+
+let optimize_net ~tech ~buffers ~flow ~merlin_cfg net =
+  let m =
+    match flow with
+    | Flow1 -> Merlin_flows.Flows.flow1 ~tech ~buffers net
+    | Flow2 -> Merlin_flows.Flows.flow2 ~tech ~buffers net
+    | Flow3 ->
+      Merlin_flows.Flows.flow3 ~tech ~buffers
+        ~cfg:(merlin_cfg (Net.n_sinks net))
+        net
+  in
+  m.Merlin_flows.Flows.tree
+
+let run ~tech ~buffers ~flow ?(min_sinks = 2) ?merlin_cfg netlist =
+  let merlin_cfg =
+    match merlin_cfg with Some f -> f | None -> default_merlin_cfg
+  in
+  let t0 = Unix.gettimeofday () in
+  let sta = ref (Sta.init netlist) in
+  let report = ref (Sta.analyse ~tech !sta) in
+  (* Most critical nets first: order by driver slack. *)
+  let nodes =
+    List.init (Netlist.n_nodes netlist) (fun node -> node)
+    |> List.filter (fun node ->
+           List.length (Sta.sink_gates !sta node) >= min_sinks)
+    |> List.sort
+         (fun a b ->
+            let slack r node = r.Sta.required.(node) -. r.Sta.ready.(node) in
+            Float.compare (slack !report a) (slack !report b))
+  in
+  let optimized = ref 0 in
+  List.iter
+    (fun node ->
+       match Sta.net_for_optimization !sta !report node with
+       | None -> ()
+       | Some net ->
+         let tree = optimize_net ~tech ~buffers ~flow ~merlin_cfg net in
+         sta := Sta.with_routing !sta ~node tree;
+         incr optimized;
+         (* Refresh timing so later nets see updated required times. *)
+         report := Sta.analyse ~tech ~clock:!report.Sta.clock !sta)
+    nodes;
+  let final = Sta.analyse ~tech !sta in
+  { circuit = netlist.Netlist.name;
+    flow;
+    area = Netlist.gate_area netlist +. Sta.total_buffer_area !sta;
+    delay = final.Sta.critical;
+    runtime = Unix.gettimeofday () -. t0;
+    n_buffers =
+      Array.fold_left
+        (fun acc r ->
+           match r with
+           | None -> acc
+           | Some t -> acc + Merlin_rtree.Rtree.n_buffers t)
+        0 !sta.Sta.routing;
+    wirelength = Sta.total_wirelength !sta;
+    nets_optimized = !optimized }
+
+let run_all ~tech ~buffers ?min_sinks netlist =
+  [ run ~tech ~buffers ~flow:Flow1 ?min_sinks netlist;
+    run ~tech ~buffers ~flow:Flow2 ?min_sinks netlist;
+    run ~tech ~buffers ~flow:Flow3 ?min_sinks netlist ]

@@ -1,0 +1,45 @@
+(** Full-circuit experiment driver (Table 2).
+
+    For a placed circuit, applies one of the paper's three flows to every
+    net (most critical first, required times refreshed from STA between
+    nets), then reports post-layout area, critical-path delay and total
+    runtime — the three columns of Table 2. *)
+
+open Merlin_tech
+
+type flow = Flow1 | Flow2 | Flow3
+
+val flow_name : flow -> string
+
+type result = {
+  circuit : string;
+  flow : flow;
+  area : float;          (** gates + buffers, 1000 lambda^2 *)
+  delay : float;         (** post-optimization critical path, ps *)
+  runtime : float;       (** wall-clock seconds for the whole flow *)
+  n_buffers : int;
+  wirelength : int;
+  nets_optimized : int;
+}
+
+(** [run ~tech ~buffers ~flow netlist] — the netlist must be placed.
+    [min_sinks] skips nets with fewer sinks (default 2: single-sink nets
+    keep their direct wire).  [merlin_cfg] overrides Flow-3 knobs
+    (default {!Merlin_core.Config.scaled} per net, capped at the paper's
+    Table-2 setting of at most 3 loops). *)
+val run :
+  tech:Tech.t ->
+  buffers:Buffer_lib.t ->
+  flow:flow ->
+  ?min_sinks:int ->
+  ?merlin_cfg:(int -> Merlin_core.Config.t) ->
+  Netlist.t ->
+  result
+
+(** All three flows on one circuit. *)
+val run_all :
+  tech:Tech.t ->
+  buffers:Buffer_lib.t ->
+  ?min_sinks:int ->
+  Netlist.t ->
+  result list

@@ -1,0 +1,36 @@
+open Merlin_tech
+
+type kind = {
+  name : string;
+  n_inputs : int;
+  area : float;
+  input_cap : float;
+  model : Delay_model.t;
+}
+
+let make name n_inputs ~area ~input_cap ~d0 ~r =
+  { name;
+    n_inputs;
+    area;
+    input_cap;
+    model = Delay_model.make ~d0 ~r_drive:r ~k_slew:0.12 ~s0:30.0 }
+
+let library =
+  [| make "INV" 1 ~area:1.2 ~input_cap:3.5 ~d0:35.0 ~r:6500.0;
+     make "BUF" 1 ~area:1.8 ~input_cap:4.0 ~d0:55.0 ~r:5200.0;
+     make "NAND2" 2 ~area:1.9 ~input_cap:4.2 ~d0:55.0 ~r:7000.0;
+     make "NOR2" 2 ~area:2.0 ~input_cap:4.4 ~d0:60.0 ~r:7800.0;
+     make "NAND3" 3 ~area:2.6 ~input_cap:4.6 ~d0:75.0 ~r:8200.0;
+     make "NOR3" 3 ~area:2.8 ~input_cap:4.8 ~d0:82.0 ~r:9000.0;
+     make "XOR2" 2 ~area:3.4 ~input_cap:5.4 ~d0:95.0 ~r:7600.0;
+     make "AOI22" 4 ~area:3.2 ~input_cap:4.5 ~d0:88.0 ~r:8600.0 |]
+
+let pick ~rng ~n_inputs =
+  let matching =
+    Array.to_list library |> List.filter (fun k -> k.n_inputs = n_inputs)
+  in
+  match matching with
+  | [] -> invalid_arg "Gate.pick: no kind with that arity"
+  | l -> List.nth l (Random.State.int rng (List.length l))
+
+let input_pad = make "PAD" 0 ~area:0.0 ~input_cap:0.0 ~d0:20.0 ~r:1500.0

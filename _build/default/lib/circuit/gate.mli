@@ -1,0 +1,24 @@
+(** Combinational gate kinds of the synthetic standard-cell library used
+    by the full-flow (Table 2) experiments. *)
+
+open Merlin_tech
+
+type kind = {
+  name : string;
+  n_inputs : int;
+  area : float;       (** 1000 lambda^2 *)
+  input_cap : float;  (** fF per input pin *)
+  model : Delay_model.t;
+}
+
+(** The synthetic library: inverter, buffer, 2/3-input NAND/NOR, 2-input
+    XOR and AOI cells, with areas and drives on the same scale as
+    {!Buffer_lib.default}. *)
+val library : kind array
+
+(** [pick ~rng ~n_inputs] draws a kind with the given arity (uniformly
+    among matching kinds). *)
+val pick : rng:Random.State.t -> n_inputs:int -> kind
+
+(** A strong driver standing in for a primary-input pad. *)
+val input_pad : kind

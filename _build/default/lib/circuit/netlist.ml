@@ -1,0 +1,54 @@
+open Merlin_geometry
+
+type gate = { kind : Gate.kind; fanins : int array }
+
+type t = {
+  name : string;
+  n_inputs : int;
+  gates : gate array;
+  outputs : int list;
+  positions : Point.t array;
+}
+
+let n_nodes t = t.n_inputs + Array.length t.gates
+
+let node_of_gate t g = t.n_inputs + g
+
+let gate_of_node t node =
+  if node >= t.n_inputs then Some (node - t.n_inputs) else None
+
+let fanouts t =
+  let fo = Array.make (n_nodes t) [] in
+  Array.iteri
+    (fun g gate ->
+       Array.iter (fun node -> fo.(node) <- g :: fo.(node)) gate.fanins)
+    t.gates;
+  Array.map List.rev fo
+
+let gate_area t =
+  Array.fold_left (fun acc g -> acc +. g.kind.Gate.area) 0.0 t.gates
+
+let validate t =
+  if t.n_inputs < 1 then invalid_arg "Netlist: no inputs";
+  Array.iteri
+    (fun g gate ->
+       if Array.length gate.fanins <> gate.kind.Gate.n_inputs then
+         invalid_arg (Printf.sprintf "Netlist: gate %d arity mismatch" g);
+       Array.iter
+         (fun node ->
+            if node < 0 || node >= t.n_inputs + g then
+              invalid_arg
+                (Printf.sprintf "Netlist: gate %d fanin %d out of order" g node))
+         gate.fanins)
+    t.gates;
+  List.iter
+    (fun node ->
+       if node < 0 || node >= n_nodes t then
+         invalid_arg "Netlist: bad output node")
+    t.outputs;
+  if Array.length t.positions <> n_nodes t then
+    invalid_arg "Netlist: positions length mismatch"
+
+let pp_stats ppf t =
+  Format.fprintf ppf "%s: %d inputs, %d gates, %d outputs, area=%.0f" t.name
+    t.n_inputs (Array.length t.gates) (List.length t.outputs) (gate_area t)

@@ -1,0 +1,44 @@
+(** Combinational gate-level netlists.
+
+    Signal nodes are encoded as integers: node [i] for [i < n_inputs] is
+    primary input [i]; node [n_inputs + g] is the output of gate [g].
+    Gates are stored in topological order (every fanin refers to a primary
+    input or an earlier gate), which the STA relies on. *)
+
+open Merlin_geometry
+
+type gate = {
+  kind : Gate.kind;
+  fanins : int array;  (** signal nodes, length = kind.n_inputs *)
+}
+
+type t = {
+  name : string;
+  n_inputs : int;
+  gates : gate array;
+  outputs : int list;  (** signal nodes observed as primary outputs *)
+  positions : Point.t array;
+      (** one per signal node (pad or gate output pin); filled by
+          {!Placement.place} *)
+}
+
+val n_nodes : t -> int
+
+(** [node_of_gate t g] is the signal node of gate [g]'s output. *)
+val node_of_gate : t -> int -> int
+
+(** [gate_of_node t node] is [Some g] when [node] is a gate output. *)
+val gate_of_node : t -> int -> int option
+
+(** [fanouts t] maps each signal node to the gates reading it, in gate
+    order. *)
+val fanouts : t -> int list array
+
+(** Sum of gate areas (1000 lambda^2). *)
+val gate_area : t -> float
+
+(** [validate t] checks topological order, arities and output references;
+    raises [Invalid_argument] on violation. *)
+val validate : t -> unit
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+open Merlin_geometry
+
+(* Die area = gate area / utilisation; in grid units where one unit of the
+   synthetic process is 1 lambda, 1000 lambda^2 of cells maps to a square
+   of ~32 lambda on a side; the 4x factor keeps wire delays on the order
+   of a gate delay across the die, matching the Table-1 recipe. *)
+let die_side netlist =
+  let area = Netlist.gate_area netlist in
+  max 400 (4 * int_of_float (32.0 *. sqrt area))
+
+let place ?(seed = 7) ?(sweeps = 4) (netlist : Netlist.t) =
+  let n = Netlist.n_nodes netlist in
+  let side = die_side netlist in
+  let rng = Random.State.make [| seed; n; side |] in
+  let pos = Array.make n Point.origin in
+  (* Primary inputs on the left edge. *)
+  for i = 0 to netlist.Netlist.n_inputs - 1 do
+    pos.(i) <- Point.make 0 (Random.State.int rng (side + 1))
+  done;
+  for g = 0 to Array.length netlist.Netlist.gates - 1 do
+    pos.(netlist.Netlist.n_inputs + g) <-
+      Point.make (Random.State.int rng (side + 1)) (Random.State.int rng (side + 1))
+  done;
+  (* Pull outputs toward the right edge so paths stretch across the die. *)
+  List.iter
+    (fun node ->
+       if node >= netlist.Netlist.n_inputs then
+         pos.(node) <- Point.make side (Random.State.int rng (side + 1)))
+    netlist.Netlist.outputs;
+  let fanouts = Netlist.fanouts netlist in
+  let clamp v = max 0 (min side v) in
+  for _sweep = 1 to sweeps do
+    Array.iteri
+      (fun g gate ->
+         let node = netlist.Netlist.n_inputs + g in
+         if not (List.mem node netlist.Netlist.outputs) then begin
+           let neighbours =
+             Array.to_list (Array.map (fun f -> pos.(f)) gate.Netlist.fanins)
+             @ List.map
+                 (fun fo -> pos.(netlist.Netlist.n_inputs + fo))
+                 fanouts.(node)
+           in
+           match neighbours with
+           | [] -> ()
+           | pts ->
+             let com = Point.center_of_mass pts in
+             (* Move halfway toward the center of mass; a jitter term keeps
+                cells from collapsing onto one spot. *)
+             let jitter () = Random.State.int rng (1 + (side / 40)) in
+             pos.(node) <-
+               Point.make
+                 (clamp (((pos.(node).Point.x + com.Point.x) / 2) + jitter ()))
+                 (clamp (((pos.(node).Point.y + com.Point.y) / 2) + jitter ()))
+         end)
+      netlist.Netlist.gates
+  done;
+  { netlist with Netlist.positions = pos }

@@ -1,0 +1,12 @@
+(** Grid placement of a netlist.
+
+    Cells are spread over a die sized from the total gate area; primary
+    inputs sit on the left edge, primary outputs attract toward the right
+    edge, and a few sweeps of center-of-mass refinement (force-directed
+    lite) pull connected cells together.  Deterministic in [seed]. *)
+
+val die_side : Netlist.t -> int
+
+(** [place ?seed ?sweeps netlist] returns the netlist with positions
+    filled (a new record; the input's position array is not mutated). *)
+val place : ?seed:int -> ?sweeps:int -> Netlist.t -> Netlist.t

@@ -1,0 +1,154 @@
+open Merlin_tech
+open Merlin_net
+open Merlin_rtree
+
+type t = { netlist : Netlist.t; routing : Rtree.t option array }
+
+let init netlist =
+  Netlist.validate netlist;
+  { netlist; routing = Array.make (Netlist.n_nodes netlist) None }
+
+let with_routing t ~node tree =
+  let routing = Array.copy t.routing in
+  routing.(node) <- Some tree;
+  { t with routing }
+
+let star_tree (net : Net.t) =
+  Rtree.node net.Net.source
+    (Array.to_list (Array.map Rtree.leaf net.Net.sinks))
+
+let driver_model t node =
+  match Netlist.gate_of_node t.netlist node with
+  | None -> Gate.input_pad.Gate.model
+  | Some g -> t.netlist.Netlist.gates.(g).Netlist.kind.Gate.model
+
+let fanouts_memo = ref None
+
+let sink_gates t node =
+  let fo =
+    match !fanouts_memo with
+    | Some (nl, fo) when nl == t.netlist -> fo
+    | _ ->
+      let fo = Netlist.fanouts t.netlist in
+      fanouts_memo := Some (t.netlist, fo);
+      fo
+  in
+  fo.(node)
+
+(* The net of [node] with the given per-sink required times (0 when only
+   arrival propagation is needed). *)
+let net_with_reqs t node reqs =
+  match sink_gates t node with
+  | [] -> None
+  | gates ->
+    let sinks =
+      List.mapi
+        (fun i g ->
+           let kind = t.netlist.Netlist.gates.(g).Netlist.kind in
+           Sink.make ~id:i
+             ~pt:t.netlist.Netlist.positions.(Netlist.node_of_gate t.netlist g)
+             ~cap:kind.Gate.input_cap ~req:(reqs g))
+        gates
+    in
+    Some
+      (Net.make
+         ~name:(Printf.sprintf "%s#n%d" t.netlist.Netlist.name node)
+         ~source:t.netlist.Netlist.positions.(node)
+         ~driver:(driver_model t node) sinks)
+
+type report = {
+  ready : float array;
+  required : float array;
+  critical : float;
+  clock : float;
+}
+
+(* Delay from "driver ready" to each fanout pin (driver gate delay under
+   the net load, plus the routed wire/buffer path). *)
+let pin_delays ~tech t node =
+  match net_with_reqs t node (fun _ -> 0.0) with
+  | None -> []
+  | Some net ->
+    let tree =
+      match t.routing.(node) with Some tree -> tree | None -> star_tree net
+    in
+    let arrivals =
+      List.sort
+        (fun (a, _) (b, _) -> Int.compare a b)
+        (Eval.sink_arrivals tech net tree)
+    in
+    (* Sink id [i] is the [i]-th fanout gate by construction. *)
+    List.map2 (fun g (_, d) -> (g, d)) (sink_gates t node) arrivals
+
+(* A primary output pin: charge the driver a nominal pad load on top of
+   whatever its net does. *)
+let po_delay t node ready =
+  ready +. Delay_model.delay (driver_model t node) ~load:15.0
+
+let analyse ?clock ~tech t =
+  let nl = t.netlist in
+  let n = Netlist.n_nodes nl in
+  let ready = Array.make n 0.0 in
+  let pin_time = Hashtbl.create 64 in
+  (* pin_time (driver_node, sink_gate) = arrival at that pin *)
+  for node = 0 to n - 1 do
+    let r =
+      match Netlist.gate_of_node nl node with
+      | None -> 0.0
+      | Some g ->
+        Array.fold_left
+          (fun acc fanin ->
+             match Hashtbl.find_opt pin_time (fanin, g) with
+             | Some v -> max acc v
+             | None -> acc)
+          0.0 nl.Netlist.gates.(g).Netlist.fanins
+    in
+    ready.(node) <- r;
+    List.iter
+      (fun (g, d) -> Hashtbl.replace pin_time (node, g) (r +. d))
+      (pin_delays ~tech t node)
+  done;
+  let critical =
+    List.fold_left
+      (fun acc node -> max acc (po_delay t node ready.(node)))
+      0.0 nl.Netlist.outputs
+  in
+  let clock = match clock with Some c -> c | None -> critical in
+  let required = Array.make n infinity in
+  List.iter
+    (fun node ->
+       let slack_free = clock -. (po_delay t node ready.(node) -. ready.(node)) in
+       required.(node) <- min required.(node) slack_free)
+    nl.Netlist.outputs;
+  for node = n - 1 downto 0 do
+    List.iter
+      (fun (g, d) ->
+         let gnode = Netlist.node_of_gate nl g in
+         required.(node) <- min required.(node) (required.(gnode) -. d))
+      (pin_delays ~tech t node)
+  done;
+  { ready; required; critical; clock }
+
+let net_for_optimization t report node =
+  net_with_reqs t node (fun g ->
+      report.required.(Netlist.node_of_gate t.netlist g))
+
+let total_buffer_area t =
+  Array.fold_left
+    (fun acc r ->
+       match r with None -> acc | Some tree -> acc +. Rtree.buffer_area tree)
+    0.0 t.routing
+
+let total_wirelength t =
+  (* Unrouted nets count their star wirelength. *)
+  let acc = ref 0 in
+  Array.iteri
+    (fun node r ->
+       match r with
+       | Some tree -> acc := !acc + Rtree.wirelength tree
+       | None ->
+         (match net_with_reqs t node (fun _ -> 0.0) with
+          | None -> ()
+          | Some net -> acc := !acc + Rtree.wirelength (star_tree net)))
+    t.routing;
+  !acc

@@ -1,0 +1,1 @@
+lib/core/bubble_construct.mli: Buffer_lib Build Catree Config Curve Merlin_curves Merlin_geometry Merlin_net Merlin_order Merlin_tech Net Order Point Solution Tech

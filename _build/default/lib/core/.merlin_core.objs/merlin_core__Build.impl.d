@@ -1,0 +1,1 @@
+lib/core/build.ml: Buffer_lib Catree Merlin_curves Merlin_geometry Merlin_net Merlin_rtree Merlin_tech Point Rtree Sink Solution Tech

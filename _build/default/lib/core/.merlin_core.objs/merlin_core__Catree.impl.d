@@ -1,0 +1,1 @@
+lib/core/catree.ml: Format List

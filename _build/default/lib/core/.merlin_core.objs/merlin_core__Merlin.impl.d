@@ -1,0 +1,1 @@
+lib/core/merlin.ml: Bubble_construct Build Catree Config Curve List Logs Merlin_curves Merlin_net Merlin_order Merlin_rtree Net Objective Option Order Solution Tsp

@@ -1,0 +1,1 @@
+lib/core/merlin.mli: Buffer_lib Build Catree Config Curve Merlin_curves Merlin_geometry Merlin_net Merlin_order Merlin_rtree Merlin_tech Net Objective Order Solution Tech

@@ -1,0 +1,1 @@
+lib/core/objective.ml: Curve Format Merlin_curves

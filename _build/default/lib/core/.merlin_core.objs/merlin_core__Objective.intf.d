@@ -1,0 +1,1 @@
+lib/core/objective.mli: Curve Format Merlin_curves Solution

@@ -1,0 +1,1 @@
+lib/core/star_ptree.ml: Array Build Curve Merlin_curves Merlin_geometry Merlin_net Merlin_rtree Rect Solution

@@ -1,0 +1,1 @@
+lib/core/star_ptree.mli: Buffer_lib Build Curve Merlin_curves Merlin_geometry Merlin_net Merlin_tech Point Sink Tech

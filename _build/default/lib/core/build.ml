@@ -1,0 +1,61 @@
+open Merlin_geometry
+open Merlin_tech
+open Merlin_net
+open Merlin_rtree
+open Merlin_curves
+
+type t = { tree : Rtree.t; members : Catree.member list }
+
+type sol = t Solution.t
+
+let of_sink s =
+  Solution.make ~req:s.Sink.req ~load:s.Sink.cap ~area:0.0
+    { tree = Rtree.Leaf s; members = [ Catree.Direct s.Sink.id ] }
+
+let root (s : sol) = Rtree.attach_point s.Solution.data.tree
+
+(* Children of a tree when grafted under a new unbuffered node at the same
+   location: splice to avoid stacking zero-length degenerate nodes. *)
+let graft_children at tree =
+  match tree with
+  | Rtree.Node { loc; buffer = None; children } when Point.equal loc at ->
+    children
+  | Rtree.Leaf _ | Rtree.Node _ -> [ tree ]
+
+let extend_wire tech ~to_ (s : sol) =
+  let data = s.Solution.data in
+  let from = Rtree.attach_point data.tree in
+  if Point.equal from to_ then
+    match data.tree with
+    | Rtree.Node _ -> s
+    | Rtree.Leaf _ ->
+      { s with Solution.data = { data with tree = Rtree.node to_ [ data.tree ] } }
+  else begin
+    let len = Point.manhattan from to_ in
+    let req = s.Solution.req -. Tech.wire_elmore tech ~len ~load:s.Solution.load in
+    let load = s.Solution.load +. Tech.wire_cap tech len in
+    Solution.make ~req ~load ~area:s.Solution.area
+      { data with tree = Rtree.node to_ [ data.tree ] }
+  end
+
+let add_root_buffer b (s : sol) =
+  let data = s.Solution.data in
+  let at = Rtree.attach_point data.tree in
+  let req = s.Solution.req -. Buffer_lib.delay b ~load:s.Solution.load in
+  let tree = Rtree.node ~buffer:b at (graft_children at data.tree) in
+  Solution.make ~req ~load:b.Buffer_lib.input_cap
+    ~area:(s.Solution.area +. b.Buffer_lib.area)
+    { data with tree }
+
+let join at (a : sol) (b : sol) =
+  if not (Point.equal (root a) at && Point.equal (root b) at) then
+    invalid_arg "Build.join: solutions not rooted at the join point";
+  let children =
+    graft_children at a.Solution.data.tree @ graft_children at b.Solution.data.tree
+  in
+  Solution.make
+    ~req:(min a.Solution.req b.Solution.req)
+    ~load:(a.Solution.load +. b.Solution.load)
+    ~area:(a.Solution.area +. b.Solution.area)
+    { tree = Rtree.node at children;
+      members = a.Solution.data.members @ b.Solution.data.members }

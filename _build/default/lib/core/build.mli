@@ -1,0 +1,45 @@
+(** Partial buffered-routing solutions and the elementary moves of the
+    dynamic programs.
+
+    A partial solution couples the geometric routing tree with the
+    C-alpha-tree member list of the sinks it covers (in realised order).
+    The three moves — extending through a wire, adding a buffer at the
+    root, joining two subtrees at a common point — each update the
+    (required time, load, area) coordinates per the Elmore / 4-parameter
+    models, which is all the curve DP needs. *)
+
+open Merlin_geometry
+open Merlin_tech
+open Merlin_net
+open Merlin_rtree
+open Merlin_curves
+
+type t = {
+  tree : Rtree.t;
+  members : Catree.member list;  (** realised order of covered terminals *)
+}
+
+type sol = t Solution.t
+
+(** [of_sink s] is the trivial solution: the sink itself, rooted at the
+    sink's own location. *)
+val of_sink : Sink.t -> sol
+
+(** [extend_wire tech ~to_ s] re-roots [s] at [to_] through a rectilinear
+    wire: required time drops by the Elmore delay of the wire, load grows
+    by the wire capacitance.  A zero-length extension re-uses the root. *)
+val extend_wire : Tech.t -> to_:Point.t -> sol -> sol
+
+(** [add_root_buffer b s] drives [s] with buffer [b] placed at the root:
+    required time drops by the buffer's gate delay at the current load,
+    the load becomes the buffer input capacitance, the area grows. *)
+val add_root_buffer : Buffer_lib.buffer -> sol -> sol
+
+(** [join at a b] merges two solutions rooted at the same point [at]:
+    required time is the minimum, load and area add, member lists
+    concatenate in (a, b) order.  Raises [Invalid_argument] if either root
+    is elsewhere. *)
+val join : Point.t -> sol -> sol -> sol
+
+(** The root attachment point. *)
+val root : sol -> Point.t

@@ -1,0 +1,40 @@
+(** The abstract grouping structures chi_0..chi_3 of the bubbling
+    technique (paper Fig. 6, Fig. 10 STRETCH, Fig. 13 SINK_SET).
+
+    A group covering [len] sinks with structure [e] and right window end
+    [r] (a 0-based position in the initial order) occupies the window
+    [r - len - stretch e + 1 .. r]; the bubble slots — the second window
+    slot for a left bubble, the second-to-last for a right bubble — are
+    not covered and their sinks "bubble out" to the facing side of the
+    group when it is absorbed by an enclosing group. *)
+
+type t =
+  | Chi0  (** no bubble *)
+  | Chi1  (** bubble on the right side *)
+  | Chi2  (** bubble on the left side *)
+  | Chi3  (** bubbles on both sides *)
+
+val all : t list
+
+(** Fig. 10: the window stretch (0, 1, 1, 2). *)
+val stretch : t -> int
+
+val code : t -> int
+
+(** [valid ~len e] — Chi3 needs at least two covered sinks. *)
+val valid : len:int -> t -> bool
+
+(** [window_start ~r ~len e] is [r - len - stretch e + 1]. *)
+val window_start : r:int -> len:int -> t -> int
+
+(** [covered ~r ~len e] — Fig. 13: the [len] covered positions of the
+    window, ascending.  Requires [valid ~len e]. *)
+val covered : r:int -> len:int -> t -> int list
+
+(** The left-bubble slot of the window, if any. *)
+val skipped_left : r:int -> len:int -> t -> int option
+
+(** The right-bubble slot of the window, if any. *)
+val skipped_right : r:int -> len:int -> t -> int option
+
+val pp : Format.formatter -> t -> unit

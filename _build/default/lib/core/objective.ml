@@ -1,0 +1,17 @@
+open Merlin_curves
+
+type t =
+  | Best_req
+  | Max_req_under_area of float
+  | Min_area_over_req of float
+
+let choose obj curve =
+  match obj with
+  | Best_req -> Curve.best_req curve
+  | Max_req_under_area budget -> Curve.best_under_area curve ~area:budget
+  | Min_area_over_req floor -> Curve.best_min_area curve ~req:floor
+
+let pp ppf = function
+  | Best_req -> Format.fprintf ppf "best-req"
+  | Max_req_under_area a -> Format.fprintf ppf "max-req(area<=%.1f)" a
+  | Min_area_over_req r -> Format.fprintf ppf "min-area(req>=%.1f)" r

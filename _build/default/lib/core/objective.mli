@@ -1,0 +1,18 @@
+(** The two problem variants of Section III.1, plus the unconstrained
+    "best required time" used when a table reports both area and delay of
+    the fastest structure. *)
+
+open Merlin_curves
+
+type t =
+  | Best_req  (** maximise required time, ties to smaller area *)
+  | Max_req_under_area of float
+      (** variant I: maximise required time subject to area <= budget *)
+  | Min_area_over_req of float
+      (** variant II: minimise area subject to required time >= floor *)
+
+(** [choose obj curve] picks the curve point satisfying the variant, or
+    [None] if the constraint is infeasible on this curve. *)
+val choose : t -> 'a Curve.t -> 'a Solution.t option
+
+val pp : Format.formatter -> t -> unit

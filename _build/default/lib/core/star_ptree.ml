@@ -1,0 +1,173 @@
+open Merlin_geometry
+open Merlin_curves
+
+type terminal =
+  | Sink_term of Merlin_net.Sink.t
+  | Sub_term of Build.t Curve.t array
+
+(* Evenly spaced subset of the library tried at every routing root.  The
+   library is a graded single-parameter family, so a spread of strengths
+   loses little; the knob is documented in Config. *)
+let buffer_subset buffers ~trials =
+  let n = Array.length buffers in
+  if n <= trials then buffers
+  else
+    Array.init trials (fun i -> buffers.(i * (n - 1) / (max 1 (trials - 1))))
+
+let finish ~max_curve curve = Curve.cap ~max_size:max_curve curve
+
+(* Bounding box of the points a terminal can occupy. *)
+let terminal_box candidates = function
+  | Sink_term s -> Rect.make s.Merlin_net.Sink.pt s.Merlin_net.Sink.pt
+  | Sub_term sub ->
+    let pts = ref [] in
+    Array.iteri
+      (fun p c -> if not (Curve.is_empty c) then pts := candidates.(p) :: !pts)
+      sub;
+    (match !pts with
+     | [] -> invalid_arg "Star_ptree: sub-terminal with empty curves"
+     | pts -> Rect.bounding_box pts)
+
+(* Operation counters used by the diagnostics in bench/ and by tuning
+   sessions; incrementing monotonic ints is free next to the curve work. *)
+let n_join_adds = ref 0
+let n_close_adds = ref 0
+let n_pull_adds = ref 0
+let n_base_adds = ref 0
+let n_cells = ref 0
+let n_pulls = ref 0
+
+let run ~tech ~buffers ~trials ~max_curve ~grids ~bbox_slack ~candidates
+    ~active ~terminals =
+  let m = Array.length terminals and k = Array.length candidates in
+  if m = 0 then invalid_arg "Star_ptree.run: no terminals";
+  if k = 0 then invalid_arg "Star_ptree.run: no candidates";
+  if Array.length active = 0 then
+    invalid_arg "Star_ptree.run: no active candidates";
+  let subset = buffer_subset buffers ~trials in
+  let req_grid, load_grid, area_grid = grids in
+  let quant_add acc s =
+    Curve.add acc (Solution.quantise ~req_grid ~load_grid ~area_grid s)
+  in
+  (* Try each buffer on every unbuffered root; re-buffering an existing
+     buffer (a same-point repeater) is dominated by picking the right
+     single size from the graded library, so it is skipped. *)
+  let close_buffers curve =
+    Curve.fold
+      (fun acc sol ->
+         match sol.Solution.data.Build.tree with
+         | Merlin_rtree.Rtree.Node { buffer = Some _; _ } -> acc
+         | Merlin_rtree.Rtree.Leaf _ | Merlin_rtree.Rtree.Node { buffer = None; _ } ->
+           Array.fold_left
+             (fun acc b ->
+                incr n_close_adds;
+                quant_add acc (Build.add_root_buffer b sol))
+             acc subset)
+      curve curve
+  in
+  let term_boxes = Array.map (terminal_box candidates) terminals in
+  (* Active candidates of a cell: global actives within the inflated box of
+     the cell's terminals.  The first global active is always kept (the
+     caller places the source there, see Bubble_construct) so every cell
+     can route toward the driver. *)
+  let cell_active i j =
+    let box = ref term_boxes.(i) in
+    for t = i + 1 to j do
+      box :=
+        Rect.bounding_box
+          [ !box.Rect.lo; !box.Rect.hi; term_boxes.(t).Rect.lo;
+            term_boxes.(t).Rect.hi ]
+    done;
+    let margin =
+      1 + int_of_float (bbox_slack *. float_of_int (Rect.half_perimeter !box))
+    in
+    let box = Rect.inflate !box margin in
+    let keep idx p = idx = 0 || Rect.contains box candidates.(p) in
+    let inside = ref [] in
+    for idx = Array.length active - 1 downto 0 do
+      if keep idx active.(idx) then inside := active.(idx) :: !inside
+    done;
+    Array.of_list !inside
+  in
+  (* Each computed cell holds curves at its own active roots plus a memo of
+     lazy relocations to other roots — the paper's d(p,p') move applied on
+     demand instead of as a k^2 sweep. *)
+  let table = Array.make (m * m) None in
+  let idx i j = (i * m) + j in
+  let pull computed p =
+    incr n_pulls;
+    let root = candidates.(p) in
+    let from acc curve =
+      Curve.fold
+        (fun acc sol -> incr n_pull_adds; quant_add acc (Build.extend_wire tech ~to_:root sol))
+        acc curve
+    in
+    finish ~max_curve (Array.fold_left from Curve.empty computed)
+  in
+  let cell_at i j p =
+    match table.(idx i j) with
+    | None -> assert false (* cells are filled in bottom-up order *)
+    | Some (computed, memo) ->
+      if not (Curve.is_empty computed.(p)) then computed.(p)
+      else begin
+        match memo.(p) with
+        | Some curve -> curve
+        | None ->
+          let curve = pull computed p in
+          memo.(p) <- Some curve;
+          curve
+      end
+  in
+  let compute_cell i j =
+    let cell_act = cell_active i j in
+    let computed = Array.make k Curve.empty in
+    let raw =
+      if i = j then fun p ->
+        let root = candidates.(p) in
+        match terminals.(i) with
+        | Sink_term s ->
+          incr n_base_adds;
+          quant_add Curve.empty
+            (Build.extend_wire tech ~to_:root (Build.of_sink s))
+        | Sub_term sub ->
+          let attach acc curve =
+            Curve.fold
+              (fun acc sol ->
+                 incr n_base_adds;
+                 quant_add acc (Build.extend_wire tech ~to_:root sol))
+              acc curve
+          in
+          Array.fold_left attach Curve.empty sub
+      else fun p ->
+        let root = candidates.(p) in
+        let acc = ref Curve.empty in
+        for u = i to j - 1 do
+          let left = cell_at i u p and right = cell_at (u + 1) j p in
+          if not (Curve.is_empty left || Curve.is_empty right) then
+            Curve.iter
+              (fun a ->
+                 Curve.iter
+                   (fun b -> incr n_join_adds; acc := quant_add !acc (Build.join root a b))
+                   right)
+              left
+        done;
+        !acc
+    in
+    incr n_cells;
+    Array.iter
+      (fun p ->
+         computed.(p) <- finish ~max_curve (close_buffers (finish ~max_curve (raw p))))
+      cell_act;
+    table.(idx i j) <- Some (computed, Array.make k None)
+  in
+  for i = 0 to m - 1 do
+    compute_cell i i
+  done;
+  for len = 2 to m do
+    for i = 0 to m - len do
+      compute_cell i (i + len - 1)
+    done
+  done;
+  match table.(idx 0 (m - 1)) with
+  | Some (top, _) -> top
+  | None -> assert false

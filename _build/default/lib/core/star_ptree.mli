@@ -1,0 +1,58 @@
+(** The *PTREE engine (paper Section 3.2.3).
+
+    Given an ordered list of terminals — direct sinks and at most a few
+    already-constructed sub-groups — and a set of candidate locations, the
+    engine computes, for every candidate root p, the non-inferior
+    three-dimensional solution curve of rectilinear buffered routings of
+    the terminals that respect the terminal order (the P_Tree property),
+    may place a buffer at any routing root (the * of *P_Tree) and may route
+    through other candidate locations (the d(p,p') relocation of the
+    paper's recurrence).
+
+    The interval DP follows the paper's recurrences:
+    - S_b(p,i,j) = min over u of S(p,i,u) + S(p,u+1,j) (joins at p)
+    - S(p,i,j)  = min over p' of d(p,p') + S_b(p',i,j) (one-hop moves;
+      multi-hop paths compose across DP levels since Manhattan distance is
+      a metric, and buffered hops are covered because every curve is
+      "closed" under root-buffer insertion before it is extended). *)
+
+open Merlin_geometry
+open Merlin_tech
+open Merlin_net
+open Merlin_curves
+
+type terminal =
+  | Sink_term of Sink.t
+  | Sub_term of Build.t Curve.t array
+      (** an already-built sub-group: one curve per candidate index, each
+          solution rooted at that candidate *)
+
+(** [run ~tech ~buffers ~trials ~max_curve ~load_grid ~candidates ~active
+    ~terminals] is the per-candidate solution curve array (length
+    [Array.length candidates]) for routing all [terminals] rooted at each
+    candidate whose index appears in [active]; curves at inactive indices
+    are empty.  [trials] bounds how many library buffers are tried at each
+    root (evenly spaced over the graded library); [grids] are the
+    (req, load, area) quantisation buckets of {!Curve.quantise}.  Every returned curve is
+    closed under root-buffer insertion.  Raises [Invalid_argument] on
+    empty [terminals], [candidates] or [active]. *)
+(**/**)
+val n_join_adds : int ref
+val n_close_adds : int ref
+val n_pull_adds : int ref
+val n_base_adds : int ref
+val n_cells : int ref
+val n_pulls : int ref
+(**/**)
+
+val run :
+  tech:Tech.t ->
+  buffers:Buffer_lib.t ->
+  trials:int ->
+  max_curve:int ->
+  grids:float * float * float ->
+  bbox_slack:float ->
+  candidates:Point.t array ->
+  active:int array ->
+  terminals:terminal array ->
+  Build.t Curve.t array

@@ -1,0 +1,1 @@
+lib/curves/curve.ml: Array Format List Solution

@@ -1,0 +1,1 @@
+lib/curves/curve.mli: Format Solution

@@ -1,0 +1,1 @@
+lib/curves/solution.ml: Float Format

@@ -1,0 +1,1 @@
+lib/curves/solution.mli: Format

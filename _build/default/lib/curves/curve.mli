@@ -1,0 +1,77 @@
+(** Non-inferior three-dimensional solution curves.
+
+    A curve holds only mutually non-inferior solutions (Definition 6) and
+    keeps them in the deterministic {!Solution.compare_key} order.  All
+    dynamic programs in the repository combine, extend and prune these
+    curves; Lemma 9 (pruning loses no non-inferior solution) is enforced
+    here and property-tested in [test/test_curves.ml]. *)
+
+type 'a t
+
+val empty : 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+(** Solutions in {!Solution.compare_key} order. *)
+val to_list : 'a t -> 'a Solution.t list
+
+(** [add curve s] inserts [s] unless an existing solution dominates it and
+    removes every solution [s] dominates. *)
+val add : 'a t -> 'a Solution.t -> 'a t
+
+val of_list : 'a Solution.t list -> 'a t
+
+(** [union a b] is the pruned merge of both curves. *)
+val union : 'a t -> 'a t -> 'a t
+
+val map_data : ('a -> 'b) -> 'a t -> 'b t
+
+(** [map_solutions f c] rebuilds the curve from [f] applied to each
+    solution, re-pruning (used to push a solution through a wire or a
+    buffer, which changes all three coordinates). *)
+val map_solutions : ('a Solution.t -> 'b Solution.t) -> 'a t -> 'b t
+
+val fold : ('acc -> 'a Solution.t -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val iter : ('a Solution.t -> unit) -> 'a t -> unit
+
+(** Solution with the largest required time, ties broken by smaller load
+    then area (the curve's first element). *)
+val best_req : 'a t -> 'a Solution.t option
+
+(** [best_under_area curve ~area] is the max-required-time solution with
+    area at most [area] (problem variant I). *)
+val best_under_area : 'a t -> area:float -> 'a Solution.t option
+
+(** [best_min_area curve ~req] is the min-area solution with required time
+    at least [req] (problem variant II). *)
+val best_min_area : 'a t -> req:float -> 'a Solution.t option
+
+(** [cap ~max_size curve] reduces the curve to at most [max_size] points
+    by keeping an even spread along the required-time axis (always keeping
+    both extremes).  This is the epsilon-pruning knob documented in
+    DESIGN.md §5; [max_size >= 2]. *)
+val cap : max_size:int -> 'a t -> 'a t
+
+(** [quantise_load ~grid curve] rounds every load {e up} to a multiple of
+    [grid] and re-prunes — the "capacitances mapped to polynomially bounded
+    integers" proviso of Lemmas 1 and 10.  Rounding up is pessimistic, so
+    any solution kept remains electrically valid. *)
+val quantise_load : grid:float -> 'a t -> 'a t
+
+(** [quantise ~req_grid ~load_grid ~area_grid curve] buckets all three
+    dimensions pessimistically (required time down, load and area up) and
+    re-prunes.  With all three grids set, the frontier size is bounded by
+    the number of distinct (load, area) buckets, which is what makes the
+    paper's dynamic programs pseudo-polynomial without the instability of
+    a hard count cap.  A grid of 0 leaves that dimension untouched. *)
+val quantise :
+  req_grid:float -> load_grid:float -> area_grid:float -> 'a t -> 'a t
+
+(** [is_frontier c] checks the internal invariant: no element dominates
+    another.  Exposed for tests. *)
+val is_frontier : 'a t -> bool
+
+val pp : Format.formatter -> 'a t -> unit

@@ -1,0 +1,26 @@
+type 'a t = { req : float; load : float; area : float; data : 'a }
+
+let make ~req ~load ~area data = { req; load; area; data }
+
+let dominates s1 s2 =
+  s1.load <= s2.load && s2.req <= s1.req && s1.area <= s2.area
+
+let compare_key s1 s2 =
+  let c = Float.compare s2.req s1.req in
+  if c <> 0 then c
+  else
+    let c = Float.compare s1.load s2.load in
+    if c <> 0 then c else Float.compare s1.area s2.area
+
+let map f s = { req = s.req; load = s.load; area = s.area; data = f s.data }
+
+let quantise ~req_grid ~load_grid ~area_grid s =
+  let down grid v = if grid = 0.0 then v else floor (v /. grid) *. grid in
+  let up grid v = if grid = 0.0 then v else ceil (v /. grid) *. grid in
+  { s with
+    req = down req_grid s.req;
+    load = up load_grid s.load;
+    area = up area_grid s.area }
+
+let pp ppf s =
+  Format.fprintf ppf "(req=%.1f load=%.2f area=%.2f)" s.req s.load s.area

@@ -1,0 +1,35 @@
+(** A point of a three-dimensional solution curve: required time and load
+    versus total buffer area (paper Fig. 8), carrying the partial structure
+    it stands for.
+
+    The load and required-time dimensions are what make the principle of
+    dynamic programming valid for the problem; the area dimension is what
+    lets the user trade area against speed (Section I). *)
+
+type 'a t = {
+  req : float;   (** required time at the solution's root, ps — larger is better *)
+  load : float;  (** capacitance at the root, fF — smaller is better *)
+  area : float;  (** total buffer area, 1000 lambda^2 — smaller is better *)
+  data : 'a;     (** the structure (or provenance) this point stands for *)
+}
+
+val make : req:float -> load:float -> area:float -> 'a -> 'a t
+
+(** [dominates s1 s2] — Definition 6: [s2] is inferior to [s1] iff
+    load(s1) <= load(s2), req(s2) <= req(s1) and area(s1) <= area(s2).
+    A solution dominates itself. *)
+val dominates : 'a t -> 'a t -> bool
+
+(** Total order used for deterministic curve layout: decreasing required
+    time, then increasing load, then increasing area. *)
+val compare_key : 'a t -> 'a t -> int
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+(** [quantise ~req_grid ~load_grid ~area_grid s] buckets the coordinates
+    pessimistically: required time rounded down, load and area up.  A grid
+    of 0 leaves that dimension untouched. *)
+val quantise :
+  req_grid:float -> load_grid:float -> area_grid:float -> 'a t -> 'a t
+
+val pp : Format.formatter -> 'a t -> unit

@@ -1,0 +1,1 @@
+lib/flows/flows.mli: Buffer_lib Merlin_core Merlin_net Merlin_rtree Merlin_tech Net Rtree Tech

@@ -1,0 +1,169 @@
+open Merlin_geometry
+open Merlin_tech
+open Merlin_net
+open Merlin_rtree
+
+type metrics = {
+  flow : string;
+  area : float;
+  delay : float;
+  root_req : float;
+  runtime : float;
+  n_buffers : int;
+  wirelength : int;
+  loops : int;
+  tree : Rtree.t;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let metrics_of_tree ~flow ~tech ~loops ~runtime (net : Net.t) tree =
+  let ev = Eval.net tech net tree in
+  { flow;
+    area = ev.Eval.area;
+    delay = ev.Eval.net_delay;
+    root_req = ev.Eval.root_req;
+    runtime;
+    n_buffers = Rtree.n_buffers tree;
+    wirelength = ev.Eval.wirelength;
+    loops;
+    tree }
+
+(* ---------- Flow I: LTTREE + PTREE ---------- *)
+
+(* Embed one LT-tree level: route [directs] plus (optionally) the next
+   chain link — already embedded, presented as a pseudo-sink — from
+   [source] driven by [driver_model].  The routed pseudo-leaf is then
+   substituted by the actual subtree. *)
+let route_level ~tech ~source ~driver_model ~directs ~sub =
+  let pseudo_id = List.length directs in
+  let local_sinks =
+    List.mapi (fun i s -> Sink.make ~id:i ~pt:s.Sink.pt ~cap:s.Sink.cap ~req:s.Sink.req)
+      directs
+  in
+  let local_sinks, substitute =
+    match sub with
+    | None -> (local_sinks, None)
+    | Some (subtree, sub_req, sub_load) ->
+      let pseudo =
+        Sink.make ~id:pseudo_id ~pt:(Rtree.attach_point subtree) ~cap:sub_load
+          ~req:sub_req
+      in
+      (local_sinks @ [ pseudo ], Some subtree)
+  in
+  let local_net =
+    Net.make ~name:"lt-level" ~source ~driver:driver_model local_sinks
+  in
+  let routed = Merlin_ptree.Ptree.route ~tech local_net in
+  (* Map local leaves back: real sinks to the originals, the pseudo sink
+     to the embedded chain subtree. *)
+  let original = Array.of_list directs in
+  let rec restore = function
+    | Rtree.Leaf s ->
+      if s.Sink.id = pseudo_id then Option.get substitute
+      else Rtree.Leaf original.(s.Sink.id)
+    | Rtree.Node n ->
+      Rtree.Node { n with Rtree.children = List.map restore n.Rtree.children }
+  in
+  restore routed
+
+let flow1 ~tech ~buffers ?(max_fanout = 10) (net : Net.t) =
+  let build () =
+    let sinks = Array.to_list net.Net.sinks in
+    let best =
+      Merlin_lttree.Lttree.best ~buffers ~max_fanout ~driver:net.Net.driver
+        sinks
+    in
+    let plan = best.Merlin_curves.Solution.data in
+    let rec embed_chain (c : Merlin_lttree.Lttree.chain) =
+      let sub =
+        match c.Merlin_lttree.Lttree.chain with
+        | None -> None
+        | Some next ->
+          let subtree = embed_chain next in
+          let ev = Eval.subtree tech subtree in
+          Some (subtree, ev.Eval.req, ev.Eval.load)
+      in
+      (* Place the link's buffer at the center of mass of what it directly
+         drives: its own sinks and the next link's position. *)
+      let anchor_pts =
+        List.map (fun s -> s.Sink.pt) c.Merlin_lttree.Lttree.directs
+        @ (match sub with
+           | None -> []
+           | Some (subtree, _, _) -> [ Rtree.attach_point subtree ])
+      in
+      let pos = Point.center_of_mass anchor_pts in
+      let routed =
+        route_level ~tech ~source:pos
+          ~driver_model:c.Merlin_lttree.Lttree.buffer.Buffer_lib.model
+          ~directs:c.Merlin_lttree.Lttree.directs ~sub
+      in
+      (* The level's buffer sits at [pos] and drives the routed level. *)
+      Rtree.node ~buffer:c.Merlin_lttree.Lttree.buffer pos [ routed ]
+    in
+    let sub =
+      match plan.Merlin_lttree.Lttree.root_chain with
+      | None -> None
+      | Some c ->
+        let subtree = embed_chain c in
+        let ev = Eval.subtree tech subtree in
+        Some (subtree, ev.Eval.req, ev.Eval.load)
+    in
+    route_level ~tech ~source:net.Net.source ~driver_model:net.Net.driver
+      ~directs:plan.Merlin_lttree.Lttree.root_directs ~sub
+  in
+  let tree, runtime = timed build in
+  metrics_of_tree ~flow:"I:LTTREE+PTREE" ~tech ~loops:1 ~runtime net tree
+
+(* ---------- Flow II: PTREE + van Ginneken ---------- *)
+
+let flow2 ~tech ~buffers ?refine_seg (net : Net.t) =
+  (* The paper's Flow II applies [Gi90] to the fixed PTREE routing: buffer
+     sites are the routing's own Steiner/branch points.  Pass [refine_seg]
+     to additionally split long edges (stronger than the paper's setup). *)
+  let build () =
+    let routed = Merlin_ptree.Ptree.route ~tech net in
+    Merlin_ginneken.Van_ginneken.insert ~tech ~buffers ?refine_seg net routed
+  in
+  let tree, runtime = timed build in
+  metrics_of_tree ~flow:"II:PTREE+VG" ~tech ~loops:1 ~runtime net tree
+
+(* ---------- Flow III: MERLIN ---------- *)
+
+let flow3 ~tech ~buffers ?cfg (net : Net.t) =
+  let cfg =
+    match cfg with
+    | Some c -> c
+    | None -> Merlin_core.Config.scaled (Net.n_sinks net)
+  in
+  let out, runtime =
+    timed (fun () -> Merlin_core.Merlin.run ~cfg ~tech ~buffers net)
+  in
+  match out with
+  | None -> assert false (* Best_req objective is always feasible *)
+  | Some out ->
+    (* The paper extracts "the solution with the best trade-off between
+       required time and total buffer area": take the cheapest solution
+       within two quantisation buckets of the best required time. *)
+    let curve = out.Merlin_core.Merlin.curve in
+    let best = out.Merlin_core.Merlin.best in
+    let slack = 2.0 *. cfg.Merlin_core.Config.quant_req in
+    let chosen =
+      match
+        Merlin_curves.Curve.best_min_area curve
+          ~req:(best.Merlin_curves.Solution.req -. slack)
+      with
+      | Some s -> s
+      | None -> best
+    in
+    metrics_of_tree ~flow:"III:MERLIN" ~tech
+      ~loops:out.Merlin_core.Merlin.loops ~runtime net
+      chosen.Merlin_curves.Solution.data.Merlin_core.Build.tree
+
+let all ~tech ~buffers ?cfg3 net =
+  [ flow1 ~tech ~buffers net;
+    flow2 ~tech ~buffers net;
+    flow3 ~tech ~buffers ?cfg:cfg3 net ]

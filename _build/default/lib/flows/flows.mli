@@ -1,0 +1,57 @@
+(** The three experimental setups of the paper's Section IV, each taking a
+    net to a buffered routing tree:
+
+    - Flow I: fanout optimization with LTTREE (required-time sink order)
+      followed by PTREE routing of every level (TSP order), buffers
+      embedded at the center of mass of the sinks they drive.
+    - Flow II: PTREE routing of the whole net (TSP order) followed by
+      van Ginneken buffer insertion on the fixed tree.
+    - Flow III: MERLIN hierarchical buffered routing generation.
+
+    All flows report the same figures of merit, measured with the same
+    Elmore/4-parameter evaluator. *)
+
+open Merlin_tech
+open Merlin_net
+open Merlin_rtree
+
+type metrics = {
+  flow : string;
+  area : float;        (** total buffer area, 1000 lambda^2 *)
+  delay : float;       (** net delay (max sink req - root req), ps *)
+  root_req : float;    (** required time at the driver input, ps *)
+  runtime : float;     (** wall-clock seconds *)
+  n_buffers : int;
+  wirelength : int;    (** grid units *)
+  loops : int;         (** MERLIN iterations (1 for flows I and II) *)
+  tree : Rtree.t;
+}
+
+(** [flow1 ~tech ~buffers net] — LTTREE + PTREE. [max_fanout] bounds the
+    LT-tree level width (default 10). *)
+val flow1 :
+  tech:Tech.t -> buffers:Buffer_lib.t -> ?max_fanout:int -> Net.t -> metrics
+
+(** [flow2 ~tech ~buffers net] — PTREE + van Ginneken.  As in the paper,
+    buffer sites are the fixed routing's own Steiner points; [refine_seg]
+    optionally splits long edges to add interior sites (a stronger flow
+    than the paper's Setup II). *)
+val flow2 :
+  tech:Tech.t -> buffers:Buffer_lib.t -> ?refine_seg:int -> Net.t -> metrics
+
+(** [flow3 ~tech ~buffers net] — MERLIN, with {!Merlin_core.Config.scaled}
+    knobs by default. *)
+val flow3 :
+  tech:Tech.t ->
+  buffers:Buffer_lib.t ->
+  ?cfg:Merlin_core.Config.t ->
+  Net.t ->
+  metrics
+
+(** All three flows on one net, in order I, II, III. *)
+val all :
+  tech:Tech.t ->
+  buffers:Buffer_lib.t ->
+  ?cfg3:Merlin_core.Config.t ->
+  Net.t ->
+  metrics list

@@ -1,0 +1,1 @@
+lib/geometry/hanan.ml: Array Int List Point

@@ -1,0 +1,1 @@
+lib/geometry/hanan.mli: Point

@@ -1,0 +1,1 @@
+lib/geometry/point.ml: Format Int List

@@ -1,0 +1,48 @@
+let dedup_sorted pts = List.sort_uniq Point.compare pts
+
+let full_grid pts =
+  let xs = List.sort_uniq Int.compare (List.map (fun p -> p.Point.x) pts) in
+  let ys = List.sort_uniq Int.compare (List.map (fun p -> p.Point.y) pts) in
+  List.concat_map (fun x -> List.map (fun y -> Point.make x y) ys) xs
+
+(* Keep the terminals, then fill the budget with the grid points nearest to
+   the center of mass — a dense core where Steiner points pay off most. *)
+let rec take k = function
+  | [] -> []
+  | _ when k = 0 -> []
+  | p :: rest -> p :: take (k - 1) rest
+
+(* Order candidates: the terminals themselves first, then grid points by
+   distance to the center of mass; truncate hard at [limit]. *)
+let select pts extras ~limit =
+  let terminals = dedup_sorted pts in
+  let com = Point.center_of_mass pts in
+  let others =
+    extras
+    |> List.filter (fun p -> not (List.exists (Point.equal p) terminals))
+    |> List.map (fun p -> (Point.manhattan com p, p))
+    |> List.sort (fun (d1, p1) (d2, p2) ->
+           let c = Int.compare d1 d2 in
+           if c <> 0 then c else Point.compare p1 p2)
+    |> List.map snd
+  in
+  let kept_terminals = take limit terminals in
+  let budget = max 0 (limit - List.length kept_terminals) in
+  dedup_sorted (kept_terminals @ take budget others)
+
+let reduced pts ~limit =
+  let grid = full_grid pts in
+  if List.length grid <= limit then grid else select pts grid ~limit
+
+let center_of_mass_set pts ~limit =
+  let arr = Array.of_list pts in
+  let n = Array.length arr in
+  let acc = ref [] in
+  for len = 1 to n do
+    for i = 0 to n - len do
+      let window = Array.to_list (Array.sub arr i len) in
+      acc := Point.center_of_mass window :: !acc
+    done
+  done;
+  let all = dedup_sorted (pts @ !acc) in
+  if List.length all <= limit then all else select pts !acc ~limit

@@ -1,0 +1,24 @@
+(** Candidate-location generation for buffer/Steiner placement.
+
+    The Hanan grid of a net is the grid formed by the intersections of the
+    horizontal and vertical lines running through its terminals [Ha66].  The
+    paper also allows reduced candidate sets (a heuristic subset) and
+    center-of-mass points of sink subsets; it reports that the choice does
+    not matter much as long as the candidate count is linear in the sink
+    count (Section III.1). *)
+
+(** [full_grid pts] is the complete Hanan grid of [pts]: all (x, y) pairs
+    with x and y drawn from terminal coordinates.  Size is at most
+    |xs| * |ys|.  Deduplicated, sorted. *)
+val full_grid : Point.t list -> Point.t list
+
+(** [reduced pts ~limit] subsamples the Hanan grid down to at most [limit]
+    points, always keeping the terminals themselves, then preferring grid
+    points closest to the terminal center of mass (the heuristic alluded to
+    in the paper's Table 2 setup). *)
+val reduced : Point.t list -> limit:int -> Point.t list
+
+(** [center_of_mass_set pts ~limit] is the candidate set built from centers
+    of mass of contiguous subsets of [pts] (windows of every length),
+    deduplicated and capped at [limit]. *)
+val center_of_mass_set : Point.t list -> limit:int -> Point.t list

@@ -1,0 +1,27 @@
+(** Axis-aligned rectangles (bounding boxes) on the grid. *)
+
+type t = { lo : Point.t; hi : Point.t }
+
+(** [make a b] normalises so that [lo] is the componentwise minimum. *)
+val make : Point.t -> Point.t -> t
+
+(** [bounding_box pts] is the smallest rectangle containing every point.
+    Raises [Invalid_argument] on the empty list. *)
+val bounding_box : Point.t list -> t
+
+val width : t -> int
+
+val height : t -> int
+
+(** [half_perimeter r] is width + height — the HPWL lower bound on the
+    wirelength of any rectilinear tree spanning the box corners. *)
+val half_perimeter : t -> int
+
+val contains : t -> Point.t -> bool
+
+val center : t -> Point.t
+
+(** [inflate r margin] grows the rectangle by [margin] on every side. *)
+val inflate : t -> int -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ginneken/van_ginneken.ml: Array Build Curve Delay_model List Merlin_core Merlin_curves Merlin_geometry Merlin_net Merlin_rtree Merlin_tech Net Point Rtree Solution

@@ -1,0 +1,1 @@
+lib/ginneken/van_ginneken.mli: Buffer_lib Curve Merlin_core Merlin_curves Merlin_net Merlin_rtree Merlin_tech Net Rtree Tech

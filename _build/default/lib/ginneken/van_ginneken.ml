@@ -1,0 +1,104 @@
+open Merlin_geometry
+open Merlin_tech
+open Merlin_net
+open Merlin_rtree
+open Merlin_curves
+open Merlin_core
+
+let buffer_subset buffers ~trials =
+  let n = Array.length buffers in
+  if n <= trials then buffers
+  else
+    Array.init trials (fun i -> buffers.(i * (n - 1) / (max 1 (trials - 1))))
+
+let curve ~tech ~buffers ?trials ?(max_curve = 16) ?refine_seg tree =
+  let subset =
+    match trials with
+    | None -> buffers
+    | Some trials -> buffer_subset buffers ~trials
+  in
+  let tree =
+    match refine_seg with
+    | None -> tree
+    | Some max_seg -> Rtree.refine ~max_seg tree
+  in
+  let cap c = Curve.cap ~max_size:max_curve c in
+  let close c =
+    Curve.fold
+      (fun acc sol ->
+         Array.fold_left
+           (fun acc b -> Curve.add acc (Build.add_root_buffer b sol))
+           acc subset)
+      c c
+  in
+  let rec walk = function
+    | Rtree.Leaf s ->
+      cap (close (Curve.add Curve.empty (Build.of_sink s)))
+    | Rtree.Node n ->
+      let child_curve child =
+        Curve.map_solutions
+          (fun sol -> Build.extend_wire tech ~to_:n.Rtree.loc sol)
+          (walk child)
+      in
+      let join2 acc child =
+        let c = child_curve child in
+        match acc with
+        | None -> Some c
+        | Some acc ->
+          let joined = ref Curve.empty in
+          Curve.iter
+            (fun a ->
+               Curve.iter
+                 (fun b ->
+                    joined := Curve.add !joined (Build.join n.Rtree.loc a b))
+                 c)
+            acc;
+          Some (cap !joined)
+      in
+      let joined =
+        match List.fold_left join2 None n.Rtree.children with
+        | Some c -> c
+        | None -> assert false (* nodes have nonempty children *)
+      in
+      (* Preexisting buffers are kept as fixed parts of the tree. *)
+      let with_own_buffer =
+        match n.Rtree.buffer with
+        | None -> joined
+        | Some b ->
+          Curve.map_solutions (fun sol -> Build.add_root_buffer b sol) joined
+      in
+      cap (close with_own_buffer)
+  in
+  walk tree
+
+let insert ~tech ~buffers ?trials ?max_curve ?refine_seg (net : Net.t) tree =
+  if not (Point.equal (Rtree.attach_point tree) net.Net.source) then
+    invalid_arg "Van_ginneken.insert: tree not rooted at the net source";
+  (* Under curve caps the refined DP is not strictly monotone versus the
+     node-only one, so evaluate both and keep the better tree. *)
+  let best_of c =
+    let with_driver =
+      Curve.map_solutions
+        (fun s ->
+           { s with
+             Solution.req =
+               s.Solution.req
+               -. Delay_model.delay net.Net.driver ~load:s.Solution.load })
+        c
+    in
+    match Curve.best_req with_driver with
+    | Some sol -> sol
+    | None -> assert false (* the unbuffered variant always survives *)
+  in
+  let node_only = best_of (curve ~tech ~buffers ?trials ?max_curve tree) in
+  let chosen =
+    match refine_seg with
+    | None -> node_only
+    | Some _ ->
+      let refined =
+        best_of (curve ~tech ~buffers ?trials ?max_curve ?refine_seg tree)
+      in
+      if refined.Solution.req >= node_only.Solution.req then refined
+      else node_only
+  in
+  chosen.Solution.data.Build.tree

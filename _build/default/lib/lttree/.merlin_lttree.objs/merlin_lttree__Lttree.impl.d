@@ -1,0 +1,1 @@
+lib/lttree/lttree.ml: Array Buffer_lib Curve Delay_model Float List Merlin_curves Merlin_net Merlin_tech Sink Solution

@@ -1,0 +1,1 @@
+lib/lttree/lttree.mli: Buffer_lib Curve Delay_model Merlin_curves Merlin_net Merlin_tech Sink Solution

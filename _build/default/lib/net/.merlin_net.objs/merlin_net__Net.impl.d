@@ -1,0 +1,1 @@
+lib/net/net.ml: Array Delay_model Format Merlin_geometry Merlin_tech Point Printf Rect Sink

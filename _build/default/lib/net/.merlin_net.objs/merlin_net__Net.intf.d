@@ -1,0 +1,1 @@
+lib/net/net.mli: Delay_model Format Merlin_geometry Merlin_tech Point Rect Sink

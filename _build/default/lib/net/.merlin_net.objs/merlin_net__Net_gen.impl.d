@@ -1,0 +1,1 @@
+lib/net/net_gen.ml: Delay_model Hashtbl List Merlin_geometry Merlin_tech Net Point Random Sink Tech

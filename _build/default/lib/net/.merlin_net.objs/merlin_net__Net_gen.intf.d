@@ -1,0 +1,1 @@
+lib/net/net_gen.mli: Delay_model Merlin_tech Net Tech

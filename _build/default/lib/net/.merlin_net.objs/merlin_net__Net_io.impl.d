@@ -1,0 +1,1 @@
+lib/net/net_io.ml: Array Buffer Delay_model List Merlin_geometry Merlin_tech Net Point Printf Sink String

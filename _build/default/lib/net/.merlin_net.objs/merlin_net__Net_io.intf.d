@@ -1,0 +1,1 @@
+lib/net/net_io.mli: Net

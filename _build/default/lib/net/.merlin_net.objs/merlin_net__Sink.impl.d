@@ -1,0 +1,1 @@
+lib/net/sink.ml: Buffer_lib Format Merlin_geometry Merlin_tech Point

@@ -1,0 +1,50 @@
+open Merlin_geometry
+open Merlin_tech
+
+(* Solve (r*c/2) * L^2 * ps_per_ohm_ff = target_delay for L. *)
+let box_side tech ~target_delay =
+  let rc =
+    tech.Tech.unit_wire_res *. tech.Tech.unit_wire_cap /. 2.0
+    *. Tech.ps_per_ohm_ff
+  in
+  int_of_float (sqrt (target_delay /. rc))
+
+let uniform st lo hi = lo +. (Random.State.float st (hi -. lo))
+
+let random_net ~seed ~name ~n ?(driver = Net.default_driver)
+    ?(wire_gate_ratio = 0.25) tech =
+  if n < 1 then invalid_arg "Net_gen.random_net: n < 1";
+  let st = Random.State.make [| seed; n; 0x4d45524c (* "MERL" *) |] in
+  let gate_delay = Delay_model.delay driver ~load:30.0 in
+  let side = box_side tech ~target_delay:(wire_gate_ratio *. gate_delay) in
+  let point () =
+    Point.make (Random.State.int st (side + 1)) (Random.State.int st (side + 1))
+  in
+  let req_window = 4.0 *. gate_delay in
+  let base_req = 10.0 *. gate_delay in
+  (* Gate input pins of a mapped 0.35um netlist: tens of fF.  Heavy sink
+     loads are what make the logic-domain fanout problem (Flow I's LTTREE
+     phase) nontrivial, as in the paper's mapped benchmarks. *)
+  let sink id =
+    Sink.make ~id ~pt:(point ())
+      ~cap:(uniform st 15.0 50.0)
+      ~req:(base_req +. uniform st 0.0 req_window)
+  in
+  let sinks = List.init n sink in
+  let source = Point.make 0 (Random.State.int st (side + 1)) in
+  Net.make ~name ~source ~driver sinks
+
+let table1_specs =
+  [ ("C432", "net1", 16); ("C432", "net2", 16); ("C432", "net3", 10);
+    ("C1355", "net4", 9); ("C1355", "net5", 9); ("C1355", "net6", 13);
+    ("C3540", "net7", 12); ("C3540", "net8", 35); ("C3540", "net9", 73);
+    ("C5315", "net10", 49); ("C5315", "net11", 21); ("C5315", "net12", 50);
+    ("C6288", "net13", 16); ("C6288", "net14", 20); ("C6288", "net15", 60);
+    ("C7552", "net16", 12); ("C7552", "net17", 16); ("C7552", "net18", 23) ]
+
+let table1_nets tech =
+  let instantiate (circuit, net_name, n) =
+    let seed = Hashtbl.hash (circuit, net_name) in
+    (circuit, net_name, random_net ~seed ~name:net_name ~n tech)
+  in
+  List.map instantiate table1_specs

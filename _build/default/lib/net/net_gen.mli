@@ -1,0 +1,38 @@
+(** Random net generation following the paper's experimental recipe
+    (Section IV): sinks of a mapped net have known loads and required
+    times; their locations are drawn uniformly at random inside a bounding
+    box sized so that the interconnect delay is approximately equal to a
+    gate delay.
+
+    All generators are deterministic in their [seed]. *)
+
+open Merlin_tech
+
+(** [box_side tech ~target_delay] is the side (grid units) of a square box
+    whose corner-to-corner Elmore wire delay is approximately
+    [target_delay] ps. *)
+val box_side : Tech.t -> target_delay:float -> int
+
+(** [random_net ~seed ~name ~n tech] builds an [n]-sink net:
+    - box sized so the interconnect delay of the net is about one gate
+      delay: a routed tree strings several box-sides of wire in series
+      and wire delay is quadratic in length, so the corner-to-corner
+      Elmore target is [wire_gate_ratio] (default 0.25) of a gate delay,
+    - sink loads uniform in [15, 50] fF (mapped-netlist input pins),
+    - required times spread over a window of a few gate delays,
+    - driver placed on the box edge. *)
+val random_net :
+  seed:int ->
+  name:string ->
+  n:int ->
+  ?driver:Delay_model.t ->
+  ?wire_gate_ratio:float ->
+  Tech.t ->
+  Net.t
+
+(** The 18 Table-1 nets: (circuit, net name, sink count) exactly as the
+    paper lists them. *)
+val table1_specs : (string * string * int) list
+
+(** [table1_nets tech] instantiates the 18 nets, seeded by their names. *)
+val table1_nets : Tech.t -> (string * string * Net.t) list

@@ -1,0 +1,72 @@
+open Merlin_geometry
+open Merlin_tech
+
+let to_string (net : Net.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "net %s\n" net.Net.name);
+  Buffer.add_string buf
+    (Printf.sprintf "source %d %d\n" net.Net.source.Point.x
+       net.Net.source.Point.y);
+  let d = net.Net.driver in
+  Buffer.add_string buf
+    (Printf.sprintf "driver %g %g %g %g\n" d.Delay_model.d0
+       d.Delay_model.r_drive d.Delay_model.k_slew d.Delay_model.s0);
+  Array.iter
+    (fun s ->
+       Buffer.add_string buf
+         (Printf.sprintf "sink %d %d %d %g %g\n" s.Sink.id s.Sink.pt.Point.x
+            s.Sink.pt.Point.y s.Sink.cap s.Sink.req))
+    net.Net.sinks;
+  Buffer.contents buf
+
+let fail lineno msg = failwith (Printf.sprintf "Net_io: line %d: %s" lineno msg)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let name = ref None and source = ref None and driver = ref None in
+  let sinks = ref [] in
+  let parse lineno line =
+    match String.split_on_char ' ' (String.trim line) with
+    | [ "" ] -> ()
+    | [ "net"; n ] -> name := Some n
+    | [ "source"; x; y ] ->
+      (try source := Some (Point.make (int_of_string x) (int_of_string y))
+       with Failure _ -> fail lineno "bad source coordinates")
+    | [ "driver"; d0; r; k; s0 ] ->
+      (try
+         driver :=
+           Some
+             (Delay_model.make ~d0:(float_of_string d0)
+                ~r_drive:(float_of_string r) ~k_slew:(float_of_string k)
+                ~s0:(float_of_string s0))
+       with Failure _ -> fail lineno "bad driver parameters")
+    | [ "sink"; id; x; y; cap; req ] ->
+      (try
+         let s =
+           Sink.make ~id:(int_of_string id)
+             ~pt:(Point.make (int_of_string x) (int_of_string y))
+             ~cap:(float_of_string cap) ~req:(float_of_string req)
+         in
+         sinks := s :: !sinks
+       with Failure _ -> fail lineno "bad sink fields")
+    | _ -> fail lineno (Printf.sprintf "unrecognised line %S" line)
+  in
+  List.iteri (fun i line -> parse (i + 1) line) lines;
+  match (!name, !source, !driver) with
+  | Some name, Some source, Some driver ->
+    Net.make ~name ~source ~driver (List.rev !sinks)
+  | None, _, _ -> failwith "Net_io: missing 'net' line"
+  | _, None, _ -> failwith "Net_io: missing 'source' line"
+  | _, _, None -> failwith "Net_io: missing 'driver' line"
+
+let save path net =
+  let oc = open_out path in
+  output_string oc (to_string net);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string text

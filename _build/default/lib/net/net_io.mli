@@ -1,0 +1,18 @@
+(** Plain-text (de)serialisation of nets, one item per line:
+
+    {v
+    net <name>
+    source <x> <y>
+    driver <d0> <r_drive> <k_slew> <s0>
+    sink <id> <x> <y> <cap> <req>
+    ...
+    v} *)
+
+val to_string : Net.t -> string
+
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+val of_string : string -> Net.t
+
+val save : string -> Net.t -> unit
+
+val load : string -> Net.t

@@ -1,0 +1,1 @@
+lib/order/heuristics.ml: Array Float List Merlin_geometry Merlin_net Net Order Point Random Sink

@@ -1,0 +1,1 @@
+lib/order/heuristics.mli: Merlin_net Net Order

@@ -1,0 +1,1 @@
+lib/order/order.ml: Array Format List

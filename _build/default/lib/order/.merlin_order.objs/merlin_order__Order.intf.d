@@ -1,0 +1,1 @@
+lib/order/order.mli: Format

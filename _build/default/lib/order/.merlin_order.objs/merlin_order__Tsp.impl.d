@@ -1,0 +1,1 @@
+lib/order/tsp.ml: Array List Merlin_geometry Merlin_net Net Order Point Sink

@@ -1,0 +1,1 @@
+lib/order/tsp.mli: Merlin_net Net Order

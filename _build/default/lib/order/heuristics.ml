@@ -1,0 +1,26 @@
+open Merlin_geometry
+open Merlin_net
+
+let sort_ids (net : Net.t) cmp =
+  let ids = List.init (Net.n_sinks net) (fun i -> i) in
+  Order.of_list (List.sort cmp ids)
+
+let by_required_time net =
+  let req i = (Net.sink net i).Sink.req in
+  sort_ids net (fun a b -> Float.compare (req a) (req b))
+
+let by_x_sweep net =
+  let pt i = (Net.sink net i).Sink.pt in
+  sort_ids net (fun a b -> Point.compare (pt a) (pt b))
+
+let random ~seed net =
+  let n = Net.n_sinks net in
+  let st = Random.State.make [| seed; n |] in
+  let arr = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  arr

@@ -1,0 +1,14 @@
+(** Alternative initial sink orders, used by the baselines and by the
+    ablation that checks MERLIN's insensitivity to the starting order. *)
+
+open Merlin_net
+
+(** Increasing required time: the most critical sinks first, the order the
+    LTTREE setup of the paper uses. *)
+val by_required_time : Net.t -> Order.t
+
+(** Left-to-right sweep by x coordinate (ties by y). *)
+val by_x_sweep : Net.t -> Order.t
+
+(** Uniform random order, deterministic in [seed]. *)
+val random : seed:int -> Net.t -> Order.t

@@ -1,0 +1,52 @@
+(** Sink orders (Definition 3) and their local neighborhoods
+    (Definition 4).
+
+    An order is stored in sequence form: [t.(pos)] is the sink id at
+    position [pos].  The paper's function form "Pi(i) = position of sink i"
+    is {!positions}. *)
+
+type t = int array
+
+(** [identity n] is [(0, 1, ..., n-1)]. *)
+val identity : int -> t
+
+val of_list : int list -> t
+
+val to_list : t -> int list
+
+val length : t -> int
+
+val equal : t -> t -> bool
+
+(** [is_permutation t] checks that [t] contains each of [0..n-1] exactly
+    once. *)
+val is_permutation : t -> bool
+
+(** [positions t] is the inverse map: [(positions t).(sink) = pos]. *)
+val positions : t -> int array
+
+(** [swap_at t i] swaps positions [i] and [i+1] (Definition 5 addresses
+    elements; on the sequence form that is exactly an adjacent position
+    swap).  Raises [Invalid_argument] if [i] is out of [0 .. n-2]. *)
+val swap_at : t -> int -> t
+
+(** [in_neighborhood a b] — Definition 4: every sink's position differs by
+    at most one between [a] and [b].  Raises [Invalid_argument] on length
+    mismatch. *)
+val in_neighborhood : t -> t -> bool
+
+(** [neighborhood a] enumerates N(a) — every order reachable by a set of
+    non-overlapping adjacent swaps (Lemma 4).  Exponential size; intended
+    for tests and small n. *)
+val neighborhood : t -> t list
+
+(** [neighborhood_size n] is |N(Pi)| for any order of [n] sinks: the
+    Fibonacci number F(n+1) (F(1) = F(2) = 1).  Theorem 1 states the
+    closed form; enumeration (see tests) confirms the F(n+1) indexing. *)
+val neighborhood_size : int -> int
+
+(** Binet's closed form as printed in Theorem 1 (with the paper's n+2
+    index); always an integer for integer [n]. *)
+val theorem1_closed_form : int -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+open Merlin_geometry
+open Merlin_net
+
+let tour_length (net : Net.t) order =
+  let pt i = (Net.sink net i).Sink.pt in
+  let n = Order.length order in
+  let rec walk i prev acc =
+    if i >= n then acc
+    else
+      let here = pt order.(i) in
+      walk (i + 1) here (acc + Point.manhattan prev here)
+  in
+  walk 0 net.Net.source 0
+
+let nearest_neighbour (net : Net.t) =
+  let n = Net.n_sinks net in
+  let used = Array.make n false in
+  let pt i = (Net.sink net i).Sink.pt in
+  let rec pick from acc remaining =
+    if remaining = 0 then List.rev acc
+    else begin
+      let best = ref (-1) and best_d = ref max_int in
+      for i = 0 to n - 1 do
+        if not used.(i) then begin
+          let d = Point.manhattan from (pt i) in
+          if d < !best_d then begin best := i; best_d := d end
+        end
+      done;
+      used.(!best) <- true;
+      pick (pt !best) (!best :: acc) (remaining - 1)
+    end
+  in
+  Order.of_list (pick net.Net.source [] n)
+
+(* Classic 2-opt on the open tour: reversing the segment (i..j) helps iff
+   d(p_{i-1}, p_j) + d(p_i, p_{j+1}) < d(p_{i-1}, p_i) + d(p_j, p_{j+1}),
+   where position -1 is the source and position n has no successor. *)
+let two_opt (net : Net.t) order =
+  let n = Order.length order in
+  let tour = Array.copy order in
+  let pt pos =
+    if pos < 0 then net.Net.source else (Net.sink net tour.(pos)).Sink.pt
+  in
+  let gain i j =
+    let before = Point.manhattan (pt (i - 1)) (pt i) in
+    let after = Point.manhattan (pt (i - 1)) (pt j) in
+    let tail_before, tail_after =
+      if j + 1 >= n then (0, 0)
+      else (Point.manhattan (pt j) (pt (j + 1)), Point.manhattan (pt i) (pt (j + 1)))
+    in
+    before + tail_before - after - tail_after
+  in
+  let reverse i j =
+    let a = ref i and b = ref j in
+    while !a < !b do
+      let tmp = tour.(!a) in
+      tour.(!a) <- tour.(!b);
+      tour.(!b) <- tmp;
+      incr a;
+      decr b
+    done
+  in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for i = 0 to n - 2 do
+      for j = i + 1 to n - 1 do
+        if gain i j > 0 then begin
+          reverse i j;
+          improved := true
+        end
+      done
+    done
+  done;
+  tour
+
+let order net = two_opt net (nearest_neighbour net)

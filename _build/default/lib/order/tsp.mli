@@ -1,0 +1,17 @@
+(** TSP-based initial sink ordering.
+
+    [LCLH96] (and the paper's Setups I-III) order sinks along a travelling
+    salesman tour so that consecutive sinks are physically close, which is
+    what makes an alphabetic (order-respecting) routing structure cheap.
+    We build the tour with nearest-neighbour construction from the net
+    source followed by 2-opt improvement under the Manhattan metric —
+    deterministic, no randomness. *)
+
+open Merlin_net
+
+(** [order net] is the TSP sink order of [net]. *)
+val order : Net.t -> Order.t
+
+(** [tour_length net order] is the Manhattan length of the open tour
+    source -> sinks in [order]. *)
+val tour_length : Net.t -> Order.t -> int

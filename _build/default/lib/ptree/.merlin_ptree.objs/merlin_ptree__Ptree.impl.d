@@ -1,0 +1,1 @@
+lib/ptree/ptree.ml: Array Build Curve Delay_model Hanan Merlin_core Merlin_curves Merlin_geometry Merlin_net Merlin_order Merlin_tech Net Order Point Solution Star_ptree Tsp

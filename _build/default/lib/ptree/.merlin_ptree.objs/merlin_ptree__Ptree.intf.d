@@ -1,0 +1,1 @@
+lib/ptree/ptree.mli: Curve Merlin_core Merlin_curves Merlin_geometry Merlin_net Merlin_order Merlin_rtree Merlin_tech Net Order Point Tech

@@ -1,0 +1,60 @@
+type cell = S of string | I of int | F of float | R of float
+
+let cell_to_string = function
+  | S s -> s
+  | I i -> string_of_int i
+  | F f ->
+    if Float.is_nan f then "-"
+    else if abs_float f >= 1000.0 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.2f" f
+  | R r -> if Float.is_nan r then "-" else Printf.sprintf "%.2f" r
+
+let print ~title ~header rows =
+  let rows_s = List.map (List.map cell_to_string) rows in
+  let all = header :: rows_s in
+  let n_cols =
+    List.fold_left (fun acc r -> max acc (List.length r)) 0 all
+  in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+         match List.nth_opt row c with
+         | Some s -> max acc (String.length s)
+         | None -> acc)
+      0 all
+  in
+  let widths = List.init n_cols width in
+  let render_row row =
+    let padded =
+      List.mapi
+        (fun c w ->
+           let s = match List.nth_opt row c with Some s -> s | None -> "" in
+           let pad = String.make (max 0 (w - String.length s)) ' ' in
+           pad ^ s)
+        widths
+    in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let sep =
+    "|"
+    ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "|"
+  in
+  print_newline ();
+  print_endline ("== " ^ title ^ " ==");
+  print_endline (render_row header);
+  print_endline sep;
+  List.iter (fun r -> print_endline (render_row r)) rows_s;
+  flush stdout
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let logs = List.map (fun x -> log (max 1e-12 x)) xs in
+    exp (mean logs)
+
+let ratio a b = if b = 0.0 then 0.0 else a /. b

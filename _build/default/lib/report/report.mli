@@ -1,0 +1,18 @@
+(** Fixed-width table rendering for the benchmark harness — the same
+    row/column shapes as the paper's Tables 1 and 2. *)
+
+type cell = S of string | I of int | F of float | R of float  (** R: ratio, 2 decimals *)
+
+val cell_to_string : cell -> string
+
+(** [print ~title ~header rows] renders a fixed-width table to stdout. *)
+val print : title:string -> header:string list -> cell list list -> unit
+
+(** [mean xs] — arithmetic mean; 0 on empty. *)
+val mean : float list -> float
+
+(** [geomean xs] — geometric mean of positive values; 0 on empty. *)
+val geomean : float list -> float
+
+(** [ratio a b] = a /. b, infinity-safe (0 when [b] = 0). *)
+val ratio : float -> float -> float

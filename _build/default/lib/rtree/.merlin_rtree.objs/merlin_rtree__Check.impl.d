@@ -1,0 +1,1 @@
+lib/rtree/check.ml: Array Format List Merlin_net Net Result Rtree Sink

@@ -1,0 +1,1 @@
+lib/rtree/check.mli: Format Merlin_net Net Rtree

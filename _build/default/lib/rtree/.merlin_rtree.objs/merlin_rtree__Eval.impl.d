@@ -1,0 +1,1 @@
+lib/rtree/eval.ml: Array Buffer_lib Delay_model List Merlin_geometry Merlin_net Merlin_tech Net Point Rtree Sink Tech

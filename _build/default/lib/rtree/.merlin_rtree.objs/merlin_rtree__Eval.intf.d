@@ -1,0 +1,1 @@
+lib/rtree/eval.mli: Merlin_net Merlin_tech Net Rtree Tech

@@ -1,0 +1,1 @@
+lib/rtree/rtree.ml: Buffer_lib Format List Merlin_geometry Merlin_net Merlin_tech Point Printf Sink

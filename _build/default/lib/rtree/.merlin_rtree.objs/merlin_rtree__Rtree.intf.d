@@ -1,0 +1,1 @@
+lib/rtree/rtree.mli: Buffer_lib Format Merlin_geometry Merlin_net Merlin_tech Point Sink

@@ -1,0 +1,34 @@
+open Merlin_net
+
+type error =
+  | Missing_sink of int
+  | Duplicate_sink of int
+  | Unknown_sink of int
+  | Sink_mismatch of int
+
+let pp_error ppf = function
+  | Missing_sink i -> Format.fprintf ppf "missing sink %d" i
+  | Duplicate_sink i -> Format.fprintf ppf "duplicate sink %d" i
+  | Unknown_sink i -> Format.fprintf ppf "unknown sink %d" i
+  | Sink_mismatch i -> Format.fprintf ppf "sink %d differs from the net's" i
+
+let covers (net : Net.t) tree =
+  let n = Net.n_sinks net in
+  let seen = Array.make n 0 in
+  let errors = ref [] in
+  let record e = errors := e :: !errors in
+  let visit s =
+    let id = s.Sink.id in
+    if id < 0 || id >= n then record (Unknown_sink id)
+    else begin
+      seen.(id) <- seen.(id) + 1;
+      if seen.(id) = 2 then record (Duplicate_sink id);
+      if seen.(id) = 1 && not (Sink.equal s (Net.sink net id)) then
+        record (Sink_mismatch id)
+    end
+  in
+  List.iter visit (Rtree.sinks_in_order tree);
+  Array.iteri (fun id count -> if count = 0 then record (Missing_sink id)) seen;
+  match List.rev !errors with [] -> Ok () | errs -> Error errs
+
+let is_valid net tree = Result.is_ok (covers net tree)

@@ -1,0 +1,19 @@
+(** Structural validity checks for routing trees produced by the
+    algorithms. *)
+
+open Merlin_net
+
+type error =
+  | Missing_sink of int        (** a net sink absent from the tree *)
+  | Duplicate_sink of int      (** a sink appearing more than once *)
+  | Unknown_sink of int        (** a tree sink not present in the net *)
+  | Sink_mismatch of int       (** same id but different position/load/req *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [covers net tree] verifies the tree connects exactly the net's sinks,
+    each exactly once and unmodified. *)
+val covers : Net.t -> Rtree.t -> (unit, error list) result
+
+(** [is_valid net tree] is [covers] collapsed to a boolean. *)
+val is_valid : Net.t -> Rtree.t -> bool

@@ -1,0 +1,110 @@
+open Merlin_geometry
+open Merlin_tech
+open Merlin_net
+
+type summary = { req : float; load : float; buf_area : float; wirelen : int }
+
+let wire_up tech ~len (req, load) =
+  if len = 0 then (req, load)
+  else
+    ( req -. Tech.wire_elmore tech ~len ~load,
+      load +. Tech.wire_cap tech len )
+
+let rec subtree tech = function
+  | Rtree.Leaf s -> { req = s.Sink.req; load = s.Sink.cap; buf_area = 0.0; wirelen = 0 }
+  | Rtree.Node n ->
+    let absorb acc child =
+      let c = subtree tech child in
+      let len = Point.manhattan n.Rtree.loc (Rtree.attach_point child) in
+      let req, load = wire_up tech ~len (c.req, c.load) in
+      { req = min acc.req req;
+        load = acc.load +. load;
+        buf_area = acc.buf_area +. c.buf_area;
+        wirelen = acc.wirelen + len + c.wirelen }
+    in
+    let joined =
+      List.fold_left absorb
+        { req = infinity; load = 0.0; buf_area = 0.0; wirelen = 0 }
+        n.Rtree.children
+    in
+    (match n.Rtree.buffer with
+     | None -> joined
+     | Some b ->
+       { joined with
+         req = joined.req -. Buffer_lib.delay b ~load:joined.load;
+         load = b.Buffer_lib.input_cap;
+         buf_area = joined.buf_area +. b.Buffer_lib.area })
+
+type net_result = {
+  root_req : float;
+  driver_load : float;
+  net_delay : float;
+  area : float;
+  wirelength : int;
+}
+
+let net tech (net : Net.t) tree =
+  let s = subtree tech tree in
+  let len = Point.manhattan net.Net.source (Rtree.attach_point tree) in
+  let req, load = wire_up tech ~len (s.req, s.load) in
+  let root_req = req -. Delay_model.delay net.Net.driver ~load in
+  let max_sink_req =
+    Array.fold_left (fun acc sk -> max acc sk.Sink.req) neg_infinity
+      net.Net.sinks
+  in
+  { root_req;
+    driver_load = load;
+    net_delay = max_sink_req -. root_req;
+    area = s.buf_area;
+    wirelength = s.wirelen + len }
+
+(* Arrival times need downstream capacitances first (they determine every
+   stage delay), then a top-down accumulation. *)
+let sink_arrivals tech (net : Net.t) tree =
+  let rec downstream_cap = function
+    | Rtree.Leaf s -> s.Sink.cap
+    | Rtree.Node n ->
+      (match n.Rtree.buffer with
+       | Some b -> b.Buffer_lib.input_cap
+       | None ->
+         List.fold_left
+           (fun acc child ->
+              let len = Point.manhattan n.Rtree.loc (Rtree.attach_point child) in
+              acc +. Tech.wire_cap tech len +. downstream_cap child)
+           0.0 n.Rtree.children)
+  in
+  (* Capacitance below a node *after* its own buffer (the load its driver
+     stage actually sees once we are inside the stage). *)
+  let inner_cap = function
+    | Rtree.Leaf s -> s.Sink.cap
+    | Rtree.Node n ->
+      List.fold_left
+        (fun acc child ->
+           let len = Point.manhattan n.Rtree.loc (Rtree.attach_point child) in
+           acc +. Tech.wire_cap tech len +. downstream_cap child)
+        0.0 n.Rtree.children
+  in
+  let rec walk t_arr = function
+    | Rtree.Leaf s -> [ (s.Sink.id, t_arr) ]
+    | Rtree.Node n ->
+      let t_arr =
+        match n.Rtree.buffer with
+        | None -> t_arr
+        | Some b ->
+          t_arr +. Buffer_lib.delay b ~load:(inner_cap (Rtree.Node n))
+      in
+      List.concat_map
+        (fun child ->
+           let len = Point.manhattan n.Rtree.loc (Rtree.attach_point child) in
+           let d =
+             Tech.wire_elmore tech ~len ~load:(downstream_cap child)
+           in
+           walk (t_arr +. d) child)
+        n.Rtree.children
+  in
+  let root_cap = downstream_cap tree in
+  let len = Point.manhattan net.Net.source (Rtree.attach_point tree) in
+  let driver_load = root_cap +. Tech.wire_cap tech len in
+  let t0 = Delay_model.delay net.Net.driver ~load:driver_load in
+  let t0 = t0 +. Tech.wire_elmore tech ~len ~load:root_cap in
+  walk t0 tree

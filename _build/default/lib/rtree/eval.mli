@@ -1,0 +1,40 @@
+(** Electrical evaluation of buffered routing trees: Elmore wire delay
+    [El48] plus the 4-parameter gate delay model for buffers and the
+    driver. *)
+
+open Merlin_tech
+open Merlin_net
+
+type summary = {
+  req : float;       (** required time at the tree's attachment point, ps *)
+  load : float;      (** capacitance seen at the attachment point, fF *)
+  buf_area : float;  (** total buffer area, 1000 lambda^2 *)
+  wirelen : int;     (** total wirelength, grid units *)
+}
+
+(** [subtree tech t] is the bottom-up (required time, load) evaluation of
+    [t] at its own attachment point: moving up through a wire subtracts the
+    Elmore delay of that wire and adds its capacitance; a buffer subtracts
+    its gate delay and shields the downstream load behind its input pin. *)
+val subtree : Tech.t -> Rtree.t -> summary
+
+type net_result = {
+  root_req : float;     (** required time at the driver input, ps *)
+  driver_load : float;  (** load presented to the driver, fF *)
+  net_delay : float;    (** max sink required time - root_req, ps *)
+  area : float;         (** total buffer area *)
+  wirelength : int;
+}
+
+(** [net tech net tree] connects [tree] to the driver of [net] (wire from
+    the source position to the attachment point, then the driver's gate
+    delay) and reports the paper's two figures of merit: required time at
+    the root and total buffer area.  [net_delay] normalises the required
+    time into a delay so that "smaller is better" matches the paper's
+    tables. *)
+val net : Tech.t -> Net.t -> Rtree.t -> net_result
+
+(** [sink_arrivals tech net tree] is the Elmore arrival time at every sink,
+    taking the driver gate delay as time origin reference: arrival 0 at the
+    driver input.  Returned as (sink id, arrival) pairs in sink-order. *)
+val sink_arrivals : Tech.t -> Net.t -> Rtree.t -> (int * float) list

@@ -1,0 +1,105 @@
+open Merlin_geometry
+open Merlin_tech
+open Merlin_net
+
+type t = Leaf of Sink.t | Node of node
+
+and node = {
+  loc : Point.t;
+  buffer : Buffer_lib.buffer option;
+  children : t list;
+}
+
+let node ?buffer loc children =
+  if children = [] then invalid_arg "Rtree.node: empty children";
+  Node { loc; buffer; children }
+
+let leaf s = Leaf s
+
+let attach_point = function Leaf s -> s.Sink.pt | Node n -> n.loc
+
+let rec fold f acc = function
+  | Leaf _ as t -> f acc t
+  | Node n as t -> List.fold_left (fold f) (f acc t) n.children
+
+let sinks_in_order t =
+  let rec collect acc = function
+    | Leaf s -> s :: acc
+    | Node n -> List.fold_left collect acc n.children
+  in
+  List.rev (collect [] t)
+
+let sink_ids_in_order t = List.map (fun s -> s.Sink.id) (sinks_in_order t)
+
+let buffers t =
+  let take acc = function
+    | Leaf _ -> acc
+    | Node { buffer = Some b; _ } -> b :: acc
+    | Node { buffer = None; _ } -> acc
+  in
+  List.rev (fold take [] t)
+
+let n_buffers t = List.length (buffers t)
+
+let buffer_area t =
+  List.fold_left (fun acc b -> acc +. b.Buffer_lib.area) 0.0 (buffers t)
+
+let wirelength t =
+  let add acc = function
+    | Leaf _ -> acc
+    | Node n ->
+      List.fold_left
+        (fun acc child -> acc + Point.manhattan n.loc (attach_point child))
+        acc n.children
+  in
+  fold add 0 t
+
+let n_nodes t = fold (fun acc _ -> acc + 1) 0 t
+
+(* Walk the L-shaped route from [src] to [dst] (horizontal leg first) and
+   emit intermediate points every [max_seg] units. *)
+let route_points ~max_seg src dst =
+  let corner = Point.l_corner src dst in
+  let steps_between a b =
+    let len = Point.manhattan a b in
+    let n = len / max_seg in
+    let frac k =
+      Point.make
+        (a.Point.x + ((b.Point.x - a.Point.x) * k * max_seg / max 1 len))
+        (a.Point.y + ((b.Point.y - a.Point.y) * k * max_seg / max 1 len))
+    in
+    List.init n frac |> List.filter (fun p -> not (Point.equal p a))
+  in
+  let mids = steps_between src corner @ (corner :: steps_between corner dst) in
+  List.filter (fun p -> not (Point.equal p src) && not (Point.equal p dst)) mids
+
+let refine ~max_seg t =
+  if max_seg < 1 then invalid_arg "Rtree.refine: max_seg < 1";
+  let rec chain points child =
+    match points with
+    | [] -> child
+    | p :: rest -> Node { loc = p; buffer = None; children = [ chain rest child ] }
+  in
+  let rec go = function
+    | Leaf _ as t -> t
+    | Node n ->
+      let refine_child child =
+        let child = go child in
+        let dst = attach_point child in
+        if Point.manhattan n.loc dst <= max_seg then child
+        else chain (route_points ~max_seg n.loc dst) child
+      in
+      Node { n with children = List.map refine_child n.children }
+  in
+  go t
+
+let rec pp ppf = function
+  | Leaf s -> Format.fprintf ppf "%a" Sink.pp s
+  | Node n ->
+    let buf_tag =
+      match n.buffer with
+      | None -> ""
+      | Some b -> Printf.sprintf "[%s]" b.Buffer_lib.name
+    in
+    Format.fprintf ppf "@[<v 2>%a%s@,%a@]" Point.pp n.loc buf_tag
+      (Format.pp_print_list pp) n.children

@@ -1,0 +1,1 @@
+lib/tech/buffer_lib.ml: Array Delay_model Format Printf

@@ -1,0 +1,1 @@
+lib/tech/buffer_lib.mli: Delay_model Format

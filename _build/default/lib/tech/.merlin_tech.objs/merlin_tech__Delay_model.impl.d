@@ -1,0 +1,1 @@
+lib/tech/delay_model.ml: Format Tech

@@ -1,0 +1,19 @@
+type t = { d0 : float; r_drive : float; k_slew : float; s0 : float }
+
+let make ~d0 ~r_drive ~k_slew ~s0 = { d0; r_drive; k_slew; s0 }
+
+let nominal_slew = 40.0
+
+let slew_fraction = 0.35
+
+let delay_slew t ~load ~slew_in =
+  let rc = Tech.ps_per_ohm_ff *. t.r_drive *. load in
+  let d = t.d0 +. rc +. (t.k_slew *. slew_in) in
+  let slew_out = t.s0 +. (slew_fraction *. rc) in
+  (d, slew_out)
+
+let delay t ~load = fst (delay_slew t ~load ~slew_in:nominal_slew)
+
+let pp ppf t =
+  Format.fprintf ppf "d0=%.1fps r=%.0fohm ks=%.2f s0=%.1fps" t.d0 t.r_drive
+    t.k_slew t.s0

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Buffer_lib Circuit_gen Flow_runner Gate List Merlin_circuit Merlin_flows Merlin_geometry Merlin_net Merlin_tech Netlist Option Placement Point Printf Sta Tech

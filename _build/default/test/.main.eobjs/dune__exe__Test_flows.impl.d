@@ -1,0 +1,1 @@
+test/test_flows.ml: Alcotest Buffer_lib Check Eval List Merlin_core Merlin_flows Merlin_net Merlin_rtree Merlin_tech Net_gen Printf Rtree Tech

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Hanan List Merlin_geometry Point Printf QCheck QCheck_alcotest Rect String

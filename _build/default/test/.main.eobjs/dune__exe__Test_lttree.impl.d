@@ -1,0 +1,1 @@
+test/test_lttree.ml: Alcotest Array Buffer_lib Curve Delay_model List Merlin_curves Merlin_geometry Merlin_lttree Merlin_net Merlin_tech Net Net_gen Point QCheck QCheck_alcotest Sink Solution Tech

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array List Merlin_geometry Merlin_net Merlin_tech Net Net_gen Net_io Point QCheck QCheck_alcotest Rect Sink Tech

@@ -1,0 +1,1 @@
+test/test_order.ml: Alcotest Array Float Format Heuristics List Merlin_net Merlin_order Merlin_tech Net Net_gen Order Printf QCheck QCheck_alcotest Random Sink Tech Tsp

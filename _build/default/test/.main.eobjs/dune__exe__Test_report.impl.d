@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Merlin_report

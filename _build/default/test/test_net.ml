@@ -1,0 +1,90 @@
+open Merlin_geometry
+open Merlin_tech
+open Merlin_net
+
+let tech = Tech.default
+
+let test_net_validation () =
+  let s0 = Sink.make ~id:0 ~pt:(Point.make 1 1) ~cap:5.0 ~req:100.0 in
+  let s1 = Sink.make ~id:1 ~pt:(Point.make 2 2) ~cap:5.0 ~req:100.0 in
+  let net = Net.make ~name:"t" ~source:Point.origin ~driver:Net.default_driver [ s0; s1 ] in
+  Alcotest.(check int) "two sinks" 2 (Net.n_sinks net);
+  Alcotest.(check (float 1e-9)) "total cap" 10.0 (Net.total_sink_cap net);
+  Alcotest.check_raises "bad ids"
+    (Invalid_argument "Net.make: sink at index 0 has id 1") (fun () ->
+        ignore (Net.make ~name:"t" ~source:Point.origin ~driver:Net.default_driver [ s1 ]));
+  Alcotest.check_raises "empty" (Invalid_argument "Net.make: no sinks")
+    (fun () ->
+       ignore (Net.make ~name:"t" ~source:Point.origin ~driver:Net.default_driver []))
+
+let test_bounding_box_covers_source () =
+  let net = Net_gen.random_net ~seed:1 ~name:"g" ~n:5 tech in
+  let box = Net.bounding_box net in
+  Alcotest.(check bool) "source inside" true (Rect.contains box net.Net.source);
+  Array.iter
+    (fun s ->
+       Alcotest.(check bool) "sink inside" true (Rect.contains box s.Sink.pt))
+    net.Net.sinks
+
+let test_gen_deterministic () =
+  let a = Net_gen.random_net ~seed:9 ~name:"d" ~n:7 tech in
+  let b = Net_gen.random_net ~seed:9 ~name:"d" ~n:7 tech in
+  Alcotest.(check string) "identical" (Net_io.to_string a) (Net_io.to_string b);
+  let c = Net_gen.random_net ~seed:10 ~name:"d" ~n:7 tech in
+  Alcotest.(check bool) "different seed differs" true
+    (Net_io.to_string a <> Net_io.to_string c)
+
+let test_box_side_recipe () =
+  (* Box sized so the corner-to-corner wire Elmore delay is about one gate
+     delay (paper Section IV). *)
+  let target = 150.0 in
+  let side = Net_gen.box_side tech ~target_delay:target in
+  let wire = Tech.wire_elmore tech ~len:side ~load:0.0 in
+  Alcotest.(check bool) "within 10%" true (abs_float (wire -. target) /. target < 0.1)
+
+let test_table1_specs () =
+  Alcotest.(check int) "18 nets" 18 (List.length Net_gen.table1_specs);
+  let nets = Net_gen.table1_nets tech in
+  Alcotest.(check int) "all instantiated" 18 (List.length nets);
+  List.iter2
+    (fun (_, _, n) (_, _, net) ->
+       Alcotest.(check int) "sink count" n (Net.n_sinks net))
+    Net_gen.table1_specs nets;
+  let _, _, net9 = List.nth nets 8 in
+  Alcotest.(check int) "net9 is the 73-sink net" 73 (Net.n_sinks net9)
+
+let test_io_roundtrip () =
+  let net = Net_gen.random_net ~seed:21 ~name:"rt" ~n:6 tech in
+  let net' = Net_io.of_string (Net_io.to_string net) in
+  Alcotest.(check string) "roundtrip" (Net_io.to_string net) (Net_io.to_string net')
+
+let test_io_errors () =
+  Alcotest.check_raises "garbage" (Failure "Net_io: line 1: unrecognised line \"what\"")
+    (fun () -> ignore (Net_io.of_string "what"));
+  Alcotest.check_raises "missing net" (Failure "Net_io: missing 'net' line")
+    (fun () -> ignore (Net_io.of_string "source 0 0\ndriver 1 1 1 1\nsink 0 0 0 1 1"))
+
+let qtest name ?(count = 50) arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+let props =
+  [ qtest "generated nets parse back"
+      QCheck.(pair (int_range 1 20) (int_range 0 1000))
+      (fun (n, seed) ->
+         let net = Net_gen.random_net ~seed ~name:"p" ~n tech in
+         let back = Net_io.of_string (Net_io.to_string net) in
+         Net_io.to_string back = Net_io.to_string net);
+    qtest "sink ids consecutive" QCheck.(int_range 1 30) (fun n ->
+        let net = Net_gen.random_net ~seed:3 ~name:"p" ~n tech in
+        Array.for_all (fun s -> s.Sink.id >= 0 && s.Sink.id < n) net.Net.sinks) ]
+
+let suite =
+  ( "net",
+    [ Alcotest.test_case "validation" `Quick test_net_validation;
+      Alcotest.test_case "bounding box" `Quick test_bounding_box_covers_source;
+      Alcotest.test_case "gen deterministic" `Quick test_gen_deterministic;
+      Alcotest.test_case "box side recipe" `Quick test_box_side_recipe;
+      Alcotest.test_case "table1 specs" `Quick test_table1_specs;
+      Alcotest.test_case "io roundtrip" `Quick test_io_roundtrip;
+      Alcotest.test_case "io errors" `Quick test_io_errors ]
+    @ props )

@@ -1,0 +1,27 @@
+open Merlin_report.Report
+
+let test_cells () =
+  Alcotest.(check string) "string" "x" (cell_to_string (S "x"));
+  Alcotest.(check string) "int" "42" (cell_to_string (I 42));
+  Alcotest.(check string) "float small" "3.14" (cell_to_string (F 3.14159));
+  Alcotest.(check string) "float big" "12345" (cell_to_string (F 12345.4));
+  Alcotest.(check string) "ratio" "0.46" (cell_to_string (R 0.456));
+  Alcotest.(check string) "nan" "-" (cell_to_string (F nan))
+
+let test_means () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "mean empty" 0.0 (mean []);
+  Alcotest.(check (float 1e-6)) "geomean" 2.0 (geomean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "ratio" 0.5 (ratio 1.0 2.0);
+  Alcotest.(check (float 1e-9)) "ratio by zero" 0.0 (ratio 1.0 0.0)
+
+let test_print_does_not_raise () =
+  (* Smoke: ragged rows and empty tables render without exceptions. *)
+  print ~title:"t" ~header:[ "a"; "b" ] [ [ S "x" ]; [ I 1; F 2.0; R 3.0 ] ];
+  print ~title:"empty" ~header:[ "only" ] []
+
+let suite =
+  ( "report",
+    [ Alcotest.test_case "cells" `Quick test_cells;
+      Alcotest.test_case "means" `Quick test_means;
+      Alcotest.test_case "print smoke" `Quick test_print_does_not_raise ] )

@@ -1,0 +1,160 @@
+open Merlin_geometry
+open Merlin_tech
+open Merlin_net
+open Merlin_rtree
+
+let tech = Tech.default
+
+let sink id x y = Sink.make ~id ~pt:(Point.make x y) ~cap:5.0 ~req:1000.0
+
+let small_tree () =
+  let s0 = sink 0 100 0 and s1 = sink 1 100 200 in
+  Rtree.node (Point.make 50 50) [ Rtree.leaf s0; Rtree.leaf s1 ]
+
+let test_structure () =
+  let t = small_tree () in
+  Alcotest.(check (list int)) "sink order" [ 0; 1 ] (Rtree.sink_ids_in_order t);
+  Alcotest.(check int) "wirelength" (50 + 50 + 50 + 150) (Rtree.wirelength t);
+  Alcotest.(check int) "nodes" 3 (Rtree.n_nodes t);
+  Alcotest.(check int) "no buffers" 0 (Rtree.n_buffers t);
+  Alcotest.check_raises "empty children" (Invalid_argument "Rtree.node: empty children")
+    (fun () -> ignore (Rtree.node Point.origin []))
+
+let test_buffer_accounting () =
+  let b = Buffer_lib.default.(3) in
+  let t = Rtree.node ~buffer:b (Point.make 50 50) [ Rtree.leaf (sink 0 0 0) ] in
+  Alcotest.(check int) "one buffer" 1 (Rtree.n_buffers t);
+  Alcotest.(check (float 1e-9)) "area" b.Buffer_lib.area (Rtree.buffer_area t)
+
+let test_refine_preserves () =
+  let t = small_tree () in
+  let r = Rtree.refine ~max_seg:30 t in
+  Alcotest.(check int) "wirelength preserved" (Rtree.wirelength t) (Rtree.wirelength r);
+  Alcotest.(check (list int)) "sinks preserved" (Rtree.sink_ids_in_order t)
+    (Rtree.sink_ids_in_order r);
+  Alcotest.(check bool) "more nodes" true (Rtree.n_nodes r > Rtree.n_nodes t)
+
+let test_eval_wire_shielding () =
+  (* A buffer hides downstream capacitance from the upstream load. *)
+  let s = sink 0 1000 0 in
+  let unbuffered = Rtree.node Point.origin [ Rtree.leaf s ] in
+  let b = Buffer_lib.strongest Buffer_lib.default in
+  let buffered =
+    Rtree.node Point.origin
+      [ Rtree.node ~buffer:b (Point.make 500 0) [ Rtree.leaf s ] ]
+  in
+  let e1 = Eval.subtree tech unbuffered and e2 = Eval.subtree tech buffered in
+  Alcotest.(check bool) "buffer reduces load" true (e2.Eval.load < e1.Eval.load)
+
+let test_eval_matches_manual () =
+  let s = sink 0 100 0 in
+  let t = Rtree.node Point.origin [ Rtree.leaf s ] in
+  let e = Eval.subtree tech t in
+  let expect_req = 1000.0 -. Tech.wire_elmore tech ~len:100 ~load:5.0 in
+  let expect_load = 5.0 +. Tech.wire_cap tech 100 in
+  Alcotest.(check (float 1e-9)) "req" expect_req e.Eval.req;
+  Alcotest.(check (float 1e-9)) "load" expect_load e.Eval.load
+
+(* Cross-evaluator invariant: required time at the driver equals the
+   minimum over sinks of (required - arrival), since both use the same
+   Elmore model. *)
+let test_req_arrival_duality () =
+  List.iter
+    (fun seed ->
+       let net = Net_gen.random_net ~seed ~name:"dual" ~n:6 tech in
+       let tree =
+         Rtree.node net.Net.source
+           (Array.to_list (Array.map Rtree.leaf net.Net.sinks))
+       in
+       let ev = Eval.net tech net tree in
+       let arr = Eval.sink_arrivals tech net tree in
+       let min_slack =
+         List.fold_left
+           (fun acc (id, a) -> min acc ((Net.sink net id).Sink.req -. a))
+           infinity arr
+       in
+       Alcotest.(check (float 1e-6)) "duality" min_slack ev.Eval.root_req)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_check_covers () =
+  let net =
+    Net.make ~name:"c" ~source:Point.origin ~driver:Net.default_driver
+      [ sink 0 10 10; sink 1 20 20 ]
+  in
+  let good = Rtree.node Point.origin [ Rtree.leaf (Net.sink net 0); Rtree.leaf (Net.sink net 1) ] in
+  Alcotest.(check bool) "valid" true (Check.is_valid net good);
+  let missing = Rtree.node Point.origin [ Rtree.leaf (Net.sink net 0) ] in
+  (match Check.covers net missing with
+   | Error [ Check.Missing_sink 1 ] -> ()
+   | _ -> Alcotest.fail "expected missing sink 1");
+  let dup =
+    Rtree.node Point.origin
+      [ Rtree.leaf (Net.sink net 0); Rtree.leaf (Net.sink net 0); Rtree.leaf (Net.sink net 1) ]
+  in
+  (match Check.covers net dup with
+   | Error [ Check.Duplicate_sink 0 ] -> ()
+   | _ -> Alcotest.fail "expected duplicate sink 0");
+  let mismatch = Rtree.node Point.origin [ Rtree.leaf (sink 0 99 99); Rtree.leaf (Net.sink net 1) ] in
+  (match Check.covers net mismatch with
+   | Error [ Check.Sink_mismatch 0 ] -> ()
+   | _ -> Alcotest.fail "expected mismatch")
+
+let test_refine_elmore_invariant () =
+  (* A uniform distributed wire's Elmore delay is invariant under
+     subdivision, so refining must not change the evaluation at all. *)
+  List.iter
+    (fun seed ->
+       let net = Net_gen.random_net ~seed ~name:"inv" ~n:5 tech in
+       let star =
+         Rtree.node net.Net.source
+           (Array.to_list (Array.map Rtree.leaf net.Net.sinks))
+       in
+       let a = Eval.subtree tech star in
+       let b = Eval.subtree tech (Rtree.refine ~max_seg:77 star) in
+       Alcotest.(check (float 1e-6)) "req invariant" a.Eval.req b.Eval.req;
+       Alcotest.(check (float 1e-6)) "load invariant" a.Eval.load b.Eval.load)
+    [ 3; 4; 5 ]
+
+let qtest name ?(count = 50) arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+let props =
+  [ qtest "star tree is always valid" QCheck.(pair (int_range 1 15) (int_range 0 999))
+      (fun (n, seed) ->
+         let net = Net_gen.random_net ~seed ~name:"p" ~n tech in
+         let star =
+           Rtree.node net.Net.source
+             (Array.to_list (Array.map Rtree.leaf net.Net.sinks))
+         in
+         Check.is_valid net star);
+    qtest "longer root wire lowers req" QCheck.(int_range 1 999) (fun seed ->
+        let net = Net_gen.random_net ~seed ~name:"p" ~n:4 tech in
+        let star pt =
+          Rtree.node pt (Array.to_list (Array.map Rtree.leaf net.Net.sinks))
+        in
+        let near = Eval.subtree tech (star (Net.sink net 0).Sink.pt) in
+        (* Moving the join point far away can only add wire. *)
+        let far_pt = Point.make 100000 100000 in
+        let far = Eval.subtree tech (star far_pt) in
+        far.Eval.req < near.Eval.req);
+    qtest "refine wirelength invariant"
+      QCheck.(pair (int_range 1 10) (int_range 10 500))
+      (fun (n, seg) ->
+         let net = Net_gen.random_net ~seed:77 ~name:"p" ~n tech in
+         let star =
+           Rtree.node net.Net.source
+             (Array.to_list (Array.map Rtree.leaf net.Net.sinks))
+         in
+         Rtree.wirelength (Rtree.refine ~max_seg:seg star) = Rtree.wirelength star) ]
+
+let suite =
+  ( "rtree",
+    [ Alcotest.test_case "structure" `Quick test_structure;
+      Alcotest.test_case "buffer accounting" `Quick test_buffer_accounting;
+      Alcotest.test_case "refine preserves" `Quick test_refine_preserves;
+      Alcotest.test_case "refine Elmore invariant" `Quick test_refine_elmore_invariant;
+      Alcotest.test_case "buffer shields load" `Quick test_eval_wire_shielding;
+      Alcotest.test_case "eval matches manual" `Quick test_eval_matches_manual;
+      Alcotest.test_case "req/arrival duality" `Quick test_req_arrival_duality;
+      Alcotest.test_case "check covers" `Quick test_check_covers ]
+    @ props )
