@@ -1,0 +1,41 @@
+(* merlin_lint: project lint pass over the repository sources.
+
+   Usage: merlin_lint [--format text|json] [PATH...]
+   Default paths: lib bin bench examples.  Exit codes: 0 clean,
+   1 error-severity findings, 2 usage/IO failure. *)
+
+let () =
+  let json = ref false in
+  let paths = ref [] in
+  let spec =
+    [ ( "--format",
+        Arg.Symbol ([ "text"; "json" ], fun s -> json := s = "json"),
+        " output format (default text)" );
+      ( "--rules",
+        Arg.Unit
+          (fun () ->
+             List.iter
+               (fun (module R : Merlin_lint.Rule.S) ->
+                  Printf.printf "%-18s %-7s %s\n" R.name
+                    (Merlin_lint.Finding.severity_to_string R.severity)
+                    R.doc)
+               Merlin_lint.Rules.all;
+             exit 0),
+        " list the rule set and exit" ) ]
+  in
+  let usage = "merlin_lint [--format text|json] [PATH...]" in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  let paths =
+    match List.rev !paths with
+    | [] -> [ "lib"; "bin"; "bench"; "examples" ]
+    | ps -> ps
+  in
+  match Merlin_lint.Driver.lint_paths paths with
+  | findings ->
+    print_string
+      (if !json then Merlin_lint.Driver.render_json findings
+       else Merlin_lint.Driver.render_text findings);
+    if Merlin_lint.Driver.has_errors findings then exit 1
+  | exception Sys_error msg ->
+    prerr_endline ("merlin_lint: " ^ msg);
+    exit 2

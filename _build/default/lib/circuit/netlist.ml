@@ -29,25 +29,25 @@ let gate_area t =
   Array.fold_left (fun acc g -> acc +. g.kind.Gate.area) 0.0 t.gates
 
 let validate t =
-  if t.n_inputs < 1 then invalid_arg "Netlist: no inputs";
+  if t.n_inputs < 1 then invalid_arg "Netlist.validate: no inputs";
   Array.iteri
     (fun g gate ->
        if Array.length gate.fanins <> gate.kind.Gate.n_inputs then
-         invalid_arg (Printf.sprintf "Netlist: gate %d arity mismatch" g);
+         invalid_arg (Printf.sprintf "Netlist.validate: gate %d arity mismatch" g);
        Array.iter
          (fun node ->
             if node < 0 || node >= t.n_inputs + g then
               invalid_arg
-                (Printf.sprintf "Netlist: gate %d fanin %d out of order" g node))
+                (Printf.sprintf "Netlist.validate: gate %d fanin %d out of order" g node))
          gate.fanins)
     t.gates;
   List.iter
     (fun node ->
        if node < 0 || node >= n_nodes t then
-         invalid_arg "Netlist: bad output node")
+         invalid_arg "Netlist.validate: bad output node")
     t.outputs;
   if Array.length t.positions <> n_nodes t then
-    invalid_arg "Netlist: positions length mismatch"
+    invalid_arg "Netlist.validate: positions length mismatch"
 
 let pp_stats ppf t =
   Format.fprintf ppf "%s: %d inputs, %d gates, %d outputs, area=%.0f" t.name

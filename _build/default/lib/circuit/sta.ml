@@ -2,11 +2,23 @@ open Merlin_tech
 open Merlin_net
 open Merlin_rtree
 
-type t = { netlist : Netlist.t; routing : Rtree.t option array }
+type t = {
+  netlist : Netlist.t;
+  routing : Rtree.t option array;
+  gen : int;
+}
+
+(* Netlists are frozen once [init] validates them, so a generation id
+   stamped at init time identifies the netlist for memoisation without
+   resorting to physical equality. *)
+let generation = ref 0
 
 let init netlist =
   Netlist.validate netlist;
-  { netlist; routing = Array.make (Netlist.n_nodes netlist) None }
+  incr generation;
+  { netlist;
+    routing = Array.make (Netlist.n_nodes netlist) None;
+    gen = !generation }
 
 let with_routing t ~node tree =
   let routing = Array.copy t.routing in
@@ -27,10 +39,10 @@ let fanouts_memo = ref None
 let sink_gates t node =
   let fo =
     match !fanouts_memo with
-    | Some (nl, fo) when nl == t.netlist -> fo
-    | _ ->
+    | Some (gen, fo) when gen = t.gen -> fo
+    | Some _ | None ->
       let fo = Netlist.fanouts t.netlist in
-      fanouts_memo := Some (t.netlist, fo);
+      fanouts_memo := Some (t.gen, fo);
       fo
   in
   fo.(node)

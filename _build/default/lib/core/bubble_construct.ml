@@ -151,7 +151,10 @@ let construct ?candidates ~cfg ~tech ~buffers (net : Net.t) order =
           let start_in = Grouping.window_start ~r:r_in ~len:l_in e_in in
           let sl = Grouping.skipped_left ~r:r_in ~len:l_in e_in in
           let sr = Grouping.skipped_right ~r:r_in ~len:l_in e_in in
-          let is_bubbled pos = Some pos = sl || Some pos = sr in
+          let skipped_at opt pos =
+            match opt with Some p -> p = pos | None -> false
+          in
+          let is_bubbled pos = skipped_at sl pos || skipped_at sr pos in
           let lefts =
             List.filter (fun pos -> pos < start_in && not (is_bubbled pos)) directs
           and rights =

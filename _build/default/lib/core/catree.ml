@@ -9,7 +9,9 @@ let count_chains members =
     (List.filter (function Chain _ -> true | Direct _ -> false) members)
 
 let level members =
-  if members = [] then invalid_arg "Catree.level: empty";
+  (match members with
+   | [] -> invalid_arg "Catree.level: empty"
+   | _ :: _ -> ());
   if count_chains members > 1 then
     invalid_arg "Catree.level: more than one internal child";
   { members }
@@ -36,7 +38,7 @@ let rec max_branching t =
     t.members
 
 let rec well_formed ~alpha t =
-  t.members <> []
+  (match t.members with [] -> false | _ :: _ -> true)
   && count_chains t.members <= 1
   && List.length t.members <= alpha
   && List.for_all

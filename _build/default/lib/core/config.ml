@@ -69,11 +69,11 @@ let scaled n =
       max_iters = 2 }
 
 let validate t =
-  if t.alpha < 2 then invalid_arg "Config: alpha < 2";
-  if t.max_curve < 2 then invalid_arg "Config: max_curve < 2";
-  if t.candidate_limit < 1 then invalid_arg "Config: candidate_limit < 1";
-  if t.buffer_trials < 1 then invalid_arg "Config: buffer_trials < 1";
-  if t.bbox_slack < 0.0 then invalid_arg "Config: bbox_slack < 0";
-  if t.max_iters < 1 then invalid_arg "Config: max_iters < 1";
+  if t.alpha < 2 then invalid_arg "Config.validate: alpha < 2";
+  if t.max_curve < 2 then invalid_arg "Config.validate: max_curve < 2";
+  if t.candidate_limit < 1 then invalid_arg "Config.validate: candidate_limit < 1";
+  if t.buffer_trials < 1 then invalid_arg "Config.validate: buffer_trials < 1";
+  if t.bbox_slack < 0.0 then invalid_arg "Config.validate: bbox_slack < 0";
+  if t.max_iters < 1 then invalid_arg "Config.validate: max_iters < 1";
   if t.quant_req < 0.0 || t.quant_load < 0.0 || t.quant_area < 0.0 then
-    invalid_arg "Config: negative quantisation grid"
+    invalid_arg "Config.validate: negative quantisation grid"

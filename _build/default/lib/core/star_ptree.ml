@@ -25,7 +25,7 @@ let terminal_box candidates = function
       (fun p c -> if not (Curve.is_empty c) then pts := candidates.(p) :: !pts)
       sub;
     (match !pts with
-     | [] -> invalid_arg "Star_ptree: sub-terminal with empty curves"
+     | [] -> invalid_arg "Star_ptree.terminal_box: sub-terminal with empty curves"
      | pts -> Rect.bounding_box pts)
 
 (* Operation counters used by the diagnostics in bench/ and by tuning

@@ -1,0 +1,1 @@
+lib/curves/contract.ml: List Printf Solution Sys

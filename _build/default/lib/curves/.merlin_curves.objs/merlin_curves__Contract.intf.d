@@ -1,0 +1,1 @@
+lib/curves/contract.mli: Solution

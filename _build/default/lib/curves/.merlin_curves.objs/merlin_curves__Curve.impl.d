@@ -1,1 +1,1 @@
-lib/curves/curve.ml: Array Format List Solution
+lib/curves/curve.ml: Array Contract Format List Solution

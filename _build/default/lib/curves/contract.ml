@@ -1,0 +1,52 @@
+let enabled_ref =
+  ref
+    (match Sys.getenv_opt "MERLIN_CHECK" with
+     | Some "1" -> true
+     | Some _ | None -> false)
+
+let enabled () = !enabled_ref
+
+let set_enabled b = enabled_ref := b
+
+let fail ~name msg =
+  invalid_arg (Printf.sprintf "Contract.check: %s: %s" name msg)
+
+let strictly_dominates a b =
+  Solution.dominates a b && Solution.compare_key a b <> 0
+
+let verify_sorted ~name sols =
+  let rec sorted = function
+    | [] | [ _ ] -> ()
+    | a :: (b :: _ as rest) ->
+      if Solution.compare_key a b >= 0 then
+        fail ~name "solutions out of compare_key order";
+      sorted rest
+  in
+  sorted sols
+
+let verify_frontier ~name sols =
+  let rec frontier = function
+    | [] -> ()
+    | s :: rest ->
+      List.iter
+        (fun x ->
+           if strictly_dominates s x || strictly_dominates x s then
+             fail ~name "curve holds an inferior solution")
+        rest;
+      frontier rest
+  in
+  frontier sols
+
+(* O(n): cheap enough to run after every [Curve.add] (curve construction
+   stays quadratic, not cubic, under MERLIN_CHECK=1). *)
+let check_sorted ~name sols =
+  if !enabled_ref then verify_sorted ~name sols;
+  sols
+
+(* O(n^2): the full invariant, for the bulk operations. *)
+let check ~name sols =
+  if !enabled_ref then begin
+    verify_sorted ~name sols;
+    verify_frontier ~name sols
+  end;
+  sols

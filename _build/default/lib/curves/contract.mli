@@ -1,0 +1,25 @@
+(** Runtime invariant contracts for solution curves.
+
+    The static lint rules (see DESIGN.md "Correctness tooling") protect
+    the code that maintains curve invariants; this module checks the
+    invariants themselves at runtime.  Enabled when the process starts
+    with [MERLIN_CHECK=1] (or via {!set_enabled}); disabled it costs one
+    branch per curve operation.
+
+    The checked invariants are the ones {!Curve} relies on:
+    {ol {- solutions strictly sorted by {!Solution.compare_key};}
+        {- pairwise non-inferior (Definition 6's frontier property).}} *)
+
+val enabled : unit -> bool
+
+(** Programmatic override, used by tests. *)
+val set_enabled : bool -> unit
+
+(** [check ~name sols] returns [sols]; when enabled, first asserts both
+    invariants and raises [Invalid_argument] naming [name] (the curve
+    operation) on a violation.  O(n²) when enabled. *)
+val check : name:string -> 'a Solution.t list -> 'a Solution.t list
+
+(** Sortedness only — O(n), cheap enough for the per-insertion hot path
+    ({!Curve.add}). *)
+val check_sorted : name:string -> 'a Solution.t list -> 'a Solution.t list

@@ -3,7 +3,7 @@ type 'a t = 'a Solution.t list
 
 let empty = []
 
-let is_empty c = c = []
+let is_empty = function [] -> true | _ :: _ -> false
 
 let size = List.length
 
@@ -31,11 +31,11 @@ let add c s =
         if Solution.dominates x s then c else scan (x :: acc) rest
       else List.rev_append acc (s :: drop l)
   in
-  scan [] c
+  Contract.check_sorted ~name:"Curve.add" (scan [] c)
 
 let of_list sols = List.fold_left add empty sols
 
-let union a b = List.fold_left add a b
+let union a b = Contract.check ~name:"Curve.union" (List.fold_left add a b)
 
 let map_data f c = List.map (Solution.map f) c
 
@@ -62,7 +62,7 @@ let best_min_area c ~req =
          | _ -> Some s)
     None c
 
-let cap ~max_size c =
+let cap_impl ~max_size c =
   if max_size < 2 then invalid_arg "Curve.cap: max_size < 2";
   let n = List.length c in
   if n <= max_size then c
@@ -93,18 +93,21 @@ let cap ~max_size c =
     else List.filteri (fun i _ -> i < max_size) capped
   end
 
+let cap ~max_size c = Contract.check ~name:"Curve.cap" (cap_impl ~max_size c)
+
 let quantise_load ~grid c =
   if grid <= 0.0 then invalid_arg "Curve.quantise_load: grid <= 0";
   let round_up s =
     let q = ceil (s.Solution.load /. grid) *. grid in
     { s with Solution.load = q }
   in
-  map_solutions round_up c
+  Contract.check ~name:"Curve.quantise_load" (map_solutions round_up c)
 
 let quantise ~req_grid ~load_grid ~area_grid c =
   if req_grid < 0.0 || load_grid < 0.0 || area_grid < 0.0 then
     invalid_arg "Curve.quantise: negative grid";
-  map_solutions (Solution.quantise ~req_grid ~load_grid ~area_grid) c
+  Contract.check ~name:"Curve.quantise"
+    (map_solutions (Solution.quantise ~req_grid ~load_grid ~area_grid) c)
 
 let is_frontier c =
   let rec pairs = function

@@ -1,1 +1,1 @@
-lib/flows/flows.ml: Array Buffer_lib Eval List Merlin_core Merlin_curves Merlin_geometry Merlin_ginneken Merlin_lttree Merlin_net Merlin_ptree Merlin_rtree Merlin_tech Net Option Point Rtree Sink Unix
+lib/flows/flows.ml: Array Buffer_lib Eval List Merlin_core Merlin_curves Merlin_geometry Merlin_ginneken Merlin_lttree Merlin_net Merlin_ptree Merlin_rtree Merlin_tech Net Point Rtree Sink Unix

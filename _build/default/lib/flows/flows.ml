@@ -63,7 +63,11 @@ let route_level ~tech ~source ~driver_model ~directs ~sub =
   let original = Array.of_list directs in
   let rec restore = function
     | Rtree.Leaf s ->
-      if s.Sink.id = pseudo_id then Option.get substitute
+      if s.Sink.id = pseudo_id then
+        (match substitute with
+         | Some subtree -> subtree
+         | None ->
+           invalid_arg "Flows.route_level: pseudo sink without a subtree")
       else Rtree.Leaf original.(s.Sink.id)
     | Rtree.Node n ->
       Rtree.Node { n with Rtree.children = List.map restore n.Rtree.children }

@@ -1,0 +1,1 @@
+lib/lint/driver.ml: Array Ast_iterator Filename Finding Format Lexer Lexing List Location Parse Printf Rule Rules String Syntaxerr Sys

@@ -1,0 +1,1 @@
+lib/lint/driver.mli: Finding Rule

@@ -1,0 +1,1 @@
+lib/lint/finding.ml: Buffer Char Int Lexing Location Printf String

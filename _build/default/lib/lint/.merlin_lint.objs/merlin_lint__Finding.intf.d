@@ -1,0 +1,1 @@
+lib/lint/finding.mli: Location

@@ -1,0 +1,1 @@
+lib/lint/rule.ml: Ast_iterator Finding Lexing Location String

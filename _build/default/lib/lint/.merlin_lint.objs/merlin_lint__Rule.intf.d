@@ -1,0 +1,1 @@
+lib/lint/rule.mli: Ast_iterator Finding Location

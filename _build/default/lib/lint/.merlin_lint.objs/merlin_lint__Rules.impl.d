@@ -1,0 +1,1 @@
+lib/lint/rules.ml: Ast_iterator Asttypes Filename Finding List Longident Parsetree Printf Rule String Sys

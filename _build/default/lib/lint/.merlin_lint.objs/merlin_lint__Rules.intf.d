@@ -1,0 +1,1 @@
+lib/lint/rules.mli: Rule

@@ -1,0 +1,106 @@
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i =
+    i + nn <= nh && (String.sub hay i nn = needle || at (i + 1))
+  in
+  nn = 0 || at 0
+
+(* A waiver is a same-line comment [(* lint: <token> *)].  Tokens are the
+   rule names; scanning is per physical line of the original source. *)
+let waiver_table text =
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  fun ~token ~line ->
+    line >= 1 && line <= Array.length lines
+    && contains_sub lines.(line - 1) ("lint: " ^ token)
+
+let build_iterator ctx rules =
+  List.fold_left
+    (fun it (module R : Rule.S) -> R.hooks ctx it)
+    Ast_iterator.default_iterator rules
+
+let parse_error_finding exn =
+  match Location.error_of_exn exn with
+  | Some (`Ok err) ->
+    let main = err.Location.main in
+    let message = Format.asprintf "%t" main.Location.txt in
+    Some
+      (Finding.of_location ~rule:"parse-error" ~severity:Finding.Error
+         ~message main.Location.loc)
+  | Some `Already_displayed | None -> None
+
+let lint_string ?(rules = Rules.all) ~filename text =
+  let findings = ref [] in
+  let ctx =
+    { Rule.filename;
+      in_lib = Rule.path_in_lib filename;
+      line_waived = waiver_table text;
+      emit = (fun f -> findings := f :: !findings) }
+  in
+  let iterator = build_iterator ctx rules in
+  let lexbuf = Lexing.from_string text in
+  Location.init lexbuf filename;
+  (match
+     if Filename.check_suffix filename ".mli" then
+       `Intf (Parse.interface lexbuf)
+     else `Impl (Parse.implementation lexbuf)
+   with
+   | `Impl ast -> iterator.Ast_iterator.structure iterator ast
+   | `Intf ast -> iterator.Ast_iterator.signature iterator ast
+   | exception ((Syntaxerr.Error _ | Lexer.Error _) as exn) -> (
+     match parse_error_finding exn with
+     | Some f -> findings := f :: !findings
+     | None -> raise exn));
+  List.sort Finding.compare_order !findings
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+let lint_file ?rules path = lint_string ?rules ~filename:path (read_file path)
+
+let is_source path =
+  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+let skip_dir name =
+  String.length name > 0
+  && (name.[0] = '.' || name.[0] = '_')
+
+let collect_files paths =
+  let rec walk acc path =
+    if Sys.is_directory path then
+      Array.to_list (Sys.readdir path)
+      |> List.sort String.compare
+      |> List.fold_left
+           (fun acc name ->
+              let child = Filename.concat path name in
+              if Sys.is_directory child then
+                if skip_dir name then acc else walk acc child
+              else if is_source child then child :: acc
+              else acc)
+           acc
+    else if is_source path then path :: acc
+    else acc
+  in
+  List.sort String.compare (List.fold_left walk [] paths)
+
+let lint_paths ?(rules = Rules.all) paths =
+  let files = collect_files paths in
+  let per_file = List.concat_map (fun f -> lint_file ~rules f) files in
+  let file_set =
+    List.concat_map (fun (module R : Rule.S) -> R.files files) rules
+  in
+  List.sort Finding.compare_order (per_file @ file_set)
+
+let has_errors findings = List.exists Finding.is_error findings
+
+let render_text findings =
+  String.concat "" (List.map (fun f -> Finding.to_text f ^ "\n") findings)
+
+let render_json findings =
+  let errors = List.length (List.filter Finding.is_error findings) in
+  Printf.sprintf "{\"findings\":[%s],\"errors\":%d,\"total\":%d}\n"
+    (String.concat "," (List.map Finding.to_json findings))
+    errors (List.length findings)

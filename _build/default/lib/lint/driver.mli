@@ -1,0 +1,33 @@
+(** Lint driver: file collection, parsing, rule dispatch, rendering.
+
+    Parses with [compiler-libs] ([Parse] + [Ast_iterator]); a file that
+    fails to parse yields a single [parse-error] finding at the failure
+    location instead of aborting the run. *)
+
+(** Lint one source text.  [filename] decides implementation vs interface
+    parsing ([.mli] suffix) and whether lib-only rules apply (a [lib]
+    path segment).  Runs AST rules only; file-set rules (R6) need
+    {!lint_paths}. *)
+val lint_string :
+  ?rules:(module Rule.S) list -> filename:string -> string -> Finding.t list
+
+(** {!lint_string} over a file on disk. *)
+val lint_file : ?rules:(module Rule.S) list -> string -> Finding.t list
+
+(** All [.ml]/[.mli] files under the given files/directories, sorted;
+    directories starting with ['.'] or ['_'] (e.g. [_build]) are
+    skipped. *)
+val collect_files : string list -> string list
+
+(** Collect files, run AST rules per file and file-set rules over the
+    whole set; findings sorted by file and position. *)
+val lint_paths :
+  ?rules:(module Rule.S) list -> string list -> Finding.t list
+
+val has_errors : Finding.t list -> bool
+
+(** One [file:line:col [rule] message] line per finding. *)
+val render_text : Finding.t list -> string
+
+(** [{"findings":[...],"errors":N,"total":N}] *)
+val render_json : Finding.t list -> string

@@ -1,0 +1,63 @@
+type severity = Error | Warning
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+let make ~file ~line ~col ~rule ~severity message =
+  { file; line; col; rule; severity; message }
+
+let is_error f = match f.severity with Error -> true | Warning -> false
+
+let of_location ~rule ~severity ~message (loc : Location.t) =
+  let pos = loc.Location.loc_start in
+  { file = pos.Lexing.pos_fname;
+    line = pos.Lexing.pos_lnum;
+    col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+    rule;
+    severity;
+    message }
+
+(* Sort by file, then position, then rule, for stable reports. *)
+let compare_order a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_text f =
+  Printf.sprintf "%s:%d:%d [%s] %s" f.file f.line f.col f.rule f.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json f =
+  Printf.sprintf
+    "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"severity\":\"%s\",\"message\":\"%s\"}"
+    (json_escape f.file) f.line f.col (json_escape f.rule)
+    (severity_to_string f.severity)
+    (json_escape f.message)

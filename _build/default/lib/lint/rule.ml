@@ -1,0 +1,41 @@
+type ctx = {
+  filename : string;
+  in_lib : bool;
+  line_waived : token:string -> line:int -> bool;
+  emit : Finding.t -> unit;
+}
+
+module type S = sig
+  val name : string
+
+  val severity : Finding.severity
+
+  val doc : string
+
+  val hooks : ctx -> Ast_iterator.iterator -> Ast_iterator.iterator
+
+  val files : string list -> Finding.t list
+end
+
+let report ctx ~rule ~severity ?waiver ~loc message =
+  let line = loc.Location.loc_start.Lexing.pos_lnum in
+  let waived =
+    match waiver with
+    | Some token -> ctx.line_waived ~token ~line
+    | None -> false
+  in
+  if not waived then
+    ctx.emit (Finding.of_location ~rule ~severity ~message loc)
+
+let path_in_lib path =
+  let rec has_lib = function
+    | [] -> false
+    | "lib" :: _ -> true
+    | _ :: rest -> has_lib rest
+  in
+  has_lib (String.split_on_char '/' path)
+
+(* No AST hooks: pass the iterator through unchanged. *)
+let no_hooks _ctx iterator = iterator
+
+let no_files _paths = []

@@ -32,7 +32,9 @@ let n_levels p =
    curve of chain links driving sinks i..n-1: pick the direct group i..j,
    try every buffer to drive (group + next link), recurse on j+1. *)
 let curve ~buffers ~max_fanout sinks =
-  if sinks = [] then invalid_arg "Lttree.curve: no sinks";
+  (match sinks with
+   | [] -> invalid_arg "Lttree.curve: no sinks"
+   | _ :: _ -> ());
   if max_fanout < 2 then invalid_arg "Lttree.curve: max_fanout < 2";
   let arr =
     Array.of_list

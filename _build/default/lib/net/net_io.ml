@@ -19,7 +19,7 @@ let to_string (net : Net.t) =
     net.Net.sinks;
   Buffer.contents buf
 
-let fail lineno msg = failwith (Printf.sprintf "Net_io: line %d: %s" lineno msg)
+let fail lineno msg = failwith (Printf.sprintf "Net_io.of_string: line %d: %s" lineno msg)
 
 let of_string text =
   let lines = String.split_on_char '\n' text in
@@ -55,9 +55,9 @@ let of_string text =
   match (!name, !source, !driver) with
   | Some name, Some source, Some driver ->
     Net.make ~name ~source ~driver (List.rev !sinks)
-  | None, _, _ -> failwith "Net_io: missing 'net' line"
-  | _, None, _ -> failwith "Net_io: missing 'source' line"
-  | _, _, None -> failwith "Net_io: missing 'driver' line"
+  | None, _, _ -> failwith "Net_io.of_string: missing 'net' line"
+  | _, None, _ -> failwith "Net_io.of_string: missing 'source' line"
+  | _, _, None -> failwith "Net_io.of_string: missing 'driver' line"
 
 let save path net =
   let oc = open_out path in

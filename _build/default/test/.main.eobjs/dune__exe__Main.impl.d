@@ -1,1 +1,1 @@
-test/main.ml: Alcotest Test_circuit Test_core Test_curves Test_flows Test_geometry Test_ginneken Test_lttree Test_net Test_order Test_ptree Test_report Test_rtree Test_tech
+test/main.ml: Alcotest Test_circuit Test_core Test_curves Test_flows Test_geometry Test_ginneken Test_lint Test_lttree Test_net Test_order Test_ptree Test_report Test_rtree Test_tech

@@ -1,1 +1,1 @@
-test/test_curves.ml: Alcotest Curve Format List Merlin_curves Option QCheck QCheck_alcotest Solution
+test/test_curves.ml: Alcotest Contract Curve Format Fun List Merlin_curves Option QCheck QCheck_alcotest Solution

@@ -1,0 +1,1 @@
+test/test_lint.ml: Alcotest Filename List Merlin_lint String Sys

@@ -1,0 +1,2 @@
+(* R1 fixture: polymorphic equality on structured data. *)
+let is_empty l = l = []

@@ -1,0 +1,1 @@
+val is_empty : 'a list -> bool

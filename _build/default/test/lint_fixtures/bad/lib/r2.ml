@@ -1,0 +1,2 @@
+(* R2 fixture: raising accessor in lib/. *)
+let lookup tbl k = Hashtbl.find tbl k

@@ -1,0 +1,1 @@
+val lookup : ('a, 'b) Hashtbl.t -> 'a -> 'b

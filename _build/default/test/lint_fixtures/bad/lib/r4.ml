@@ -1,0 +1,2 @@
+(* R4 fixture: failwith message without a Module.function: prefix. *)
+let boom () = failwith "boom"

@@ -1,0 +1,1 @@
+val boom : unit -> 'a

@@ -1,0 +1,2 @@
+(* R5 fixture: catch-all exception handler. *)
+let safe f = try f () with _ -> 0

@@ -1,0 +1,1 @@
+val safe : (unit -> int) -> int

@@ -14,4 +14,5 @@ let () =
       Test_core.suite;
       Test_report.suite;
       Test_flows.suite;
-      Test_circuit.suite ]
+      Test_circuit.suite;
+      Test_lint.suite ]

@@ -307,7 +307,7 @@ let test_config_presets () =
   Alcotest.(check int) "table 1 alpha" 15 Config.paper_table1.Config.alpha;
   Alcotest.(check int) "table 2 alpha" 10 Config.paper_table2.Config.alpha;
   Alcotest.(check int) "table 2 loop bound" 3 Config.paper_table2.Config.max_iters;
-  Alcotest.check_raises "bad alpha" (Invalid_argument "Config: alpha < 2")
+  Alcotest.check_raises "bad alpha" (Invalid_argument "Config.validate: alpha < 2")
     (fun () -> Config.validate { Config.default with Config.alpha = 1 })
 
 let suite =

@@ -30,6 +30,17 @@ let brute_frontier sols =
             sols))
     sols
 
+(* The invariant pair checked by Contract: strict compare_key order and
+   pairwise non-inferiority. *)
+let key_sorted c =
+  let rec ok = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> Solution.compare_key a b < 0 && ok rest
+  in
+  ok (Curve.to_list c)
+
+let invariants c = Curve.is_frontier c && key_sorted c
+
 let test_dominates () =
   let a = sol 10.0 2.0 3.0 and b = sol 8.0 4.0 5.0 in
   Alcotest.(check bool) "a dominates b" true (Solution.dominates a b);
@@ -119,6 +130,31 @@ let props =
         Curve.is_frontier
           (Curve.quantise ~req_grid:3.0 ~load_grid:2.0 ~area_grid:5.0
              (Curve.of_list sols)));
+    qtest "of_list satisfies curve invariants" arb_sols (fun sols ->
+        invariants (Curve.of_list sols));
+    qtest "union satisfies curve invariants" (QCheck.pair arb_sols arb_sols)
+      (fun (a, b) ->
+         invariants (Curve.union (Curve.of_list a) (Curve.of_list b)));
+    qtest "cap satisfies curve invariants" arb_sols (fun sols ->
+        invariants (Curve.cap ~max_size:4 (Curve.of_list sols)));
+    qtest "quantise satisfies curve invariants" arb_sols (fun sols ->
+        invariants
+          (Curve.quantise ~req_grid:3.0 ~load_grid:2.0 ~area_grid:5.0
+             (Curve.of_list sols)));
+    qtest "quantise_load satisfies curve invariants" arb_sols (fun sols ->
+        invariants (Curve.quantise_load ~grid:2.5 (Curve.of_list sols)));
+    qtest "operations pass enabled contracts" (QCheck.pair arb_sols arb_sols)
+      (fun (a, b) ->
+         Contract.set_enabled true;
+         Fun.protect
+           ~finally:(fun () -> Contract.set_enabled false)
+           (fun () ->
+              let c = Curve.union (Curve.of_list a) (Curve.of_list b) in
+              let c = Curve.cap ~max_size:4 c in
+              let c =
+                Curve.quantise ~req_grid:3.0 ~load_grid:2.0 ~area_grid:5.0 c
+              in
+              invariants c));
     qtest "best_under_area matches brute force"
       (QCheck.pair arb_sols (QCheck.float_range 0.0 20.0))
       (fun (sols, budget) ->
@@ -137,9 +173,41 @@ let props =
          | Some a, Some b -> a.Solution.req = b.Solution.req
          | _ -> false) ]
 
+let test_contract_rejects () =
+  Contract.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Contract.set_enabled false)
+    (fun () ->
+       Alcotest.check_raises "unsorted rejected"
+         (Invalid_argument
+            "Contract.check: unit: solutions out of compare_key order")
+         (fun () ->
+            ignore (Contract.check ~name:"unit" [ sol 1.0 1.0 1.0; sol 5.0 0.0 0.0 ]));
+       Alcotest.check_raises "inferior solution rejected"
+         (Invalid_argument
+            "Contract.check: unit: curve holds an inferior solution")
+         (fun () ->
+            ignore (Contract.check ~name:"unit" [ sol 5.0 0.0 0.0; sol 1.0 1.0 1.0 ]));
+       (* Sorted frontier passes both check flavours. *)
+       let ok = [ sol 5.0 0.0 1.0; sol 1.0 0.0 0.0 ] in
+       Alcotest.(check int) "valid curve accepted" 2
+         (List.length (Contract.check ~name:"unit" ok));
+       Alcotest.(check int) "sorted check accepts" 2
+         (List.length (Contract.check_sorted ~name:"unit" ok)))
+
+let test_contract_disabled () =
+  Contract.set_enabled false;
+  (* With contracts off, even a bogus list flows through untouched. *)
+  Alcotest.(check int) "no check when disabled" 2
+    (List.length (Contract.check ~name:"unit" [ sol 1.0 1.0 1.0; sol 5.0 0.0 0.0 ]))
+
 let suite =
   ( "curves",
     [ Alcotest.test_case "dominates" `Quick test_dominates;
+      Alcotest.test_case "contract rejects violations" `Quick
+        test_contract_rejects;
+      Alcotest.test_case "contract disabled is transparent" `Quick
+        test_contract_disabled;
       Alcotest.test_case "add prunes" `Quick test_add_prunes;
       Alcotest.test_case "incomparable kept" `Quick test_incomparable_kept;
       Alcotest.test_case "best queries" `Quick test_best_queries;

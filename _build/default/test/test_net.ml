@@ -59,9 +59,9 @@ let test_io_roundtrip () =
   Alcotest.(check string) "roundtrip" (Net_io.to_string net) (Net_io.to_string net')
 
 let test_io_errors () =
-  Alcotest.check_raises "garbage" (Failure "Net_io: line 1: unrecognised line \"what\"")
+  Alcotest.check_raises "garbage" (Failure "Net_io.of_string: line 1: unrecognised line \"what\"")
     (fun () -> ignore (Net_io.of_string "what"));
-  Alcotest.check_raises "missing net" (Failure "Net_io: missing 'net' line")
+  Alcotest.check_raises "missing net" (Failure "Net_io.of_string: missing 'net' line")
     (fun () -> ignore (Net_io.of_string "source 0 0\ndriver 1 1 1 1\nsink 0 0 0 1 1"))
 
 let qtest name ?(count = 50) arb prop =

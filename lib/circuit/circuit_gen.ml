@@ -24,7 +24,7 @@ let no_positions ~n = Array.make n Point.origin
    yields the long-and-narrow structure of mapped combinational logic and a
    realistic fanout distribution (most nets small, a few large). *)
 let random ~seed ~n_gates ~n_inputs ~name =
-  if n_gates < 1 || n_inputs < 2 then invalid_arg "Circuit_gen.random";
+  if n_gates < 1 || n_inputs < 2 then invalid_arg "Circuit_gen.random: n_gates < 1 || n_inputs < 2";
   let rng = Random.State.make [| seed; n_gates; n_inputs |] in
   let pick_arity () =
     match Random.State.int rng 10 with

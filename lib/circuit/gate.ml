@@ -27,10 +27,11 @@ let library =
 
 let pick ~rng ~n_inputs =
   let matching =
-    Array.to_list library |> List.filter (fun k -> k.n_inputs = n_inputs)
+    Array.of_list
+      (Array.to_list library |> List.filter (fun k -> k.n_inputs = n_inputs))
   in
-  match matching with
-  | [] -> invalid_arg "Gate.pick: no kind with that arity"
-  | l -> List.nth l (Random.State.int rng (List.length l))
+  if Array.length matching = 0 then
+    invalid_arg "Gate.pick: no kind with that arity"
+  else matching.(Random.State.int rng (Array.length matching))
 
 let input_pad = make "PAD" 0 ~area:0.0 ~input_cap:0.0 ~d0:20.0 ~r:1500.0

@@ -14,6 +14,9 @@ type t = {
   netlist : Netlist.t;
   routing : Rtree.t option array;
       (** per signal node; [None] means the default star routing *)
+  gen : int;
+      (** generation id stamped by {!init}; keys the fanout memo so no
+          physical equality on the netlist is needed *)
 }
 
 (** [init netlist] — all nets on default star routing. *)

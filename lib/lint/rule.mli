@@ -1,0 +1,46 @@
+(** The common shape of a lint rule and the per-file checking context. *)
+
+type ctx = {
+  filename : string;
+  in_lib : bool;  (** the file lives under a [lib] directory *)
+  line_waived : token:string -> line:int -> bool;
+      (** true when the line carries a [(* lint: <token> *)] waiver *)
+  emit : Finding.t -> unit;
+}
+
+module type S = sig
+  val name : string
+  (** Rule identifier, shown in [[rule]] brackets and used as the waiver
+      token. *)
+
+  val severity : Finding.severity
+
+  val doc : string
+  (** One-line description for [--rules] style listings and DESIGN.md. *)
+
+  val hooks : ctx -> Ast_iterator.iterator -> Ast_iterator.iterator
+  (** Wrap the iterator built so far with this rule's AST checks.  Rules
+      with no per-AST work return the iterator unchanged. *)
+
+  val files : string list -> Finding.t list
+  (** Checks over the whole scanned file set (e.g. sibling [.mli]
+      presence).  Most rules return []. *)
+end
+
+(** Emit a finding unless the line carries the rule's waiver token. *)
+val report :
+  ctx ->
+  rule:string ->
+  severity:Finding.severity ->
+  ?waiver:string ->
+  loc:Location.t ->
+  string ->
+  unit
+
+(** Does the path contain a [lib] directory segment? *)
+val path_in_lib : string -> bool
+
+(** Helpers for rules that only implement one side of the signature. *)
+val no_hooks : ctx -> Ast_iterator.iterator -> Ast_iterator.iterator
+
+val no_files : string list -> Finding.t list

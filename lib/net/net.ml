@@ -9,7 +9,7 @@ type t = {
 }
 
 let make ~name ~source ~driver sinks =
-  if sinks = [] then invalid_arg "Net.make: no sinks";
+  (match sinks with [] -> invalid_arg "Net.make: no sinks" | _ :: _ -> ());
   let arr = Array.of_list sinks in
   Array.iteri
     (fun i s ->

@@ -11,7 +11,9 @@ and node = {
 }
 
 let node ?buffer loc children =
-  if children = [] then invalid_arg "Rtree.node: empty children";
+  (match children with
+   | [] -> invalid_arg "Rtree.node: empty children"
+   | _ :: _ -> ());
   Node { loc; buffer; children }
 
 let leaf s = Leaf s

@@ -1,0 +1,2 @@
+(* R3 fixture: unwaived physical equality. *)
+let same a b = a == b

@@ -1,0 +1,1 @@
+val same : 'a -> 'a -> bool

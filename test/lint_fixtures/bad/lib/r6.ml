@@ -1,0 +1,2 @@
+(* R6 fixture: a lib module with no sibling .mli. *)
+let orphan = 42

@@ -1,0 +1,11 @@
+val is_empty : 'a list -> bool
+
+val compare_ids : int -> int -> int
+
+val lookup : ('a, 'b) Hashtbl.t -> 'a -> 'b option
+
+val same_repr : 'a -> 'a -> bool
+
+val boom : unit -> 'a
+
+val safe : (unit -> int) -> int
