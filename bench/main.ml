@@ -3,30 +3,105 @@
    benchmarks ("speed").
 
      dune exec bench/main.exe -- [table1|table2|ablations|speed|all]
-                                 [--full] [--seconds N]
+                                 [--full|--smoke] [--seconds N]
+                                 [-j N] [--stats] [--json FILE]
 
    Default is a "quick" profile sized for a laptop-class single core (the
    larger paper nets run with the scaled knob presets of
    Merlin_core.Config); --full uses the paper's own settings where
-   feasible and the complete net/circuit list. *)
+   feasible and the complete net/circuit list; --smoke is a sub-minute
+   subset used by the @bench-smoke dune alias.
+
+   -j N runs the per-net/per-circuit/per-config work on a Merlin_exec
+   domain pool with N workers; row order, ratio averages and JSON output
+   are independent of N by the pool's deterministic map.  --stats dumps
+   the pool telemetry on exit; --json FILE writes the rows of the single
+   table being run (with jobs and git rev) for machine-readable perf
+   trajectories, e.g. BENCH_table1.json. *)
 
 open Merlin_tech
 open Merlin_net
 open Merlin_report.Report
 module Flows = Merlin_flows.Flows
 module FR = Merlin_circuit.Flow_runner
+module Pool = Merlin_exec.Pool
+module Clock = Merlin_exec.Clock
 
 let tech = Tech.default
 let buffers = Buffer_lib.default
+
+type opts = {
+  full : bool;
+  smoke : bool;
+  jobs : int;
+  show_stats : bool;
+  json : string option;
+  seconds : float;
+}
+
+(* One worker pool for the whole invocation (None when -j 1): tables
+   reuse it so --stats aggregates across everything that ran. *)
+let pmap pool f xs =
+  match pool with
+  | None -> List.map f xs
+  | Some p -> Pool.map ~chunk:1 p f xs
+
+let progress fmt = Printf.eprintf (fmt ^^ "\n%!")
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let git_rev () =
+  match
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = input_line ic in
+    ignore (Unix.close_process_in ic);
+    line
+  with
+  | line -> line
+  | exception End_of_file -> "unknown"
+  | exception Sys_error _ -> "unknown"
+  | exception Unix.Unix_error _ -> "unknown"
+
+type jfield = Js of string | Jf of float | Ji of int
+
+let json_obj fields =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+            Printf.sprintf "%S:%s" k
+              (match v with
+               | Js s -> Printf.sprintf "%S" s
+               | Jf f ->
+                 if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+               | Ji i -> string_of_int i))
+         fields)
+  ^ "}"
+
+let write_json ~opts ~table ~wall_s rows =
+  match opts.json with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    Printf.fprintf oc "{%S:%S,%S:%d,%S:%S,%S:%.3f,%S:[\n%s\n]}\n" "table" table
+      "jobs" opts.jobs "git_rev" (git_rev ()) "wall_s" wall_s "rows"
+      (String.concat ",\n" rows);
+    close_out oc;
+    progress "[%s] wrote %s" table file
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let table1 ~full () =
+let table1 ~opts pool () =
   let nets = Net_gen.table1_nets tech in
   let nets =
-    if full then nets
+    if opts.full then nets
+    else if opts.smoke then
+      (* Smoke profile: the small nets only; must stay sub-minute. *)
+      List.filter (fun (_, _, net) -> Net.n_sinks net <= 10) nets
     else
       (* Quick profile: skip the largest nets (35-73 sinks); see
          EXPERIMENTS.md for their full-run rows. *)
@@ -38,71 +113,104 @@ let table1 ~full () =
       "II:a/I"; "II:d/I"; "II:rt/I";
       "III:a/I"; "III:d/I"; "III:rt/I"; "loops" ]
   in
-  let ratios2 = ref [] and ratios3 = ref [] in
+  let cfg3 net =
+    if opts.full && Net.n_sinks net <= 16 then Merlin_core.Config.paper_table1
+    else if opts.full then Merlin_core.Config.scaled (Net.n_sinks net)
+    else begin
+      (* Quick/smoke profiles: tight knobs so the whole table fits a
+         coffee break (or a CI smoke slot); --full restores the scaled
+         presets. *)
+      let base = Merlin_core.Config.scaled (Net.n_sinks net) in
+      let iters = if opts.smoke then 1 else 2 in
+      let cand = if opts.smoke then 8 else 12 in
+      { base with
+        Merlin_core.Config.max_iters = iters;
+        candidate_limit = min cand base.Merlin_core.Config.candidate_limit;
+        max_curve = min 5 base.Merlin_core.Config.max_curve;
+        quant_req = Float.max 20.0 base.Merlin_core.Config.quant_req;
+        quant_load = Float.max 15.0 base.Merlin_core.Config.quant_load;
+        quant_area = Float.max 10.0 base.Merlin_core.Config.quant_area }
+    end
+  in
   let row (circuit, name, net) =
-    Printf.eprintf "[table1] %s %s (n=%d)...\n%!" circuit name (Net.n_sinks net);
-    let cfg3 =
-      if full && Net.n_sinks net <= 16 then Merlin_core.Config.paper_table1
-      else if full then Merlin_core.Config.scaled (Net.n_sinks net)
-      else begin
-        (* Quick profile: tight knobs so the whole table fits a coffee
-           break on one core; --full restores the scaled presets. *)
-        let base = Merlin_core.Config.scaled (Net.n_sinks net) in
-        { base with
-          Merlin_core.Config.max_iters = 2;
-          candidate_limit = min 12 base.Merlin_core.Config.candidate_limit;
-          max_curve = min 5 base.Merlin_core.Config.max_curve;
-          quant_req = Float.max 20.0 base.Merlin_core.Config.quant_req;
-          quant_load = Float.max 15.0 base.Merlin_core.Config.quant_load;
-          quant_area = Float.max 10.0 base.Merlin_core.Config.quant_area }
-      end
-    in
+    progress "[table1] %s %s (n=%d)..." circuit name (Net.n_sinks net);
     let m1 = Flows.flow1 ~tech ~buffers net in
     let m2 = Flows.flow2 ~tech ~buffers net in
-    let m3 = Flows.flow3 ~tech ~buffers ~cfg:cfg3 net in
-    let r_a2 = ratio m2.Flows.area m1.Flows.area
-    and r_d2 = ratio m2.Flows.delay m1.Flows.delay
-    and r_t2 = ratio m2.Flows.runtime m1.Flows.runtime
-    and r_a3 = ratio m3.Flows.area m1.Flows.area
-    and r_d3 = ratio m3.Flows.delay m1.Flows.delay
-    and r_t3 = ratio m3.Flows.runtime m1.Flows.runtime in
-    ratios2 := (r_a2, r_d2, r_t2) :: !ratios2;
-    ratios3 := (r_a3, r_d3, r_t3) :: !ratios3;
-    [ S circuit; S name; I (Net.n_sinks net);
-      F m1.Flows.area; F m1.Flows.delay; F m1.Flows.runtime;
-      R r_a2; R r_d2; R r_t2;
-      R r_a3; R r_d3; R r_t3; I m3.Flows.loops ]
+    let m3 = Flows.flow3 ~tech ~buffers ~cfg:(cfg3 net) net in
+    (circuit, name, Net.n_sinks net, m1, m2, m3)
   in
-  let rows = List.map row nets in
+  let rows, wall_s = Clock.timed (fun () -> pmap pool row nets) in
+  progress "[table1] wall %.2fs (jobs=%d)" wall_s opts.jobs;
+  (* Ratios are derived after the parallel map, in row order, so the
+     averages are bit-identical for every -j. *)
+  let ratios2 =
+    List.map
+      (fun (_, _, _, m1, m2, _) ->
+         ( ratio m2.Flows.area m1.Flows.area,
+           ratio m2.Flows.delay m1.Flows.delay,
+           ratio m2.Flows.runtime m1.Flows.runtime ))
+      rows
+  and ratios3 =
+    List.map
+      (fun (_, _, _, m1, _, m3) ->
+         ( ratio m3.Flows.area m1.Flows.area,
+           ratio m3.Flows.delay m1.Flows.delay,
+           ratio m3.Flows.runtime m1.Flows.runtime ))
+      rows
+  in
+  let cells =
+    List.map2
+      (fun (circuit, name, sinks, m1, _, m3) ((a2, d2, t2), (a3, d3, t3)) ->
+         [ S circuit; S name; I sinks;
+           F m1.Flows.area; F m1.Flows.delay; F m1.Flows.runtime;
+           R a2; R d2; R t2; R a3; R d3; R t3; I m3.Flows.loops ])
+      rows
+      (List.combine ratios2 ratios3)
+  in
   let avg sel rs = mean (List.map sel rs) in
   let avg_row =
     [ S "Average"; S ""; S ""; S ""; S ""; S "";
-      R (avg (fun (a, _, _) -> a) !ratios2);
-      R (avg (fun (_, d, _) -> d) !ratios2);
-      R (avg (fun (_, _, t) -> t) !ratios2);
-      R (avg (fun (a, _, _) -> a) !ratios3);
-      R (avg (fun (_, d, _) -> d) !ratios3);
-      R (avg (fun (_, _, t) -> t) !ratios3); S "" ]
+      R (avg (fun (a, _, _) -> a) ratios2);
+      R (avg (fun (_, d, _) -> d) ratios2);
+      R (avg (fun (_, _, t) -> t) ratios2);
+      R (avg (fun (a, _, _) -> a) ratios3);
+      R (avg (fun (_, d, _) -> d) ratios3);
+      R (avg (fun (_, _, t) -> t) ratios3); S "" ]
   in
   print
     ~title:
       "Table 1: per-net buffer area, delay and runtime (Flow I absolute; \
        Flows II/III as ratios over Flow I)"
-    ~header (rows @ [ avg_row ]);
+    ~header (cells @ [ avg_row ]);
   Printf.printf
-    "Paper averages for reference: II = 0.71/0.81/1.95, III = 0.88/0.46/13.49\n%!"
+    "Paper averages for reference: II = 0.71/0.81/1.95, III = 0.88/0.46/13.49\n%!";
+  let json_rows =
+    List.map
+      (fun (circuit, name, sinks, m1, m2, m3) ->
+         json_obj
+           [ ("circuit", Js circuit); ("net", Js name); ("sinks", Ji sinks);
+             ("area1", Jf m1.Flows.area); ("delay1", Jf m1.Flows.delay);
+             ("runtime1", Jf m1.Flows.runtime);
+             ("area2", Jf m2.Flows.area); ("delay2", Jf m2.Flows.delay);
+             ("runtime2", Jf m2.Flows.runtime);
+             ("area3", Jf m3.Flows.area); ("delay3", Jf m3.Flows.delay);
+             ("runtime3", Jf m3.Flows.runtime); ("loops3", Ji m3.Flows.loops) ])
+      rows
+  in
+  write_json ~opts ~table:"table1" ~wall_s json_rows
 
 (* ------------------------------------------------------------------ *)
 (* Table 2                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let table2 ~full () =
-  let scale_down = if full then 60 else 200 in
+let table2 ~opts pool () =
+  let scale_down = if opts.full then 60 else if opts.smoke then 300 else 200 in
   let circuits =
     List.map (fun (name, _, _, _) -> name) Merlin_circuit.Circuit_gen.table2_specs
   in
   let circuits =
-    if full then circuits
+    if opts.full then circuits
+    else if opts.smoke then [ "B9" ]
     else (* Quick profile: a representative subset. *)
       [ "C432"; "B9"; "Duke2" ]
   in
@@ -112,59 +220,89 @@ let table2 ~full () =
       "II:a/I"; "II:d/I"; "II:rt/I";
       "III:a/I"; "III:d/I"; "III:rt/I" ]
   in
-  let ratios2 = ref [] and ratios3 = ref [] in
   let row name =
-    Printf.eprintf "[table2] %s...\n%!" name;
+    progress "[table2] %s..." name;
     let netlist =
       Merlin_circuit.Placement.place
         (Merlin_circuit.Circuit_gen.generate ~scale_down ~name ())
     in
+    (* Each circuit stays on the sequential per-net schedule (jobs
+       unset): row results are identical to a -j 1 run, and -j
+       parallelism comes from running circuits concurrently. *)
     let r1 = FR.run ~tech ~buffers ~flow:FR.Flow1 netlist in
     let r2 = FR.run ~tech ~buffers ~flow:FR.Flow2 netlist in
     let r3 = FR.run ~tech ~buffers ~flow:FR.Flow3 netlist in
-    let ra2 = ratio r2.FR.area r1.FR.area
-    and rd2 = ratio r2.FR.delay r1.FR.delay
-    and rt2 = ratio r2.FR.runtime r1.FR.runtime
-    and ra3 = ratio r3.FR.area r1.FR.area
-    and rd3 = ratio r3.FR.delay r1.FR.delay
-    and rt3 = ratio r3.FR.runtime r1.FR.runtime in
-    ratios2 := (ra2, rd2, rt2) :: !ratios2;
-    ratios3 := (ra3, rd3, rt3) :: !ratios3;
-    [ S name; I (Array.length netlist.Merlin_circuit.Netlist.gates);
-      F r1.FR.area; F r1.FR.delay; F r1.FR.runtime;
-      R ra2; R rd2; R rt2; R ra3; R rd3; R rt3 ]
+    (name, Array.length netlist.Merlin_circuit.Netlist.gates, r1, r2, r3)
   in
-  let rows = List.map row circuits in
+  let rows, wall_s = Clock.timed (fun () -> pmap pool row circuits) in
+  progress "[table2] wall %.2fs (jobs=%d)" wall_s opts.jobs;
+  let ratios2 =
+    List.map
+      (fun (_, _, r1, r2, _) ->
+         ( ratio r2.FR.area r1.FR.area,
+           ratio r2.FR.delay r1.FR.delay,
+           ratio r2.FR.runtime r1.FR.runtime ))
+      rows
+  and ratios3 =
+    List.map
+      (fun (_, _, r1, _, r3) ->
+         ( ratio r3.FR.area r1.FR.area,
+           ratio r3.FR.delay r1.FR.delay,
+           ratio r3.FR.runtime r1.FR.runtime ))
+      rows
+  in
+  let cells =
+    List.map2
+      (fun (name, gates, r1, _, _) ((a2, d2, t2), (a3, d3, t3)) ->
+         [ S name; I gates;
+           F r1.FR.area; F r1.FR.delay; F r1.FR.runtime;
+           R a2; R d2; R t2; R a3; R d3; R t3 ])
+      rows
+      (List.combine ratios2 ratios3)
+  in
   let avg sel rs = mean (List.map sel rs) in
   let avg_row =
     [ S "Average"; S ""; S ""; S ""; S "";
-      R (avg (fun (a, _, _) -> a) !ratios2);
-      R (avg (fun (_, d, _) -> d) !ratios2);
-      R (avg (fun (_, _, t) -> t) !ratios2);
-      R (avg (fun (a, _, _) -> a) !ratios3);
-      R (avg (fun (_, d, _) -> d) !ratios3);
-      R (avg (fun (_, _, t) -> t) !ratios3) ]
+      R (avg (fun (a, _, _) -> a) ratios2);
+      R (avg (fun (_, d, _) -> d) ratios2);
+      R (avg (fun (_, _, t) -> t) ratios2);
+      R (avg (fun (a, _, _) -> a) ratios3);
+      R (avg (fun (_, d, _) -> d) ratios3);
+      R (avg (fun (_, _, t) -> t) ratios3) ]
   in
   print
     ~title:
       "Table 2: post-layout circuit area, critical delay and total runtime \
        (Flow I absolute; Flows II/III as ratios over Flow I)"
-    ~header (rows @ [ avg_row ]);
+    ~header (cells @ [ avg_row ]);
   Printf.printf
-    "Paper averages for reference: II = 1.02/1.05/0.91, III = 1.07/0.85/1.85\n%!"
+    "Paper averages for reference: II = 1.02/1.05/0.91, III = 1.07/0.85/1.85\n%!";
+  let json_rows =
+    List.map
+      (fun (name, gates, r1, r2, r3) ->
+         json_obj
+           [ ("circuit", Js name); ("gates", Ji gates);
+             ("area1", Jf r1.FR.area); ("delay1", Jf r1.FR.delay);
+             ("runtime1", Jf r1.FR.runtime);
+             ("area2", Jf r2.FR.area); ("delay2", Jf r2.FR.delay);
+             ("runtime2", Jf r2.FR.runtime);
+             ("area3", Jf r3.FR.area); ("delay3", Jf r3.FR.delay);
+             ("runtime3", Jf r3.FR.runtime);
+             ("nets3", Ji r3.FR.nets_optimized) ])
+      rows
+  in
+  write_json ~opts ~table:"table2" ~wall_s json_rows
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let progress fmt = Printf.eprintf (fmt ^^ "\n%!")
-
-let ablation_neighborhood () =
+let ablation_neighborhood pool () =
   progress "[ablations] A: neighborhood sizes";
   (* Ablation A: Theorem 1 -- neighborhood size is a Fibonacci number. *)
   let header = [ "n"; "enumerated"; "closed form F(n+1)"; "paper Binet(n+2)" ] in
   let rows =
-    List.map
+    pmap pool
       (fun n ->
          let enumerated =
            if n <= 14 then
@@ -180,16 +318,19 @@ let ablation_neighborhood () =
   print ~title:"Ablation A (Theorem 1): |N(Pi)| vs closed form" ~header rows
 
 let run_merlin_with ?candidates ?init ~cfg net =
-  let t0 = Unix.gettimeofday () in
-  match Merlin_core.Merlin.run ?candidates ?init ~cfg ~tech ~buffers net with
-  | None -> (nan, nan, 0, Unix.gettimeofday () -. t0)
+  let out, t =
+    Clock.timed (fun () ->
+        Merlin_core.Merlin.run ?candidates ?init ~cfg ~tech ~buffers net)
+  in
+  match out with
+  | None -> (nan, nan, 0, t)
   | Some out ->
     ( out.Merlin_core.Merlin.best.Merlin_curves.Solution.req,
       out.Merlin_core.Merlin.best.Merlin_curves.Solution.area,
       out.Merlin_core.Merlin.loops,
-      Unix.gettimeofday () -. t0 )
+      t )
 
-let ablation_candidates () =
+let ablation_candidates pool () =
   progress "[ablations] B: candidate sets";
   (* Ablation B: Section III.1's claim that the candidate-set choice does
      not matter much once its size is linear in n. *)
@@ -206,7 +347,7 @@ let ablation_candidates () =
   in
   let header = [ "candidate set"; "k"; "req (ps)"; "buf area"; "time (s)" ] in
   let rows =
-    List.map
+    pmap pool
       (fun (name, candidates) ->
          let k =
            match candidates with
@@ -220,13 +361,13 @@ let ablation_candidates () =
   in
   print ~title:"Ablation B: candidate-location set choice (n=8)" ~header rows
 
-let ablation_alpha () =
+let ablation_alpha pool () =
   progress "[ablations] C: alpha sweep";
   (* Ablation C: quality/runtime vs the branching bound alpha. *)
   let net = Net_gen.random_net ~seed:103 ~name:"ablC" ~n:8 tech in
   let header = [ "alpha"; "req (ps)"; "buf area"; "loops"; "time (s)" ] in
   let rows =
-    List.map
+    pmap pool
       (fun alpha ->
          let cfg = { (Merlin_core.Config.scaled 8) with Merlin_core.Config.alpha } in
          let req, area, loops, t = run_merlin_with ~cfg net in
@@ -235,7 +376,7 @@ let ablation_alpha () =
   in
   print ~title:"Ablation C: branching bound alpha (n=8)" ~header rows
 
-let ablation_initial_order () =
+let ablation_initial_order pool () =
   progress "[ablations] D: initial orders";
   (* Ablation D: Section IV's claim that the initial order has a small
      effect on final quality. *)
@@ -250,7 +391,7 @@ let ablation_initial_order () =
   in
   let header = [ "initial order"; "req (ps)"; "buf area"; "loops"; "time (s)" ] in
   let rows =
-    List.map
+    pmap pool
       (fun (name, init) ->
          let req, area, loops, t = run_merlin_with ~init ~cfg net in
          [ S name; F req; F area; I loops; F t ])
@@ -258,42 +399,47 @@ let ablation_initial_order () =
   in
   print ~title:"Ablation D: initial sink order (n=8)" ~header rows
 
-let ablation_placement () =
+let ablation_placement pool () =
   progress "[ablations] E: chain placement";
   (* Ablation E: the Flush_ends restriction vs the paper's full chain
      placement. *)
   let header = [ "n"; "placement"; "req (ps)"; "merges"; "time (s)" ] in
-  let rows =
+  let configs =
     List.concat_map
       (fun n ->
-         let net = Net_gen.random_net ~seed:105 ~name:"ablE" ~n tech in
-         let order = Merlin_order.Tsp.order net in
          List.map
-           (fun (name, placement) ->
-              let cfg =
-                { (Merlin_core.Config.scaled n) with
-                  Merlin_core.Config.chain_placement = placement }
-              in
-              let t0 = Unix.gettimeofday () in
-              let r =
-                Merlin_core.Bubble_construct.construct ~cfg ~tech ~buffers net order
-              in
-              let req =
-                match
-                  Merlin_curves.Curve.best_req r.Merlin_core.Bubble_construct.curve
-                with
-                | Some s -> s.Merlin_curves.Solution.req
-                | None -> nan
-              in
-              [ I n; S name; F req; I r.Merlin_core.Bubble_construct.merges;
-                F (Unix.gettimeofday () -. t0) ])
+           (fun placement -> (n, placement))
            [ ("all positions (paper)", Merlin_core.Config.All_positions);
              ("flush ends (fast)", Merlin_core.Config.Flush_ends) ])
       [ 6; 8 ]
   in
+  let rows =
+    pmap pool
+      (fun (n, (name, placement)) ->
+         let net = Net_gen.random_net ~seed:105 ~name:"ablE" ~n tech in
+         let order = Merlin_order.Tsp.order net in
+         let cfg =
+           { (Merlin_core.Config.scaled n) with
+             Merlin_core.Config.chain_placement = placement }
+         in
+         let r, t =
+           Clock.timed (fun () ->
+               Merlin_core.Bubble_construct.construct ~cfg ~tech ~buffers net
+                 order)
+         in
+         let req =
+           match
+             Merlin_curves.Curve.best_req r.Merlin_core.Bubble_construct.curve
+           with
+           | Some s -> s.Merlin_curves.Solution.req
+           | None -> nan
+         in
+         [ I n; S name; F req; I r.Merlin_core.Bubble_construct.merges; F t ])
+      configs
+  in
   print ~title:"Ablation E: chain placement restriction" ~header rows
 
-let ablation_bubbling () =
+let ablation_bubbling pool () =
   progress "[ablations] F: bubbling on/off";
   (* Ablation F: the paper's core contribution.  With bubbling disabled
      the engine is an order-constrained hierarchical construction for the
@@ -301,29 +447,38 @@ let ablation_bubbling () =
   let header =
     [ "n"; "seed"; "bubbling"; "req (ps)"; "buf area"; "loops"; "time (s)" ]
   in
-  let rows =
+  let configs =
     List.concat_map
       (fun (n, seed) ->
-         let net = Net_gen.random_net ~seed ~name:"ablF" ~n tech in
          List.map
-           (fun (label, bubbling) ->
-              let cfg =
-                { (Merlin_core.Config.scaled n) with Merlin_core.Config.bubbling }
-              in
-              let req, area, loops, t = run_merlin_with ~cfg net in
-              [ I n; I seed; S label; F req; F area; I loops; F t ])
+           (fun toggle -> (n, seed, toggle))
            [ ("on (MERLIN)", true); ("off (fixed order)", false) ])
       [ (8, 42); (8, 77); (10, 7) ]
   in
+  let rows =
+    pmap pool
+      (fun (n, seed, (label, bubbling)) ->
+         let net = Net_gen.random_net ~seed ~name:"ablF" ~n tech in
+         let cfg =
+           { (Merlin_core.Config.scaled n) with Merlin_core.Config.bubbling }
+         in
+         let req, area, loops, t = run_merlin_with ~cfg net in
+         [ I n; I seed; S label; F req; F area; I loops; F t ])
+      configs
+  in
   print ~title:"Ablation F: local order-perturbation (bubbling)" ~header rows
 
-let ablations () =
-  ablation_neighborhood ();
-  ablation_candidates ();
-  ablation_alpha ();
-  ablation_initial_order ();
-  ablation_placement ();
-  ablation_bubbling ()
+let ablations ~opts pool () =
+  let (), wall_s =
+    Clock.timed (fun () ->
+        ablation_neighborhood pool ();
+        ablation_candidates pool ();
+        ablation_alpha pool ();
+        ablation_initial_order pool ();
+        ablation_placement pool ();
+        ablation_bubbling pool ())
+  in
+  progress "[ablations] wall %.2fs (jobs=%d)" wall_s opts.jobs
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro benchmarks                                           *)
@@ -401,27 +556,49 @@ let speed ~seconds () =
 let () =
   let args = Array.to_list Sys.argv in
   let full = List.mem "--full" args in
-  let seconds =
-    let rec find = function
-      | "--seconds" :: v :: _ -> float_of_string v
-      | _ :: rest -> find rest
-      | [] -> 1.0
-    in
-    find args
+  let smoke = List.mem "--smoke" args in
+  let show_stats = List.mem "--stats" args in
+  let rec find_value keys = function
+    | k :: v :: _ when List.mem k keys -> Some v
+    | _ :: rest -> find_value keys rest
+    | [] -> None
   in
+  let seconds =
+    match find_value [ "--seconds" ] args with
+    | Some v -> float_of_string v
+    | None -> 1.0
+  in
+  let jobs =
+    match find_value [ "-j"; "--jobs" ] args with
+    | Some v -> max 1 (int_of_string v)
+    | None -> 1
+  in
+  let json = find_value [ "--json" ] args in
+  let opts = { full; smoke; jobs; show_stats; json; seconds } in
+  (* Must happen before any domain exists (it may re-exec the process);
+     see Runparam. *)
+  if jobs > 1 then Merlin_exec.Runparam.ensure_minor_heap ();
+  let pool = if jobs > 1 then Some (Pool.create ~domains:jobs ()) else None in
   let what =
     List.find_opt
       (fun a -> List.mem a [ "table1"; "table2"; "ablations"; "speed"; "all" ])
       args
   in
-  match what with
-  | Some "table1" -> table1 ~full ()
-  | Some "table2" -> table2 ~full ()
-  | Some "ablations" -> ablations ()
-  | Some "speed" -> speed ~seconds ()
-  | Some "all" | None ->
-    table1 ~full ();
-    table2 ~full ();
-    ablations ();
-    speed ~seconds ()
-  | Some _ -> assert false
+  (match what with
+   | Some "table1" -> table1 ~opts pool ()
+   | Some "table2" -> table2 ~opts pool ()
+   | Some "ablations" -> ablations ~opts pool ()
+   | Some "speed" -> speed ~seconds ()
+   | Some "all" | None ->
+     (* JSON targets one table per file; ignore it for `all`. *)
+     let opts = { opts with json = None } in
+     table1 ~opts pool ();
+     table2 ~opts pool ();
+     ablations ~opts pool ();
+     speed ~seconds ()
+   | Some _ -> assert false);
+  match pool with
+  | None -> ()
+  | Some p ->
+    if show_stats then Format.eprintf "%a@." Pool.pp_stats (Pool.stats p);
+    Pool.shutdown p

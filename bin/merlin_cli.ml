@@ -2,14 +2,17 @@
 
      merlin-cli gen --sinks 12 --seed 7 -o net.txt
      merlin-cli route net.txt --flow merlin --alpha 10
-     merlin-cli route --random 10 --flow all
+     merlin-cli route --random 10 --flow all -j 3 --stats
      merlin-cli route net.txt --objective area:50
+     merlin-cli circuit --name B9 --flow all -j 4 --stats
 *)
 
 open Cmdliner
 open Merlin_tech
 open Merlin_net
 module Flows = Merlin_flows.Flows
+module FR = Merlin_circuit.Flow_runner
+module Pool = Merlin_exec.Pool
 
 let tech = Tech.default
 let buffers = Buffer_lib.default
@@ -42,9 +45,14 @@ let print_metrics (m : Flows.metrics) =
     m.Flows.flow m.Flows.area m.Flows.delay m.Flows.root_req m.Flows.n_buffers
     m.Flows.wirelength m.Flows.loops m.Flows.runtime
 
+let dump_stats pool =
+  Format.eprintf "%a@." Pool.pp_stats (Pool.stats pool)
+
 (* ---- route ---- *)
 
-let route file random seed flow alpha objective show_tree verbose =
+let route file random seed flow alpha objective show_tree verbose jobs stats =
+  (* May re-exec the process; must run before any domain is spawned. *)
+  if jobs > 1 then Merlin_exec.Runparam.ensure_minor_heap ();
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -81,10 +89,76 @@ let route file random seed flow alpha objective show_tree verbose =
    | "merlin" -> run_flow3 ()
    | "lttree-ptree" -> print_metrics (Flows.flow1 ~tech ~buffers net)
    | "ptree-vg" -> print_metrics (Flows.flow2 ~tech ~buffers net)
+   | "all" when jobs > 1 ->
+     (* The three flows are independent; run them as pool tasks.  The
+        deterministic map keeps the output order I, II, III. *)
+     Pool.with_pool ~domains:jobs (fun pool ->
+         let ms =
+           Pool.map ~chunk:1 pool
+             (fun f -> f ())
+             [ (fun () -> Flows.flow1 ~tech ~buffers net);
+               (fun () -> Flows.flow2 ~tech ~buffers net);
+               (fun () -> Flows.flow3 ~tech ~buffers ~cfg net) ]
+         in
+         List.iter print_metrics ms;
+         if stats then dump_stats pool)
    | "all" -> List.iter print_metrics (Flows.all ~tech ~buffers ~cfg3:cfg net)
    | other ->
      Printf.eprintf "unknown flow %s (merlin|lttree-ptree|ptree-vg|all)\n" other;
      exit 2);
+  0
+
+(* ---- circuit ---- *)
+
+let circuit name scale_down flow min_sinks jobs net_timeout stats =
+  if jobs > 1 then Merlin_exec.Runparam.ensure_minor_heap ();
+  let netlist =
+    match
+      Merlin_circuit.Circuit_gen.generate ~scale_down ~name ()
+    with
+    | nl -> Merlin_circuit.Placement.place nl
+    | exception Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let print_result (r : FR.result) =
+    Format.printf
+      "%-16s area=%.2f delay=%.1fps buffers=%d wirelength=%d nets=%d%s \
+       runtime=%.2fs@."
+      (FR.flow_name r.FR.flow) r.FR.area r.FR.delay r.FR.n_buffers
+      r.FR.wirelength r.FR.nets_optimized
+      (if r.FR.nets_timed_out > 0 then
+         Printf.sprintf " timed-out=%d" r.FR.nets_timed_out
+       else "")
+      r.FR.runtime
+  in
+  let flows =
+    match flow with
+    | "merlin" -> [ FR.Flow3 ]
+    | "lttree-ptree" -> [ FR.Flow1 ]
+    | "ptree-vg" -> [ FR.Flow2 ]
+    | "all" -> [ FR.Flow1; FR.Flow2; FR.Flow3 ]
+    | other ->
+      Printf.eprintf "unknown flow %s (merlin|lttree-ptree|ptree-vg|all)\n"
+        other;
+      exit 2
+  in
+  Format.printf "%s: %d gates, %d nodes@." name
+    (Array.length netlist.Merlin_circuit.Netlist.gates)
+    (Merlin_circuit.Netlist.n_nodes netlist);
+  let run pool =
+    List.iter
+      (fun flow ->
+         print_result
+           (FR.run ~tech ~buffers ~flow ~min_sinks ~jobs ?pool
+              ?net_timeout_s:net_timeout netlist))
+      flows
+  in
+  if jobs > 1 then
+    Pool.with_pool ~domains:jobs (fun pool ->
+        run (Some pool);
+        if stats then dump_stats pool)
+  else run None;
   0
 
 (* ---- gen ---- *)
@@ -122,12 +196,54 @@ let tree_arg = Arg.(value & flag & info [ "tree" ] ~doc:"Print the routing tree"
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for parallel execution (1 = sequential)")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Dump execution-engine telemetry to stderr")
+
 let route_cmd =
   Cmd.v
     (Cmd.info "route" ~doc:"Build a buffered routing tree for a net")
     Term.(
       const route $ file_arg $ random_arg $ seed_arg $ flow_arg $ alpha_arg
-      $ objective_arg $ tree_arg $ verbose_arg)
+      $ objective_arg $ tree_arg $ verbose_arg $ jobs_arg $ stats_arg)
+
+let circuit_cmd =
+  let name_arg =
+    Arg.(
+      value & opt string "B9"
+      & info [ "name" ] ~docv:"CIRCUIT"
+          ~doc:"Table-2 circuit name (see Circuit_gen.table2_specs)")
+  in
+  let scale_down =
+    Arg.(
+      value & opt int 200
+      & info [ "scale-down" ] ~docv:"K" ~doc:"Divide the published gate count by $(docv)")
+  in
+  let min_sinks =
+    Arg.(
+      value & opt int 2
+      & info [ "min-sinks" ] ~doc:"Skip nets with fewer sinks")
+  in
+  let net_timeout =
+    Arg.(
+      value & opt (some float) None
+      & info [ "net-timeout" ] ~docv:"S"
+          ~doc:"Per-net optimization budget in seconds; expired nets keep \
+                their star routing (non-deterministic — off by default)")
+  in
+  Cmd.v
+    (Cmd.info "circuit"
+       ~doc:"Run a full-circuit flow (Table 2 style) on the execution engine")
+    Term.(
+      const circuit $ name_arg $ scale_down $ flow_arg $ min_sinks $ jobs_arg
+      $ net_timeout $ stats_arg)
 
 let gen_cmd =
   let sinks = Arg.(value & opt int 8 & info [ "sinks" ] ~doc:"Sink count") in
@@ -142,6 +258,6 @@ let main =
   Cmd.group
     (Cmd.info "merlin-cli" ~version:"1.0.0"
        ~doc:"MERLIN buffered routing tree generation (DAC 1999 reproduction)")
-    [ route_cmd; gen_cmd ]
+    [ route_cmd; gen_cmd; circuit_cmd ]
 
 let () = exit (Cmd.eval' main)

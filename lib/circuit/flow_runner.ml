@@ -1,4 +1,6 @@
 open Merlin_net
+module Pool = Merlin_exec.Pool
+module Clock = Merlin_exec.Clock
 
 type flow = Flow1 | Flow2 | Flow3
 
@@ -16,6 +18,7 @@ type result = {
   n_buffers : int;
   wirelength : int;
   nets_optimized : int;
+  nets_timed_out : int;
 }
 
 let default_merlin_cfg n =
@@ -37,11 +40,27 @@ let optimize_net ~tech ~buffers ~flow ~merlin_cfg net =
   in
   m.Merlin_flows.Flows.tree
 
-let run ~tech ~buffers ~flow ?(min_sinks = 2) ?merlin_cfg netlist =
+(* The optimization input for a node is a pure function of the frozen
+   STA report; between reports only the sinks' required times can move
+   (positions and loads are netlist geometry).  Equal reqs therefore
+   mean the speculative result equals what a fresh run would return. *)
+let same_reqs (a : Net.t) (b : Net.t) =
+  Array.length a.Net.sinks = Array.length b.Net.sinks
+  && Array.for_all2
+       (fun (sa : Sink.t) (sb : Sink.t) -> Float.equal sa.Sink.req sb.Sink.req)
+       a.Net.sinks b.Net.sinks
+
+let rec take_wave k acc = function
+  | x :: rest when k > 0 -> take_wave (k - 1) (x :: acc) rest
+  | rest -> (List.rev acc, rest)
+
+let run ~tech ~buffers ~flow ?(min_sinks = 2) ?merlin_cfg ?(jobs = 1) ?pool
+    ?net_timeout_s netlist =
   let merlin_cfg =
     match merlin_cfg with Some f -> f | None -> default_merlin_cfg
   in
-  let t0 = Unix.gettimeofday () in
+  let jobs = max 1 jobs in
+  let t0 = Clock.monotonic_s () in
   let sta = ref (Sta.init netlist) in
   let report = ref (Sta.analyse ~tech !sta) in
   (* Most critical nets first: order by driver slack. *)
@@ -55,23 +74,114 @@ let run ~tech ~buffers ~flow ?(min_sinks = 2) ?merlin_cfg netlist =
             Float.compare (slack !report a) (slack !report b))
   in
   let optimized = ref 0 in
-  List.iter
-    (fun node ->
-       match Sta.net_for_optimization !sta !report node with
-       | None -> ()
-       | Some net ->
-         let tree = optimize_net ~tech ~buffers ~flow ~merlin_cfg net in
-         sta := Sta.with_routing !sta ~node tree;
-         incr optimized;
-         (* Refresh timing so later nets see updated required times. *)
-         report := Sta.analyse ~tech ~clock:!report.Sta.clock !sta)
-    nodes;
+  let timed_out = ref 0 in
+  let optimize net = optimize_net ~tech ~buffers ~flow ~merlin_cfg net in
+  let commit node tree =
+    sta := Sta.with_routing !sta ~node tree;
+    incr optimized;
+    (* Refresh timing so later nets see updated required times. *)
+    report := Sta.analyse ~tech ~clock:!report.Sta.clock !sta
+  in
+  (match (pool, net_timeout_s) with
+   | None, None when jobs = 1 ->
+     (* The reference sequential path: one net at a time against a
+        report refreshed after every commit. *)
+     List.iter
+       (fun node ->
+          match Sta.net_for_optimization !sta !report node with
+          | None -> ()
+          | Some net -> commit node (optimize net))
+       nodes
+   | _ ->
+     (* Speculative waves.  A wave of [jobs] nets is snapshot against
+        the current report and optimized in parallel; commits then
+        replay in the sequential order, and any net whose inputs were
+        changed by an earlier commit in the same wave is re-run against
+        the fresh report.  The output is therefore byte-identical to
+        the sequential path for every [jobs]; speculation only decides
+        how much parallel work is wasted, never the result. *)
+     let run_in_pool pool =
+       let wave_size = max jobs (max 1 (Pool.size pool)) in
+       let optimize_budget p net =
+         match net_timeout_s with
+         | None -> Some (optimize net)
+         | Some budget -> (
+           match Pool.run_timeout p ~timeout_s:budget (fun () -> optimize net) with
+           | Pool.Done tree -> Some tree
+           | Pool.Timed_out ->
+             incr timed_out;
+             None
+           | Pool.Failed exn -> raise exn)
+       in
+       let rec waves pending =
+         match pending with
+         | [] -> ()
+         | pending ->
+           let wave, rest = take_wave wave_size [] pending in
+           let snap =
+             List.filter_map
+               (fun node ->
+                  match Sta.net_for_optimization !sta !report node with
+                  | None -> None
+                  | Some net -> Some (node, net))
+               wave
+           in
+           let speculated =
+             match net_timeout_s with
+             | None ->
+               Pool.map ~chunk:1 pool
+                 (fun (_, net) -> Some (optimize net))
+                 snap
+             | Some budget ->
+               (* One future per net, awaited under its own budget from
+                  the orchestrating caller; an expired net keeps its
+                  star routing. *)
+               let futs =
+                 List.map
+                   (fun (_, net) -> Pool.submit pool (fun () -> optimize net))
+                   snap
+               in
+               List.map
+                 (fun fut ->
+                    match Pool.await_timeout ~timeout_s:budget fut with
+                    | Pool.Done tree -> Some tree
+                    | Pool.Timed_out ->
+                      incr timed_out;
+                      None
+                    | Pool.Failed exn -> raise exn)
+                 futs
+           in
+           List.iter2
+             (fun (node, net) outcome ->
+                match outcome with
+                | None -> () (* timed out: net keeps its star routing *)
+                | Some tree -> (
+                  match Sta.net_for_optimization !sta !report node with
+                  | None -> ()
+                  | Some net' ->
+                    if same_reqs net net' then commit node tree
+                    else (
+                      (* Stale speculation: an earlier commit moved this
+                         net's required times.  Redo it exactly as the
+                         sequential loop would have seen it. *)
+                      match optimize_budget pool net' with
+                      | Some tree' -> commit node tree'
+                      | None -> ())))
+             snap speculated;
+           waves rest
+       in
+       waves nodes
+     in
+     (match pool with
+      | Some p -> run_in_pool p
+      | None ->
+        Pool.with_pool ~domains:jobs (fun p -> run_in_pool p)));
   let final = Sta.analyse ~tech !sta in
   { circuit = netlist.Netlist.name;
     flow;
     area = Netlist.gate_area netlist +. Sta.total_buffer_area !sta;
     delay = final.Sta.critical;
-    runtime = Unix.gettimeofday () -. t0;
+    runtime = Clock.elapsed_s t0;
     n_buffers =
       Array.fold_left
         (fun acc r ->
@@ -80,9 +190,10 @@ let run ~tech ~buffers ~flow ?(min_sinks = 2) ?merlin_cfg netlist =
            | Some t -> acc + Merlin_rtree.Rtree.n_buffers t)
         0 !sta.Sta.routing;
     wirelength = Sta.total_wirelength !sta;
-    nets_optimized = !optimized }
+    nets_optimized = !optimized;
+    nets_timed_out = !timed_out }
 
-let run_all ~tech ~buffers ?min_sinks netlist =
-  [ run ~tech ~buffers ~flow:Flow1 ?min_sinks netlist;
-    run ~tech ~buffers ~flow:Flow2 ?min_sinks netlist;
-    run ~tech ~buffers ~flow:Flow3 ?min_sinks netlist ]
+let run_all ~tech ~buffers ?min_sinks ?jobs ?pool netlist =
+  [ run ~tech ~buffers ~flow:Flow1 ?min_sinks ?jobs ?pool netlist;
+    run ~tech ~buffers ~flow:Flow2 ?min_sinks ?jobs ?pool netlist;
+    run ~tech ~buffers ~flow:Flow3 ?min_sinks ?jobs ?pool netlist ]

@@ -3,7 +3,15 @@
     For a placed circuit, applies one of the paper's three flows to every
     net (most critical first, required times refreshed from STA between
     nets), then reports post-layout area, critical-path delay and total
-    runtime — the three columns of Table 2. *)
+    runtime — the three columns of Table 2.
+
+    With [jobs > 1] (or an external pool) nets are optimized in
+    {e speculative waves} on the execution engine: a wave of [jobs] nets
+    is optimized in parallel against the frozen report, then committed
+    in the sequential order, re-running any net whose required times
+    were moved by an earlier commit of the same wave.  The result is
+    byte-identical to the sequential path for every [jobs]; parallelism
+    only changes how much speculative work is wasted. *)
 
 open Merlin_tech
 
@@ -16,23 +24,36 @@ type result = {
   flow : flow;
   area : float;          (** gates + buffers, 1000 lambda^2 *)
   delay : float;         (** post-optimization critical path, ps *)
-  runtime : float;       (** wall-clock seconds for the whole flow *)
+  runtime : float;       (** monotonic wall-clock seconds for the flow *)
   n_buffers : int;
   wirelength : int;
   nets_optimized : int;
+  nets_timed_out : int;  (** nets skipped by [net_timeout_s] (0 without it) *)
 }
 
 (** [run ~tech ~buffers ~flow netlist] — the netlist must be placed.
     [min_sinks] skips nets with fewer sinks (default 2: single-sink nets
     keep their direct wire).  [merlin_cfg] overrides Flow-3 knobs
     (default {!Merlin_core.Config.scaled} per net, capped at the paper's
-    Table-2 setting of at most 3 loops). *)
+    Table-2 setting of at most 3 loops).
+
+    [jobs] (default 1) sets the wave width and, when no [pool] is
+    given, the worker-domain count of a pool created for the call.
+    Pass [pool] to reuse an external {!Merlin_exec.Pool} (its
+    telemetry then accumulates across runs); [jobs]/[Pool.size] set
+    the wave width.  [net_timeout_s] bounds each net's optimization:
+    an expired net keeps its star routing and is counted in
+    [nets_timed_out] (this trades determinism for robustness — leave
+    it unset for reproducible results). *)
 val run :
   tech:Tech.t ->
   buffers:Buffer_lib.t ->
   flow:flow ->
   ?min_sinks:int ->
   ?merlin_cfg:(int -> Merlin_core.Config.t) ->
+  ?jobs:int ->
+  ?pool:Merlin_exec.Pool.t ->
+  ?net_timeout_s:float ->
   Netlist.t ->
   result
 
@@ -41,5 +62,7 @@ val run_all :
   tech:Tech.t ->
   buffers:Buffer_lib.t ->
   ?min_sinks:int ->
+  ?jobs:int ->
+  ?pool:Merlin_exec.Pool.t ->
   Netlist.t ->
   result list

@@ -10,15 +10,15 @@ type t = {
 
 (* Netlists are frozen once [init] validates them, so a generation id
    stamped at init time identifies the netlist for memoisation without
-   resorting to physical equality. *)
-let generation = ref 0
+   resorting to physical equality.  Atomic: [init] may be called from
+   several domains at once under the execution engine. *)
+let generation = Atomic.make 0
 
 let init netlist =
   Netlist.validate netlist;
-  incr generation;
   { netlist;
     routing = Array.make (Netlist.n_nodes netlist) None;
-    gen = !generation }
+    gen = 1 + Atomic.fetch_and_add generation 1 }
 
 let with_routing t ~node tree =
   let routing = Array.copy t.routing in
@@ -34,15 +34,18 @@ let driver_model t node =
   | None -> Gate.input_pad.Gate.model
   | Some g -> t.netlist.Netlist.gates.(g).Netlist.kind.Gate.model
 
-let fanouts_memo = ref None
+(* Domain-local: concurrent STA over different netlists must not thrash
+   (or tear) a shared memo slot. *)
+let fanouts_memo : (int * int list array) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let sink_gates t node =
   let fo =
-    match !fanouts_memo with
+    match Domain.DLS.get fanouts_memo with
     | Some (gen, fo) when gen = t.gen -> fo
     | Some _ | None ->
       let fo = Netlist.fanouts t.netlist in
-      fanouts_memo := Some (t.gen, fo);
+      Domain.DLS.set fanouts_memo (Some (t.gen, fo));
       fo
   in
   fo.(node)

@@ -29,13 +29,14 @@ let terminal_box candidates = function
      | pts -> Rect.bounding_box pts)
 
 (* Operation counters used by the diagnostics in bench/ and by tuning
-   sessions; incrementing monotonic ints is free next to the curve work. *)
-let n_join_adds = ref 0
-let n_close_adds = ref 0
-let n_pull_adds = ref 0
-let n_base_adds = ref 0
-let n_cells = ref 0
-let n_pulls = ref 0
+   sessions; atomic so concurrent flows under the execution engine do
+   not lose increments, and still free next to the curve work. *)
+let n_join_adds = Atomic.make 0
+let n_close_adds = Atomic.make 0
+let n_pull_adds = Atomic.make 0
+let n_base_adds = Atomic.make 0
+let n_cells = Atomic.make 0
+let n_pulls = Atomic.make 0
 
 let run ~tech ~buffers ~trials ~max_curve ~grids ~bbox_slack ~candidates
     ~active ~terminals =
@@ -60,7 +61,7 @@ let run ~tech ~buffers ~trials ~max_curve ~grids ~bbox_slack ~candidates
          | Merlin_rtree.Rtree.Leaf _ | Merlin_rtree.Rtree.Node { buffer = None; _ } ->
            Array.fold_left
              (fun acc b ->
-                incr n_close_adds;
+                Atomic.incr n_close_adds;
                 quant_add acc (Build.add_root_buffer b sol))
              acc subset)
       curve curve
@@ -95,11 +96,11 @@ let run ~tech ~buffers ~trials ~max_curve ~grids ~bbox_slack ~candidates
   let table = Array.make (m * m) None in
   let idx i j = (i * m) + j in
   let pull computed p =
-    incr n_pulls;
+    Atomic.incr n_pulls;
     let root = candidates.(p) in
     let from acc curve =
       Curve.fold
-        (fun acc sol -> incr n_pull_adds; quant_add acc (Build.extend_wire tech ~to_:root sol))
+        (fun acc sol -> Atomic.incr n_pull_adds; quant_add acc (Build.extend_wire tech ~to_:root sol))
         acc curve
     in
     finish ~max_curve (Array.fold_left from Curve.empty computed)
@@ -126,14 +127,14 @@ let run ~tech ~buffers ~trials ~max_curve ~grids ~bbox_slack ~candidates
         let root = candidates.(p) in
         match terminals.(i) with
         | Sink_term s ->
-          incr n_base_adds;
+          Atomic.incr n_base_adds;
           quant_add Curve.empty
             (Build.extend_wire tech ~to_:root (Build.of_sink s))
         | Sub_term sub ->
           let attach acc curve =
             Curve.fold
               (fun acc sol ->
-                 incr n_base_adds;
+                 Atomic.incr n_base_adds;
                  quant_add acc (Build.extend_wire tech ~to_:root sol))
               acc curve
           in
@@ -147,13 +148,13 @@ let run ~tech ~buffers ~trials ~max_curve ~grids ~bbox_slack ~candidates
             Curve.iter
               (fun a ->
                  Curve.iter
-                   (fun b -> incr n_join_adds; acc := quant_add !acc (Build.join root a b))
+                   (fun b -> Atomic.incr n_join_adds; acc := quant_add !acc (Build.join root a b))
                    right)
               left
         done;
         !acc
     in
-    incr n_cells;
+    Atomic.incr n_cells;
     Array.iter
       (fun p ->
          computed.(p) <- finish ~max_curve (close_buffers (finish ~max_curve (raw p))))

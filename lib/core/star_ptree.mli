@@ -37,12 +37,12 @@ type terminal =
     closed under root-buffer insertion.  Raises [Invalid_argument] on
     empty [terminals], [candidates] or [active]. *)
 (**/**)
-val n_join_adds : int ref
-val n_close_adds : int ref
-val n_pull_adds : int ref
-val n_base_adds : int ref
-val n_cells : int ref
-val n_pulls : int ref
+val n_join_adds : int Atomic.t
+val n_close_adds : int Atomic.t
+val n_pull_adds : int Atomic.t
+val n_base_adds : int Atomic.t
+val n_cells : int Atomic.t
+val n_pulls : int Atomic.t
 (**/**)
 
 val run :

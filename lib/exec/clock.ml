@@ -1,0 +1,8 @@
+let monotonic_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+let elapsed_s t0 = monotonic_s () -. t0
+
+let timed f =
+  let t0 = monotonic_s () in
+  let v = f () in
+  (v, monotonic_s () -. t0)

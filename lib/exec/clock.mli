@@ -1,0 +1,18 @@
+(** Monotonic time source for every runtime/speedup measurement.
+
+    [Unix.gettimeofday] is wall-clock time: an NTP step (or a suspended
+    container) moves it arbitrarily, which corrupts runtime columns and
+    timeout deadlines.  All timing in this repository goes through the
+    OS monotonic clock instead (CLOCK_MONOTONIC via the bechamel stub,
+    which is a noalloc external). *)
+
+(** Seconds on the monotonic clock.  The origin is unspecified (boot
+    time on Linux); only differences are meaningful. *)
+val monotonic_s : unit -> float
+
+(** [elapsed_s t0] = [monotonic_s () -. t0]. *)
+val elapsed_s : float -> float
+
+(** [timed f] runs [f ()] and returns its result with the elapsed
+    monotonic seconds. *)
+val timed : (unit -> 'a) -> 'a * float

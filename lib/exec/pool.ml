@@ -1,0 +1,393 @@
+(* Domain pool on stdlib primitives only.
+
+   Locking protocol: three independent mutexes, never held together —
+   [qm] (task queue), each future's [fm] (its state machine), [sm]
+   (telemetry).  Task bodies run with no lock held.
+
+   Deadlock-freedom of the helping [await] rests on one discipline the
+   API enforces by construction: a future exists only after its task is
+   submitted.  So when [await fut] runs, [fut]'s task is queued, running
+   or settled.  The helper blocks on [fut.fcv] only after observing an
+   empty queue, at which point the task is running on some other domain
+   (or settled), and that domain's completion broadcast wakes it up.
+   Inductively the most deeply nested await across all domains always
+   sits above a task that is actually executing, so progress is never
+   lost, for any pool size. *)
+
+exception Task_cancelled
+
+type 'a state =
+  | Queued
+  | Started
+  | Settled of ('a, exn * Printexc.raw_backtrace) result
+  | Dropped
+
+type entry = { exec : slot:int -> unit }
+
+let hist_buckets = 9
+
+(* Upper decade edges in seconds; durations >= 10 s land in the last
+   bucket. *)
+let hist_edges = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0 |]
+
+let bucket_of s =
+  let rec go i =
+    if i >= Array.length hist_edges then i
+    else if s < hist_edges.(i) then i
+    else go (i + 1)
+  in
+  go 0
+
+type domain_stat = { tasks : int; busy_s : float }
+
+type stats = {
+  domains : int;
+  age_s : float;
+  submitted : int;
+  completed : int;
+  failed : int;
+  cancelled : int;
+  timed_out : int;
+  total_queue_wait_s : float;
+  max_queue_wait_s : float;
+  total_run_s : float;
+  max_run_s : float;
+  queue_wait_hist : int array;
+  run_hist : int array;
+  per_domain : domain_stat array;
+}
+
+type t = {
+  n_domains : int;
+  created_at : float;
+  q : entry Queue.t;
+  qm : Mutex.t;
+  qcv : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t array;
+  (* telemetry; every mutable field below is guarded by [sm] *)
+  sm : Mutex.t;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable cancelled : int;
+  mutable timed_out : int;
+  mutable total_wait : float;
+  mutable max_wait : float;
+  mutable total_run : float;
+  mutable max_run : float;
+  wait_hist : int array;
+  run_hist_ : int array;
+  slot_tasks : int array;
+  slot_busy : float array;
+}
+
+type 'a future = {
+  pool : t;
+  fm : Mutex.t;
+  fcv : Condition.t;
+  mutable st : 'a state;
+  submitted_at : float;
+}
+
+let size t = t.n_domains
+
+(* ---- telemetry ---- *)
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let record_exec pool ~slot ~wait ~run ~ok =
+  locked pool.sm (fun () ->
+      if ok then pool.completed <- pool.completed + 1
+      else pool.failed <- pool.failed + 1;
+      pool.total_wait <- pool.total_wait +. wait;
+      pool.max_wait <- Float.max pool.max_wait wait;
+      pool.total_run <- pool.total_run +. run;
+      pool.max_run <- Float.max pool.max_run run;
+      pool.wait_hist.(bucket_of wait) <- pool.wait_hist.(bucket_of wait) + 1;
+      pool.run_hist_.(bucket_of run) <- pool.run_hist_.(bucket_of run) + 1;
+      pool.slot_tasks.(slot) <- pool.slot_tasks.(slot) + 1;
+      pool.slot_busy.(slot) <- pool.slot_busy.(slot) +. run)
+
+let stats pool =
+  locked pool.sm (fun () ->
+      { domains = pool.n_domains;
+        age_s = Clock.elapsed_s pool.created_at;
+        submitted = pool.submitted;
+        completed = pool.completed;
+        failed = pool.failed;
+        cancelled = pool.cancelled;
+        timed_out = pool.timed_out;
+        total_queue_wait_s = pool.total_wait;
+        max_queue_wait_s = pool.max_wait;
+        total_run_s = pool.total_run;
+        max_run_s = pool.max_run;
+        queue_wait_hist = Array.copy pool.wait_hist;
+        run_hist = Array.copy pool.run_hist_;
+        per_domain =
+          Array.init
+            (pool.n_domains + 1)
+            (fun i -> { tasks = pool.slot_tasks.(i); busy_s = pool.slot_busy.(i) }) })
+
+let hist_labels =
+  [| "<1us"; "<10us"; "<100us"; "<1ms"; "<10ms"; "<100ms"; "<1s"; "<10s";
+     ">=10s" |]
+
+let pp_hist ppf h =
+  Array.iteri
+    (fun i n -> if n > 0 then Format.fprintf ppf " %s:%d" hist_labels.(i) n)
+    h
+
+let pp_stats ppf (s : stats) =
+  let executed = s.completed + s.failed in
+  let mean total = if executed = 0 then 0.0 else total /. float_of_int executed in
+  Format.fprintf ppf
+    "@[<v>pool: %d domains, age %.2fs@,\
+     tasks: %d submitted, %d completed, %d failed, %d cancelled, %d timed out@,\
+     queue wait: mean %.2gs, max %.2gs; hist:%a@,\
+     run time:   mean %.2gs, max %.2gs; hist:%a@,"
+    s.domains s.age_s s.submitted s.completed s.failed s.cancelled s.timed_out
+    (mean s.total_queue_wait_s) s.max_queue_wait_s pp_hist s.queue_wait_hist
+    (mean s.total_run_s) s.max_run_s pp_hist s.run_hist;
+  Array.iteri
+    (fun i d ->
+       let label =
+         if i < s.domains then Printf.sprintf "domain %d" i else "helpers "
+       in
+       Format.fprintf ppf "%s: %d tasks, busy %.2fs (%.0f%%)@," label d.tasks
+         d.busy_s
+         (if s.age_s > 0.0 then 100.0 *. d.busy_s /. s.age_s else 0.0))
+    s.per_domain;
+  Format.fprintf ppf "@]"
+
+(* ---- queue ---- *)
+
+let enqueue pool entry =
+  Mutex.lock pool.qm;
+  if pool.closed then begin
+    Mutex.unlock pool.qm;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push entry pool.q;
+  Condition.signal pool.qcv;
+  Mutex.unlock pool.qm
+
+(* Pop one queued task and run it on [slot]; false when the queue was
+   empty at the time of the check. *)
+let try_help pool ~slot =
+  Mutex.lock pool.qm;
+  let e = Queue.take_opt pool.q in
+  Mutex.unlock pool.qm;
+  match e with
+  | Some e ->
+    e.exec ~slot;
+    true
+  | None -> false
+
+let rec worker_loop pool slot =
+  Mutex.lock pool.qm;
+  while Queue.is_empty pool.q && not pool.closed do
+    Condition.wait pool.qcv pool.qm
+  done;
+  let e = Queue.take_opt pool.q in
+  Mutex.unlock pool.qm;
+  match e with
+  | None -> () (* closed and drained *)
+  | Some e ->
+    e.exec ~slot;
+    worker_loop pool slot
+
+(* ---- lifecycle ---- *)
+
+let create ?domains () =
+  let n =
+    match domains with
+    | Some n -> n
+    | None -> Domain.recommended_domain_count ()
+  in
+  if n < 0 || n > 512 then
+    invalid_arg "Pool.create: domains must be within [0, 512]";
+  let pool =
+    { n_domains = n;
+      created_at = Clock.monotonic_s ();
+      q = Queue.create ();
+      qm = Mutex.create ();
+      qcv = Condition.create ();
+      closed = false;
+      workers = [||];
+      sm = Mutex.create ();
+      submitted = 0;
+      completed = 0;
+      failed = 0;
+      cancelled = 0;
+      timed_out = 0;
+      total_wait = 0.0;
+      max_wait = 0.0;
+      total_run = 0.0;
+      max_run = 0.0;
+      wait_hist = Array.make hist_buckets 0;
+      run_hist_ = Array.make hist_buckets 0;
+      slot_tasks = Array.make (n + 1) 0;
+      slot_busy = Array.make (n + 1) 0.0 }
+  in
+  pool.workers <-
+    Array.init n (fun i -> Domain.spawn (fun () -> worker_loop pool i));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.qm;
+  if pool.closed then Mutex.unlock pool.qm
+  else begin
+    pool.closed <- true;
+    Condition.broadcast pool.qcv;
+    Mutex.unlock pool.qm;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||]
+  end
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* ---- futures ---- *)
+
+let submit pool f =
+  let fut =
+    { pool;
+      fm = Mutex.create ();
+      fcv = Condition.create ();
+      st = Queued;
+      submitted_at = Clock.monotonic_s () }
+  in
+  let exec ~slot =
+    Mutex.lock fut.fm;
+    match fut.st with
+    | Dropped | Started | Settled _ ->
+      (* Dropped: cancelled while queued.  Started/Settled cannot occur:
+         the queue hands each entry to exactly one executor. *)
+      Mutex.unlock fut.fm
+    | Queued ->
+      fut.st <- Started;
+      Mutex.unlock fut.fm;
+      let t0 = Clock.monotonic_s () in
+      let res =
+        match f () with
+        | v -> Ok v
+        | exception exn -> Error (exn, Printexc.get_raw_backtrace ())
+      in
+      let t1 = Clock.monotonic_s () in
+      record_exec pool ~slot ~wait:(t0 -. fut.submitted_at) ~run:(t1 -. t0)
+        ~ok:(match res with Ok _ -> true | Error _ -> false);
+      Mutex.lock fut.fm;
+      fut.st <- Settled res;
+      Condition.broadcast fut.fcv;
+      Mutex.unlock fut.fm
+  in
+  locked pool.sm (fun () -> pool.submitted <- pool.submitted + 1);
+  enqueue pool { exec };
+  fut
+
+let rec await fut =
+  Mutex.lock fut.fm;
+  match fut.st with
+  | Settled (Ok v) ->
+    Mutex.unlock fut.fm;
+    v
+  | Settled (Error (exn, bt)) ->
+    Mutex.unlock fut.fm;
+    Printexc.raise_with_backtrace exn bt
+  | Dropped ->
+    Mutex.unlock fut.fm;
+    raise Task_cancelled
+  | Queued | Started ->
+    Mutex.unlock fut.fm;
+    (* Help first; block only once the queue is observed empty, at which
+       point this future's task is running elsewhere (see header). *)
+    if try_help fut.pool ~slot:fut.pool.n_domains then await fut
+    else begin
+      Mutex.lock fut.fm;
+      (match fut.st with
+       | Queued | Started -> Condition.wait fut.fcv fut.fm
+       | Settled _ | Dropped -> ());
+      Mutex.unlock fut.fm;
+      await fut
+    end
+
+let cancel fut =
+  Mutex.lock fut.fm;
+  match fut.st with
+  | Queued ->
+    fut.st <- Dropped;
+    Condition.broadcast fut.fcv;
+    Mutex.unlock fut.fm;
+    locked fut.pool.sm (fun () ->
+        fut.pool.cancelled <- fut.pool.cancelled + 1);
+    true
+  | Started | Settled _ | Dropped ->
+    Mutex.unlock fut.fm;
+    false
+
+type 'a outcome =
+  | Done of 'a
+  | Timed_out
+  | Failed of exn
+
+let await_timeout ~timeout_s fut =
+  let deadline = Clock.monotonic_s () +. timeout_s in
+  let rec loop () =
+    Mutex.lock fut.fm;
+    match fut.st with
+    | Settled (Ok v) ->
+      Mutex.unlock fut.fm;
+      Done v
+    | Settled (Error (exn, _)) ->
+      Mutex.unlock fut.fm;
+      Failed exn
+    | Dropped ->
+      Mutex.unlock fut.fm;
+      Failed Task_cancelled
+    | Queued | Started ->
+      Mutex.unlock fut.fm;
+      if Clock.monotonic_s () >= deadline then begin
+        (* Expired: keep a queued task from ever starting; a running one
+           is abandoned and its eventual result discarded. *)
+        ignore (cancel fut);
+        locked fut.pool.sm (fun () ->
+            fut.pool.timed_out <- fut.pool.timed_out + 1);
+        Timed_out
+      end
+      else begin
+        Unix.sleepf 2e-4;
+        loop ()
+      end
+  in
+  loop ()
+
+let run_timeout pool ~timeout_s f = await_timeout ~timeout_s (submit pool f)
+
+(* ---- deterministic map ---- *)
+
+let map ?chunk pool f xs =
+  match xs with
+  | [] -> []
+  | _ :: _ ->
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some _ -> invalid_arg "Pool.map: chunk must be >= 1"
+      | None -> max 1 (n / (4 * (pool.n_domains + 1)))
+    in
+    let n_chunks = (n + chunk - 1) / chunk in
+    let futs =
+      List.init n_chunks (fun ci ->
+          submit pool (fun () ->
+              let lo = ci * chunk in
+              Array.init (min chunk (n - lo)) (fun k -> f arr.(lo + k))))
+    in
+    (* Await in chunk order: output order is the input order whatever
+       the scheduling; the first failing chunk's exception wins. *)
+    List.concat_map (fun fu -> Array.to_list (await fu)) futs

@@ -1,0 +1,34 @@
+(* The OCaml 5 runtime reserves the minor-heap area for the maximum
+   domain count once, at startup, from OCAMLRUNPARAM.  A later
+   [Gc.set { minor_heap_size }] updates what [Gc.get] reports but
+   cannot grow the reservation, so it silently changes nothing
+   (measured: identical minor-collection counts either way).  The only
+   reliable lever is the environment at exec time — hence the re-exec
+   below. *)
+
+let default_minor_heap_words = 4 * 1024 * 1024
+
+let has_minor_heap_setting () =
+  match Sys.getenv_opt "OCAMLRUNPARAM" with
+  | None -> false
+  | Some s ->
+    List.exists
+      (fun kv -> String.length kv >= 2 && kv.[0] = 's' && kv.[1] = '=')
+      (String.split_on_char ',' s)
+
+let ensure_minor_heap ?(words = default_minor_heap_words) () =
+  if not (has_minor_heap_setting ()) then begin
+    let setting = Printf.sprintf "s=%d" words in
+    let v =
+      match Sys.getenv_opt "OCAMLRUNPARAM" with
+      | None | Some "" -> setting
+      | Some cur -> setting ^ "," ^ cur
+    in
+    Unix.putenv "OCAMLRUNPARAM" v;
+    (* On success exec does not return; the re-executed image sees the
+       s= entry and falls through above.  If exec is unavailable
+       (e.g. the binary moved), keep going with the stock heap — the
+       tuning is a performance matter, never a correctness one. *)
+    try Unix.execv Sys.executable_name Sys.argv
+    with Unix.Unix_error (_, _, _) -> ()
+  end

@@ -15,10 +15,9 @@ type metrics = {
   tree : Rtree.t;
 }
 
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let v = f () in
-  (v, Unix.gettimeofday () -. t0)
+(* Wall-clock runtimes come from the monotonic clock: gettimeofday is
+   NTP-step sensitive and would corrupt the runtime/speedup columns. *)
+let timed f = Merlin_exec.Clock.timed f
 
 let metrics_of_tree ~flow ~tech ~loops ~runtime (net : Net.t) tree =
   let ev = Eval.net tech net tree in

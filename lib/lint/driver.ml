@@ -64,9 +64,11 @@ let lint_file ?rules path = lint_string ?rules ~filename:path (read_file path)
 let is_source path =
   Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
 
+(* [_build] is named explicitly on top of the [_]/[.] prefix rule so a
+   renamed dune build dir in a stale checkout can never be linted. *)
 let skip_dir name =
-  String.length name > 0
-  && (name.[0] = '.' || name.[0] = '_')
+  name = "_build"
+  || (String.length name > 0 && (name.[0] = '.' || name.[0] = '_'))
 
 let collect_files paths =
   let rec walk acc path =

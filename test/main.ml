@@ -15,4 +15,5 @@ let () =
       Test_report.suite;
       Test_flows.suite;
       Test_circuit.suite;
+      Test_exec.suite;
       Test_lint.suite ]
