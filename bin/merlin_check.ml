@@ -1,0 +1,94 @@
+(* merlin_check: typedtree-based whole-project analyzer.
+
+   Usage:
+     merlin_check [--format text|json|sarif] [--sarif]
+                  [--baseline FILE] [--write-baseline FILE]
+                  [--src-root DIR]... [ROOT...]
+
+   ROOTs are files or directories scanned for .cmt/.cmti artifacts
+   (default "."), so the tool is normally run from the dune build
+   directory after a build.  --src-root trees (default "lib") are
+   guarded for artifact coverage: a source there with no loaded cmt is
+   itself a finding.
+
+   Exit codes: 0 nothing survives the baseline, 1 any finding survives
+   (warnings included: the baseline, not the severity, is the accepted-
+   findings mechanism), 2 usage/IO failure. *)
+
+let () =
+  let format = ref Merlin_check.Check_driver.Text in
+  let roots = ref [] in
+  let src_roots = ref [] in
+  let baseline = ref None in
+  let write_baseline = ref None in
+  let set_format s =
+    format :=
+      match s with
+      | "json" -> Merlin_check.Check_driver.Json
+      | "sarif" -> Merlin_check.Check_driver.Sarif
+      | _ -> Merlin_check.Check_driver.Text
+  in
+  let spec =
+    [ ( "--format",
+        Arg.Symbol ([ "text"; "json"; "sarif" ], set_format),
+        " output format (default text)" );
+      ( "--sarif",
+        Arg.Unit (fun () -> set_format "sarif"),
+        " shorthand for --format sarif" );
+      ( "--baseline",
+        Arg.String (fun s -> baseline := Some s),
+        "FILE subtract findings recorded in FILE (native or SARIF) \
+         before reporting" );
+      ( "--write-baseline",
+        Arg.String (fun s -> write_baseline := Some s),
+        "FILE record the current findings as the accepted baseline and \
+         exit" );
+      ( "--src-root",
+        Arg.String (fun s -> src_roots := s :: !src_roots),
+        "DIR source tree guarded for cmt coverage (repeatable; default \
+         lib)" );
+      ( "--rules",
+        Arg.Unit
+          (fun () ->
+             List.iter
+               (fun (name, sev, doc) ->
+                  Printf.printf "%-22s %-7s %s\n" name
+                    (Merlin_lint.Finding.severity_to_string sev)
+                    doc)
+               Merlin_check.Check_driver.rule_docs;
+             exit 0),
+        " list the rule set and exit" ) ]
+  in
+  let usage =
+    "merlin_check [--format text|json|sarif] [--baseline FILE] \
+     [--write-baseline FILE] [--src-root DIR]... [ROOT...]"
+  in
+  Arg.parse spec (fun p -> roots := p :: !roots) usage;
+  let roots = match List.rev !roots with [] -> [ "." ] | ps -> ps in
+  let src_roots =
+    match List.rev !src_roots with [] -> [ "lib" ] | ps -> ps
+  in
+  let baseline =
+    match !baseline with
+    | None -> []
+    | Some file -> (
+      match Merlin_lint.Baseline.load file with
+      | Ok b -> b
+      | Error msg ->
+        prerr_endline ("merlin_check: --baseline " ^ file ^ ": " ^ msg);
+        exit 2)
+  in
+  match Merlin_check.Check_driver.run ~roots ~src_roots with
+  | findings -> (
+    match !write_baseline with
+    | Some file ->
+      Merlin_lint.Baseline.save file (Merlin_lint.Baseline.of_findings findings);
+      Printf.printf "merlin_check: wrote %d finding(s) to %s\n"
+        (List.length findings) file
+    | None ->
+      let findings = Merlin_lint.Baseline.apply baseline findings in
+      print_string (Merlin_check.Check_driver.render !format findings);
+      (match findings with [] -> () | _ :: _ -> exit 1))
+  | exception Sys_error msg ->
+    prerr_endline ("merlin_check: " ^ msg);
+    exit 2

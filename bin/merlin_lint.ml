@@ -1,16 +1,22 @@
 (* merlin_lint: project lint pass over the repository sources.
 
-   Usage: merlin_lint [--format text|json] [PATH...]
-   Default paths: lib bin bench examples.  Exit codes: 0 clean,
-   1 error-severity findings, 2 usage/IO failure. *)
+   Usage: merlin_lint [--format text|json] [--baseline FILE] [PATH...]
+   Default paths: lib bin bench examples test.  Exit codes: 0 clean,
+   1 error-severity findings (after baseline subtraction), 2 usage/IO
+   failure. *)
 
 let () =
   let json = ref false in
   let paths = ref [] in
+  let baseline = ref None in
   let spec =
     [ ( "--format",
         Arg.Symbol ([ "text"; "json" ], fun s -> json := s = "json"),
         " output format (default text)" );
+      ( "--baseline",
+        Arg.String (fun s -> baseline := Some s),
+        "FILE subtract findings recorded in FILE (native or SARIF) \
+         before reporting" );
       ( "--rules",
         Arg.Unit
           (fun () ->
@@ -20,18 +26,34 @@ let () =
                     (Merlin_lint.Finding.severity_to_string R.severity)
                     R.doc)
                Merlin_lint.Rules.all;
+             Printf.printf "%-18s %-7s %s\n" "stale-waiver" "warning"
+               "a lint:/check: waiver that suppresses nothing (driver \
+                post-pass)";
              exit 0),
         " list the rule set and exit" ) ]
   in
-  let usage = "merlin_lint [--format text|json] [PATH...]" in
+  let usage =
+    "merlin_lint [--format text|json] [--baseline FILE] [PATH...]"
+  in
   Arg.parse spec (fun p -> paths := p :: !paths) usage;
   let paths =
     match List.rev !paths with
-    | [] -> [ "lib"; "bin"; "bench"; "examples" ]
+    | [] -> [ "lib"; "bin"; "bench"; "examples"; "test" ]
     | ps -> ps
+  in
+  let baseline =
+    match !baseline with
+    | None -> []
+    | Some file -> (
+      match Merlin_lint.Baseline.load file with
+      | Ok b -> b
+      | Error msg ->
+        prerr_endline ("merlin_lint: --baseline " ^ file ^ ": " ^ msg);
+        exit 2)
   in
   match Merlin_lint.Driver.lint_paths paths with
   | findings ->
+    let findings = Merlin_lint.Baseline.apply baseline findings in
     print_string
       (if !json then Merlin_lint.Driver.render_json findings
        else Merlin_lint.Driver.render_text findings);

@@ -1,0 +1,89 @@
+(* Orchestration for the typed tier: load cmt artifacts, run C1-C3,
+   audit typed-tier waivers, flag library sources with no artifact
+   (coverage guard), sort, render.
+
+   The coverage guard matters because a cmt-based analyzer silently
+   passes whatever was never compiled: a library source with no loaded
+   artifact yields a [missing-cmt] warning, so the scan either sees a
+   unit's typedtree or says that it did not. *)
+
+module Finding = Merlin_lint.Finding
+
+let tool_name = "merlin_check"
+
+let tool_version = "0.1.0"
+
+(* (rule, severity, one-line doc) for --rules; the analysis rules are
+   defined in their modules, the driver-level diagnostics here. *)
+let rule_docs =
+  [ ( Domain_safety.rule,
+      Finding.Error,
+      "task closure mutates shared mutable state without Mutex.protect \
+       (waive: domain-safe)" );
+    ( Exn_flow.rule,
+      Finding.Warning,
+      "unhandled raise inside a task closure surfaces only at await \
+       (waive: exn-flow)" );
+    ( Dead_export.rule,
+      Finding.Warning,
+      ".mli export never referenced from another compilation unit \
+       (waive: dead-export)" );
+    ( "stale-waiver",
+      Finding.Warning,
+      "a check: waiver that suppressed nothing this run" );
+    ("cmt-error", Finding.Warning, "a cmt artifact failed to load");
+    ( "missing-cmt",
+      Finding.Warning,
+      "a library source has no cmt artifact in the scan — build first" ) ]
+
+let strip_dot_slash path =
+  if String.length path > 2 && String.equal (String.sub path 0 2) "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+(* Library sources the artifact scan never covered. *)
+let missing_cmts ~src_roots (units : Cmt_load.t list) =
+  let covered = Hashtbl.create 64 in
+  List.iter
+    (fun (u : Cmt_load.t) ->
+       match u.Cmt_load.source with
+       | Some s -> Hashtbl.replace covered (strip_dot_slash s) ()
+       | None -> ())
+    units;
+  let roots = List.filter Sys.file_exists src_roots in
+  Merlin_lint.Driver.collect_files roots
+  |> List.filter (fun f -> Filename.check_suffix f ".ml")
+  |> List.filter_map (fun src ->
+      if Hashtbl.mem covered (strip_dot_slash src) then None
+      else
+        Some
+          (Finding.make ~file:src ~line:1 ~col:0 ~rule:"missing-cmt"
+             ~severity:Finding.Warning
+             "no cmt artifact for this source in the scan roots; run dune \
+              build so the typed rules can see it"))
+
+let analyze ?(src_roots = []) (units, load_findings) =
+  let waivers = Waivers.create () in
+  List.iter
+    (fun (u : Cmt_load.t) ->
+       if not (Cmt_load.is_alias_unit u) then (
+         Option.iter (Waivers.register_file waivers) u.Cmt_load.source;
+         Option.iter (Waivers.register_file waivers) u.Cmt_load.intf_source))
+    units;
+  let c1 = Domain_safety.check ~waivers units in
+  let c2 = Exn_flow.check ~waivers units in
+  let c3 = Dead_export.check ~waivers units in
+  let missing = missing_cmts ~src_roots units in
+  let stale = Waivers.stale waivers in
+  List.sort Finding.compare_order
+    (load_findings @ c1 @ c2 @ c3 @ missing @ stale)
+
+let run ~roots ~src_roots = analyze ~src_roots (Cmt_load.load_roots roots)
+
+type format = Text | Json | Sarif
+
+let render format findings =
+  match format with
+  | Text -> Merlin_lint.Driver.render_text findings
+  | Json -> Merlin_lint.Driver.render_json findings
+  | Sarif -> Sarif.render ~tool_name ~tool_version findings

@@ -1,0 +1,23 @@
+(** Orchestration for the typed tier: artifact loading, C1-C3, waiver
+    staleness, coverage guard, rendering. *)
+
+val tool_name : string
+
+(** (rule, severity, one-line doc) for every rule the tool can emit. *)
+val rule_docs : (string * Merlin_lint.Finding.severity * string) list
+
+(** Run all typed rules over pre-loaded units (plus the loader's own
+    findings); [src_roots] are source trees guarded for cmt coverage
+    ([missing-cmt]).  Sorted by file and position. *)
+val analyze :
+  ?src_roots:string list ->
+  Cmt_load.t list * Merlin_lint.Finding.t list ->
+  Merlin_lint.Finding.t list
+
+(** Load every artifact under [roots], then {!analyze}. *)
+val run :
+  roots:string list -> src_roots:string list -> Merlin_lint.Finding.t list
+
+type format = Text | Json | Sarif
+
+val render : format -> Merlin_lint.Finding.t list -> string

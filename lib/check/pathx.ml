@@ -1,0 +1,122 @@
+(* Typedtree path utilities shared by the C1-C3 rules.
+
+   References in cmt files keep the shape the programmer wrote
+   ([Merlin_exec.Pool.submit] through the dune alias module,
+   [Pool.submit] through a local [module Pool = ...] alias,
+   [Merlin_exec__Pool.submit] when the mangled unit leaks through), so
+   every rule works on a *normalized* component list: dune's [__]
+   separators are split ([Merlin_exec__Pool] -> [Merlin_exec; Pool])
+   and local module aliases are expanded to their global targets.
+   Matching is then suffix-based, which also makes the rules hold on
+   self-contained fixture code that stubs the [Pool] module. *)
+
+let rec flatten_acc acc = function
+  | Path.Pident id -> Some (Ident.name id :: acc)
+  | Path.Pdot (p, s) -> flatten_acc (s :: acc) p
+  | Path.Papply _ -> None
+  | Path.Pextra_ty (p, _) -> flatten_acc acc p
+
+(* Path components root-first; [None] for paths through functor
+   applications (documented false-negative: first-class functors). *)
+let flatten p = flatten_acc [] p
+
+let rec head_ident = function
+  | Path.Pident id -> Some id
+  | Path.Pdot (p, _) -> head_ident p
+  | Path.Papply _ -> None
+  | Path.Pextra_ty (p, _) -> head_ident p
+
+(* "Merlin_exec__Pool" -> ["Merlin_exec"; "Pool"]. *)
+let split_dune name =
+  let n = String.length name in
+  let rec cut start i acc =
+    if i + 1 >= n then List.rev (String.sub name start (n - start) :: acc)
+    else if name.[i] = '_' && name.[i + 1] = '_' then
+      let piece = String.sub name start (i - start) in
+      let rec skip j = if j < n && name.[j] = '_' then skip (j + 1) else j in
+      let next = skip (i + 2) in
+      (* keep pieces like "Foo__" (trailing separator) as just "Foo" *)
+      if next >= n then List.rev (piece :: acc)
+      else cut next next (piece :: acc)
+    else cut start (i + 1) acc
+  in
+  if n = 0 then [] else cut 0 0 []
+
+let normalize comps = List.concat_map split_dune comps
+
+(* Local module-alias environment: [module Pool = Merlin_exec.Pool]
+   maps Pool's binder ident to the normalized global target.  Looked up
+   by [Ident.same]; the handful of aliases per unit makes a list
+   fine. *)
+type alias_env = (Ident.t * string list) list ref
+
+let empty_env () : alias_env = ref []
+
+let lookup (env : alias_env) id =
+  List.find_map
+    (fun (id', target) -> if Ident.same id id' then Some target else None)
+    !env
+
+(* Resolve a reference path to normalized global components: global
+   heads normalize directly, local heads go through the alias
+   environment (chains were resolved at registration time), other
+   locals are not global references at all. *)
+let resolve (env : alias_env) path =
+  match flatten path with
+  | None -> None
+  | Some comps -> (
+    match head_ident path with
+    | None -> None
+    | Some id ->
+      if Ident.global id then Some (normalize comps)
+      else (
+        match lookup env id with
+        | Some prefix -> (
+          match comps with
+          | _ :: rest -> Some (prefix @ normalize rest)
+          | [] -> None)
+        | None -> None))
+
+let register_alias (env : alias_env) id path =
+  match resolve env path with
+  | Some target -> env := (id, target) :: !env
+  | None -> ()
+
+(* Collect every local module alias in a structure, nested ones
+   included, so later reference resolution can expand them.  Scoping is
+   by unique binder ident, so shadowing cannot cross-talk. *)
+let alias_env_of_structure str =
+  let env = empty_env () in
+  let rec register mb_id me =
+    match (mb_id, me.Typedtree.mod_desc) with
+    | Some id, Typedtree.Tmod_ident (p, _) -> register_alias env id p
+    | Some _, Typedtree.Tmod_constraint (inner, _, _, _) ->
+      register mb_id inner
+    | _ -> ()
+  in
+  let iter =
+    { Tast_iterator.default_iterator with
+      module_binding =
+        (fun sub mb ->
+           register mb.Typedtree.mb_id mb.Typedtree.mb_expr;
+           Tast_iterator.default_iterator.module_binding sub mb);
+      expr =
+        (fun sub e ->
+           (match e.Typedtree.exp_desc with
+            | Typedtree.Texp_letmodule (id, _, _, me, _) -> register id me
+            | _ -> ());
+           Tast_iterator.default_iterator.expr sub e) }
+  in
+  iter.Tast_iterator.structure iter str;
+  env
+
+(* [has_suffix ~suffix comps]: the last components of [comps] equal
+   [suffix]. *)
+let has_suffix ~suffix comps =
+  let ls = List.length suffix and lc = List.length comps in
+  ls <= lc
+  &&
+  let rec drop n l = if n = 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t in
+  List.equal String.equal suffix (drop (lc - ls) comps)
+
+let to_string comps = String.concat "." comps

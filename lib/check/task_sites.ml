@@ -1,0 +1,69 @@
+(* Task-submission sites: applications of the pool API (or the flow
+   orchestrator) with a literal closure argument.  C1 and C2 both
+   analyze exactly these closures — code that will run on another
+   domain and whose exceptions surface only at await.
+
+   Matching is suffix-based on normalized paths (see Pathx), so
+   [Merlin_exec.Pool.submit], a local [module Pool = Merlin_exec.Pool]
+   alias and a fixture's stub [Pool] module all match.  A closure that
+   reaches the pool through a variable or a record field is not seen —
+   a documented false negative. *)
+
+(* (suffix, display name) of the functions whose closure arguments
+   escape to worker domains. *)
+let sinks =
+  [ ([ "Pool"; "submit" ], "Pool.submit");
+    ([ "Pool"; "map" ], "Pool.map");
+    ([ "Pool"; "run_timeout" ], "Pool.run_timeout");
+    ([ "Flow_runner"; "run" ], "Flow_runner.run") ]
+
+type site = {
+  sink : string;  (** display name, e.g. ["Pool.map"] *)
+  closure : Typedtree.expression;  (** the literal [fun ...] argument *)
+}
+
+(* Resolved-if-possible, syntactic otherwise: a stubbed local [Pool]
+   module has no global path, but its dotted name still matches. *)
+let comps_of env p =
+  match Pathx.resolve env p with
+  | Some comps -> Some comps
+  | None -> Option.map Pathx.normalize (Pathx.flatten p)
+
+let sink_of env fn =
+  match fn.Typedtree.exp_desc with
+  | Typedtree.Texp_ident (p, _, _) ->
+    Option.bind (comps_of env p) (fun comps ->
+        List.find_map
+          (fun (suffix, name) ->
+             if Pathx.has_suffix ~suffix comps then Some name else None)
+          sinks)
+  | _ -> None
+
+let is_closure e =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_function _ -> true
+  | _ -> false
+
+let collect env str =
+  let found = ref [] in
+  let iter =
+    { Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+           (match e.Typedtree.exp_desc with
+            | Typedtree.Texp_apply (fn, args) -> (
+              match sink_of env fn with
+              | None -> ()
+              | Some sink ->
+                List.iter
+                  (fun (_, arg) ->
+                     match arg with
+                     | Some a when is_closure a ->
+                       found := { sink; closure = a } :: !found
+                     | _ -> ())
+                  args)
+            | _ -> ());
+           Tast_iterator.default_iterator.expr sub e) }
+  in
+  iter.Tast_iterator.structure iter str;
+  List.rev !found

@@ -1,0 +1,14 @@
+(** Task-submission sites: applications of [Pool.submit], [Pool.map],
+    [Pool.run_timeout] or [Flow_runner.run] with a literal closure
+    argument.  These closures run on worker domains; C1 and C2 analyze
+    exactly them. *)
+
+type site = {
+  sink : string;  (** display name, e.g. ["Pool.map"] *)
+  closure : Typedtree.expression;  (** the literal [fun ...] argument *)
+}
+
+(** All sites in a structure, in source order.  Matching is suffix-based
+    on normalized paths, with the unit's module-alias environment
+    applied first. *)
+val collect : Pathx.alias_env -> Typedtree.structure -> site list

@@ -1,0 +1,68 @@
+(* Typed-tier waivers: a same-line comment carrying [check: <token>]
+   suppresses one rule on that line.  Like the lint tier, waivers are
+   audited — a waiver that suppressed nothing is itself reported, so
+   waivers cannot rot when the code under them is fixed or moves.
+
+   The scanner is shared with merlin_lint (Driver.check_waiver_marks),
+   which owns the complementary well-formedness check (unknown
+   tokens). *)
+
+module Finding = Merlin_lint.Finding
+
+let tokens = [ "domain-safe"; "exn-flow"; "dead-export" ]
+
+type t = {
+  files : (string, (int * string) list) Hashtbl.t;
+  used : (string * int * string, unit) Hashtbl.t;
+}
+
+let create () = { files = Hashtbl.create 32; used = Hashtbl.create 32 }
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+let register_file t path =
+  if not (Hashtbl.mem t.files path) then
+    let marks =
+      if Sys.file_exists path then
+        match read_file path with
+        | text -> Merlin_lint.Driver.check_waiver_marks text
+        | exception Sys_error _ -> []
+      else []
+    in
+    Hashtbl.replace t.files path marks
+
+let waived t ~file ~line ~token =
+  register_file t file;
+  let marks = Option.value (Hashtbl.find_opt t.files file) ~default:[] in
+  if
+    List.exists
+      (fun (l, tok) -> l = line && String.equal tok token)
+      marks
+  then (
+    Hashtbl.replace t.used (file, line, token) ();
+    true)
+  else false
+
+let stale t =
+  Hashtbl.fold
+    (fun file marks acc ->
+       List.fold_left
+         (fun acc (line, token) ->
+            if
+              List.exists (String.equal token) tokens
+              && not (Hashtbl.mem t.used (file, line, token))
+            then
+              Finding.make ~file ~line ~col:0 ~rule:"stale-waiver"
+                ~severity:Finding.Warning
+                (Printf.sprintf
+                   "stale waiver: no %s finding on this line to suppress"
+                   token)
+              :: acc
+            else acc)
+         acc marks)
+    t.files []

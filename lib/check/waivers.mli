@@ -1,0 +1,23 @@
+(** Typed-tier waivers: a same-line [check: <token>] comment suppresses
+    one typed rule on that line; waivers that suppress nothing are
+    reported as [stale-waiver] warnings. *)
+
+(** The tokens the typed rules consume: [domain-safe] (C1), [exn-flow]
+    (C2), [dead-export] (C3). *)
+val tokens : string list
+
+type t
+
+val create : unit -> t
+
+(** Scan a source file for waiver marks (idempotent; missing files scan
+    as empty). *)
+val register_file : t -> string -> unit
+
+(** [waived t ~file ~line ~token] is true when the line carries the
+    token's waiver; consumption is recorded for {!stale}. *)
+val waived : t -> file:string -> line:int -> token:string -> bool
+
+(** Warning findings for every known-token waiver never consumed by a
+    rule.  Call after all rules ran. *)
+val stale : t -> Merlin_lint.Finding.t list

@@ -1,17 +1,88 @@
-let contains_sub hay needle =
-  let nh = String.length hay and nn = String.length needle in
-  let rec at i =
-    i + nn <= nh && (String.sub hay i nn = needle || at (i + 1))
-  in
-  nn = 0 || at 0
+(* ---------- waivers ---------- *)
 
-(* A waiver is a same-line comment [(* lint: <token> *)].  Tokens are the
-   rule names; scanning is per physical line of the original source. *)
-let waiver_table text =
-  let lines = Array.of_list (String.split_on_char '\n' text) in
-  fun ~token ~line ->
-    line >= 1 && line <= Array.length lines
-    && contains_sub lines.(line - 1) ("lint: " ^ token)
+(* A waiver is a same-line comment carrying [lint: <token>] (or, for
+   the typed tier, [check: <token>]) inside comment syntax.  The opener
+   strings are assembled from pieces so this very file can never be
+   mistaken for carrying a waiver. *)
+let lint_opener = "(* " ^ "lint: "
+
+let check_opener = "(* " ^ "check: "
+
+let is_token_char c =
+  match c with 'a' .. 'z' | '0' .. '9' | '-' -> true | _ -> false
+
+let token_at line i =
+  let n = String.length line in
+  let rec stop j = if j < n && is_token_char line.[j] then stop (j + 1) else j in
+  let j = stop i in
+  if j > i then Some (String.sub line i (j - i)) else None
+
+(* All [(line, token)] waiver marks in [text] for a given opener.  A
+   line can carry several waivers (several rules waived at once). *)
+let scan_waivers ~opener text =
+  let on = String.length opener in
+  let marks = ref [] in
+  List.iteri
+    (fun i line ->
+       let n = String.length line in
+       let rec from pos =
+         if pos + on > n then ()
+         else if String.sub line pos on = opener then (
+           (match token_at line (pos + on) with
+            | Some token -> marks := (i + 1, token) :: !marks
+            | None -> ());
+           from (pos + on))
+         else from (pos + 1)
+       in
+       from 0)
+    (String.split_on_char '\n' text);
+  List.rev !marks
+
+(* Tokens merlin_check's typed rules consume; the linter can only vet
+   check-waivers for being well-formed, staleness of the valid ones is
+   merlin_check's job (it knows which lines its rules would flag). *)
+let check_tokens = [ "domain-safe"; "exn-flow"; "dead-export" ]
+
+let check_waiver_marks text = scan_waivers ~opener:check_opener text
+
+let stale_waiver_rule = "stale-waiver"
+
+let rule_names rules =
+  List.map (fun (module R : Rule.S) -> R.name) rules
+
+(* Stale-waiver findings for one file: every [lint:] waiver that no rule
+   consumed (either the rule never fired on that line, or the token is
+   not a rule name at all), plus [check:] waivers with unknown tokens. *)
+let stale_findings ~filename ~rules ~lint_marks ~check_marks ~used =
+  let known = rule_names rules in
+  let stale_lint =
+    List.filter_map
+      (fun (line, token) ->
+         if Hashtbl.mem used (line, token) then None
+         else
+           let message =
+             if List.exists (String.equal token) known then
+               Printf.sprintf
+                 "stale waiver: no %s finding on this line to suppress" token
+             else Printf.sprintf "waiver names unknown lint rule %S" token
+           in
+           Some
+             (Finding.make ~file:filename ~line ~col:0
+                ~rule:stale_waiver_rule ~severity:Finding.Warning message))
+      lint_marks
+  in
+  let stale_check =
+    List.filter_map
+      (fun (line, token) ->
+         if List.exists (String.equal token) check_tokens then None
+         else
+           Some
+             (Finding.make ~file:filename ~line ~col:0
+                ~rule:stale_waiver_rule ~severity:Finding.Warning
+                (Printf.sprintf "waiver names unknown check rule %S" token)))
+      check_marks
+  in
+  stale_lint @ stale_check
 
 let build_iterator ctx rules =
   List.fold_left
@@ -30,10 +101,23 @@ let parse_error_finding exn =
 
 let lint_string ?(rules = Rules.all) ~filename text =
   let findings = ref [] in
+  let lint_marks = scan_waivers ~opener:lint_opener text in
+  let check_marks = scan_waivers ~opener:check_opener text in
+  let used : (int * string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let line_waived ~token ~line =
+    if
+      List.exists
+        (fun (l, t) -> l = line && String.equal t token)
+        lint_marks
+    then (
+      Hashtbl.replace used (line, token) ();
+      true)
+    else false
+  in
   let ctx =
     { Rule.filename;
       in_lib = Rule.path_in_lib filename;
-      line_waived = waiver_table text;
+      line_waived;
       emit = (fun f -> findings := f :: !findings) }
   in
   let iterator = build_iterator ctx rules in
@@ -50,7 +134,10 @@ let lint_string ?(rules = Rules.all) ~filename text =
      match parse_error_finding exn with
      | Some f -> findings := f :: !findings
      | None -> raise exn));
-  List.sort Finding.compare_order !findings
+  let stale =
+    stale_findings ~filename ~rules ~lint_marks ~check_marks ~used
+  in
+  List.sort Finding.compare_order (stale @ !findings)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -65,10 +152,14 @@ let is_source path =
   Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
 
 (* [_build] is named explicitly on top of the [_]/[.] prefix rule so a
-   renamed dune build dir in a stale checkout can never be linted. *)
+   renamed dune build dir in a stale checkout can never be linted.
+   [*_fixtures] trees hold deliberately-bad analyzer inputs (lint and
+   check fixtures under test/) and are only ever linted when named
+   explicitly. *)
 let skip_dir name =
   name = "_build"
   || (String.length name > 0 && (name.[0] = '.' || name.[0] = '_'))
+  || Filename.check_suffix name "_fixtures"
 
 let collect_files paths =
   let rec walk acc path =

@@ -7,16 +7,24 @@
 (** Lint one source text.  [filename] decides implementation vs interface
     parsing ([.mli] suffix) and whether lib-only rules apply (a [lib]
     path segment).  Runs AST rules only; file-set rules (R6) need
-    {!lint_paths}. *)
+    {!lint_paths}.
+
+    Waivers are audited: a [lint:] waiver comment on a line where the
+    named rule reported nothing — or naming no rule at all — yields a
+    warning-severity [stale-waiver] finding, as does a [check:] waiver
+    with a token the typed tier does not define.  Waivers must not
+    rot. *)
 val lint_string :
   ?rules:(module Rule.S) list -> filename:string -> string -> Finding.t list
 
-(** {!lint_string} over a file on disk. *)
-val lint_file : ?rules:(module Rule.S) list -> string -> Finding.t list
+(** All same-line [check: <token>] waiver marks in a source text, as
+    [(line, token)] pairs — shared with merlin_check, which owns
+    staleness of the typed-tier waivers. *)
+val check_waiver_marks : string -> (int * string) list
 
 (** All [.ml]/[.mli] files under the given files/directories, sorted;
-    directories starting with ['.'] or ['_'] (e.g. [_build]) are
-    skipped. *)
+    directories starting with ['.'] or ['_'] (e.g. [_build]) and
+    fixture trees ([*_fixtures]) are skipped. *)
 val collect_files : string list -> string list
 
 (** Collect files, run AST rules per file and file-set rules over the

@@ -120,7 +120,7 @@ module Physical_eq = struct
 
   let doc =
     "physical equality ==/!=; use structural equality or add a \
-     (* lint: physical-eq *) waiver on the line"
+     same-line [lint: physical-eq] waiver"
 
   let hooks ctx prev =
     on_expr prev (fun e ->
@@ -133,8 +133,8 @@ module Physical_eq = struct
               loc } ->
           Rule.report ctx ~rule:name ~severity ~waiver:name ~loc
             (Printf.sprintf
-               "physical equality (%s); compare structurally or waive \
-                with (* lint: physical-eq *)"
+               "physical equality (%s); compare structurally or add a \
+                same-line [lint: physical-eq] waiver"
                op)
         | _ -> ())
 

@@ -4,14 +4,16 @@
       data (syntactic check on the untyped parsetree).
     - R2 [raising-accessor]: no [Hashtbl.find]/[List.hd]/[List.nth]/
       [Option.get] in [lib/].
-    - R3 [physical-eq]: no [==]/[!=] without a [(* lint: physical-eq *)]
-      waiver on the line.
+    - R3 [physical-eq]: no [==]/[!=] without a same-line
+      [lint: physical-eq] waiver.
     - R4 [error-prefix]: [failwith]/[invalid_arg] messages start with
       ["Module.function:"].
     - R5 [catch-all]: no [try ... with _ ->].
     - R6 [mli-sibling]: every [lib/**/*.ml] has a sibling [.mli].
 
-    Every rule accepts a same-line [(* lint: <rule-name> *)] waiver. *)
+    Every rule accepts a same-line comment waiver carrying
+    [lint: <rule-name>]; the driver reports waivers that suppress
+    nothing as [stale-waiver] warnings (see {!Driver.lint_string}). *)
 
 module Poly_compare : Rule.S
 

@@ -1,0 +1,33 @@
+(* C1 negative: closure-local mutable state and lock-protected shared
+   state are both fine. *)
+
+module Pool = struct
+  let map f xs = List.map f xs
+end
+
+let sum xs =
+  let m = Mutex.create () in
+  let total = ref 0 in
+  let _ =
+    Pool.map
+      (fun x ->
+         (* task-local ref: created inside the closure *)
+         let local = ref x in
+         incr local;
+         (* shared ref, but mutated under the lock *)
+         Mutex.protect m (fun () -> total := !total + !local);
+         x)
+      xs
+  in
+  !total
+
+let squares xs =
+  let _ =
+    Pool.map
+      (fun x ->
+         let buf = Buffer.create 8 in
+         Buffer.add_string buf (string_of_int (x * x));
+         Buffer.contents buf)
+      xs
+  in
+  ()

@@ -1,0 +1,35 @@
+(* C1 positive: a task closure mutating state created outside it.
+   The stub Pool keeps the fixture self-contained; merlin_check matches
+   sink names by path suffix. *)
+
+module Pool = struct
+  let map f xs = List.map f xs
+  let submit f = f ()
+end
+
+(* The seeded mutation from the acceptance criterion: an unguarded
+   [incr] on a shared ref inside a [Pool.map] closure. *)
+let count_evens xs =
+  let hits = ref 0 in
+  let _ =
+    Pool.map
+      (fun x ->
+         if x mod 2 = 0 then incr hits;
+         x)
+      xs
+  in
+  !hits
+
+type cell = { mutable value : int }
+
+let bump_all cells =
+  let total = { value = 0 } in
+  let _ =
+    Pool.map (fun (c : cell) -> total.value <- total.value + c.value) cells
+  in
+  total.value
+
+let tally keys =
+  let seen = Hashtbl.create 8 in
+  let _ = Pool.submit (fun () -> Hashtbl.replace seen "k" (List.length keys)) in
+  Hashtbl.length seen

@@ -1,0 +1,18 @@
+(* C1 waived: the same shared-ref mutation as c1_pos, but the line
+   carries a domain-safe waiver (here: the counter is only read after
+   the pool is drained, and torn increments are acceptable). *)
+
+module Pool = struct
+  let map f xs = List.map f xs
+end
+
+let count xs =
+  let hits = ref 0 in
+  let _ =
+    Pool.map
+      (fun x ->
+         incr hits (* check: domain-safe *);
+         x)
+      xs
+  in
+  !hits

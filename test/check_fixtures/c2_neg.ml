@@ -1,0 +1,16 @@
+(* C2 negative: the same raisers, but every one is covered by a handler
+   inside the closure, so nothing escapes to await. *)
+
+module Pool = struct
+  let submit f = f ()
+  let map f xs = List.map f xs
+end
+
+let first_or_zero xs =
+  Pool.submit (fun () ->
+      try List.hd xs with Failure _ -> 0)
+
+let heads xss =
+  Pool.map
+    (fun xs -> match List.hd xs with n -> n | exception Failure _ -> 0)
+    xss

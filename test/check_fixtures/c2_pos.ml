@@ -1,0 +1,17 @@
+(* C2 positive: raising primitives and partial accessors inside a task
+   closure with no enclosing handler. *)
+
+module Pool = struct
+  let submit f = f ()
+  let map f xs = List.map f xs
+end
+
+let first_or_fail xs =
+  Pool.submit (fun () ->
+      match xs with
+      | [] -> failwith "empty input"
+      | x :: _ -> x)
+
+let heads xss = Pool.map (fun xs -> List.hd xs) xss
+
+let forced opts = Pool.map (fun o -> Option.get o) opts

@@ -1,0 +1,7 @@
+let used x = x + 1
+
+let dead x = x - 1
+
+let waived x = x * 2
+
+let _kept x = x

@@ -1,0 +1,11 @@
+(* C3 fixture interface: [used] is referenced by user.ml, [dead] by
+   nobody, [waived] by nobody but carries a waiver, [_kept] is exempt
+   by naming convention. *)
+
+val used : int -> int
+
+val dead : int -> int
+
+val waived : int -> int (* check: dead-export *)
+
+val _kept : int -> int

@@ -1,0 +1,4 @@
+(* Stale-waiver fixture: a domain-safe waiver on a line where C1 has
+   nothing to suppress must itself be reported. *)
+
+let double x = x + x (* check: domain-safe *)

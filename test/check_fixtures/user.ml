@@ -1,0 +1,3 @@
+(* C3 fixture: the cross-unit reference that keeps Exports.used alive. *)
+
+let result = Exports.used 41

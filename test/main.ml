@@ -16,4 +16,5 @@ let () =
       Test_flows.suite;
       Test_circuit.suite;
       Test_exec.suite;
-      Test_lint.suite ]
+      Test_lint.suite;
+      Test_check.suite ]

@@ -1,0 +1,221 @@
+(* merlin_check tests: the typed rules against compiled fixtures, and
+   the SARIF -> baseline round-trip property.
+
+   Fixtures under check_fixtures/ are plain sources (not part of any
+   dune stanza); the test copies them to a temp directory, compiles
+   them there with ocamlc -bin-annot and runs the analyzer on the
+   resulting artifacts.  Compiling outside the build tree keeps the
+   fixtures' deliberate violations out of the repository-wide @check
+   scan. *)
+
+module Cmt_load = Merlin_check.Cmt_load
+module Check_driver = Merlin_check.Check_driver
+module Finding = Merlin_lint.Finding
+
+let qtest ?(count = 50) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+(* ---- fixture compilation ---- *)
+
+let fixture_files =
+  (* exports.mli/.ml must precede user.ml: ocamlc needs the cmi. *)
+  [ "exports.mli"; "exports.ml"; "user.ml"; "c1_pos.ml"; "c1_neg.ml";
+    "c1_waived.ml"; "c2_pos.ml"; "c2_neg.ml"; "stale.ml" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+let write_file path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+(* Compile once, analyze once; every test case reads this. *)
+let analysis =
+  lazy
+    (let dir = Filename.temp_dir "merlin_fixt" "" in
+     List.iter
+       (fun name ->
+          write_file (Filename.concat dir name)
+            (read_file (Filename.concat "check_fixtures" name)))
+       fixture_files;
+     let srcs =
+       List.map (fun name -> Filename.quote (Filename.concat dir name))
+         fixture_files
+     in
+     let cmd =
+       Printf.sprintf "ocamlc -bin-annot -I %s -c %s" (Filename.quote dir)
+         (String.concat " " srcs)
+     in
+     if Sys.command cmd <> 0 then
+       failwith "Test_check.analysis: fixture compilation failed";
+     let units, errs =
+       Cmt_load.load_files (Cmt_load.collect_cmt_files [ dir ])
+     in
+     (units, errs, Check_driver.analyze (units, errs)))
+
+let findings_for base =
+  let _, _, findings = Lazy.force analysis in
+  List.filter
+    (fun (f : Finding.t) ->
+       String.equal (Filename.basename f.Finding.file) base)
+    findings
+
+let contains text sub =
+  let n = String.length sub and m = String.length text in
+  let rec scan i =
+    i + n <= m && (String.equal (String.sub text i n) sub || scan (i + 1))
+  in
+  scan 0
+
+let count_rule rule findings =
+  List.length
+    (List.filter
+       (fun (f : Finding.t) -> String.equal f.Finding.rule rule)
+       findings)
+
+(* ---- loader ---- *)
+
+let test_loader () =
+  let units, errs, _ = Lazy.force analysis in
+  Alcotest.(check int) "no load errors" 0 (List.length errs);
+  (* exports.ml + exports.mli merge into one unit *)
+  Alcotest.(check int) "one unit per module" (List.length fixture_files - 1)
+    (List.length units);
+  let exports =
+    List.find
+      (fun (u : Cmt_load.t) -> String.equal u.Cmt_load.name "Exports")
+      units
+  in
+  Alcotest.(check bool) "impl loaded" true (Option.is_some exports.Cmt_load.impl);
+  Alcotest.(check bool) "intf loaded" true (Option.is_some exports.Cmt_load.intf)
+
+(* ---- C1 ---- *)
+
+let test_c1_positive () =
+  let fs = findings_for "c1_pos.ml" in
+  (* incr on a ref, a mutable-field set and a Hashtbl.replace *)
+  Alcotest.(check int) "three captures" 3
+    (count_rule "domain-unsafe-capture" fs);
+  Alcotest.(check bool) "names the ref" true
+    (List.exists
+       (fun (f : Finding.t) ->
+          Finding.is_error f && contains f.Finding.message "hits")
+       fs)
+
+let test_c1_negative () =
+  Alcotest.(check int) "clean file" 0 (List.length (findings_for "c1_neg.ml"))
+
+let test_c1_waived () =
+  let fs = findings_for "c1_waived.ml" in
+  Alcotest.(check int) "no capture reported" 0
+    (count_rule "domain-unsafe-capture" fs);
+  (* the waiver was consumed, so it must not be stale either *)
+  Alcotest.(check int) "no stale waiver" 0 (count_rule "stale-waiver" fs)
+
+(* ---- C2 ---- *)
+
+let test_c2_positive () =
+  let fs = findings_for "c2_pos.ml" in
+  (* failwith, List.hd and Option.get, each unhandled *)
+  Alcotest.(check int) "three escapes" 3 (count_rule "task-exn-escape" fs)
+
+let test_c2_negative () =
+  Alcotest.(check int) "handled raisers" 0
+    (List.length (findings_for "c2_neg.ml"))
+
+(* ---- C3 ---- *)
+
+let test_c3 () =
+  let fs = findings_for "exports.mli" in
+  Alcotest.(check int) "one dead export" 1 (count_rule "dead-export" fs);
+  let dead =
+    List.find (fun (f : Finding.t) -> String.equal f.Finding.rule "dead-export") fs
+  in
+  Alcotest.(check bool) "it is Exports.dead" true
+    (String.equal dead.Finding.message
+       "Exports.dead is exported by its .mli but never referenced from \
+        another compilation unit")
+
+(* ---- waiver staleness ---- *)
+
+let test_stale_waiver () =
+  let fs = findings_for "stale.ml" in
+  Alcotest.(check int) "stale waiver reported" 1 (count_rule "stale-waiver" fs)
+
+let test_tokens () =
+  List.iter
+    (fun tok ->
+       Alcotest.(check bool) tok true
+         (List.exists (String.equal tok) Merlin_check.Waivers.tokens))
+    [ "domain-safe"; "exn-flow"; "dead-export" ]
+
+(* ---- SARIF round-trip (qcheck) ---- *)
+
+let arb_findings =
+  let open QCheck.Gen in
+  let ident =
+    string_size ~gen:(oneof [ char_range 'a' 'z'; return '-' ]) (int_range 1 12)
+  in
+  let message =
+    (* printable plus the JSON-hostile characters: quotes, backslashes,
+       newlines, non-ASCII bytes are exercised via printable unicode *)
+    string_size ~gen:(oneof [ printable; return '"'; return '\\' ])
+      (int_range 0 40)
+  in
+  let finding =
+    map
+      (fun (rule, file, msg, err) ->
+         Finding.make ~file ~line:1 ~col:0 ~rule
+           ~severity:(if err then Finding.Error else Finding.Warning)
+           msg)
+      (quad ident ident message bool)
+  in
+  QCheck.make
+    ~print:(fun fs ->
+      String.concat "\n" (List.map Finding.to_text fs))
+    (list_size (int_range 0 20) finding)
+
+let entry_equal (a : Merlin_lint.Baseline.entry) (b : Merlin_lint.Baseline.entry)
+  =
+  String.equal a.Merlin_lint.Baseline.rule b.Merlin_lint.Baseline.rule
+  && String.equal a.Merlin_lint.Baseline.file b.Merlin_lint.Baseline.file
+  && String.equal a.Merlin_lint.Baseline.message b.Merlin_lint.Baseline.message
+  && a.Merlin_lint.Baseline.count = b.Merlin_lint.Baseline.count
+
+(* Both render paths must load back to the same baseline: the SARIF log
+   (what CI archives) and the native format (what the repo commits). *)
+let sarif_roundtrip findings =
+  let entries = Merlin_lint.Baseline.of_findings findings in
+  let sarif =
+    Merlin_check.Sarif.render ~tool_name:Check_driver.tool_name
+      ~tool_version:"test" findings
+  in
+  match Merlin_lint.Baseline.of_string sarif with
+  | Error msg -> QCheck.Test.fail_reportf "baseline rejected SARIF: %s" msg
+  | Ok parsed -> (
+    List.equal entry_equal entries parsed
+    &&
+    match
+      Merlin_lint.Baseline.of_string (Merlin_lint.Baseline.to_string entries)
+    with
+    | Error msg -> QCheck.Test.fail_reportf "baseline rejected native: %s" msg
+    | Ok native -> List.equal entry_equal entries native)
+
+let suite =
+  ( "check",
+    [ Alcotest.test_case "loader merges units" `Quick test_loader;
+      Alcotest.test_case "C1 flags shared mutation" `Quick test_c1_positive;
+      Alcotest.test_case "C1 accepts local/locked" `Quick test_c1_negative;
+      Alcotest.test_case "C1 honors waiver" `Quick test_c1_waived;
+      Alcotest.test_case "C2 flags unhandled raise" `Quick test_c2_positive;
+      Alcotest.test_case "C2 accepts handled raise" `Quick test_c2_negative;
+      Alcotest.test_case "C3 dead vs used vs waived" `Quick test_c3;
+      Alcotest.test_case "stale waiver reported" `Quick test_stale_waiver;
+      Alcotest.test_case "waiver tokens" `Quick test_tokens;
+      qtest ~count:100 "SARIF round-trips through baseline" arb_findings
+        sarif_roundtrip ])

@@ -58,7 +58,7 @@ let test_slots_partition () =
               Alcotest.(check (list int))
                 (Format.asprintf "%a len=%d" Grouping.pp e len)
                 slots
-                (List.sort compare (covered @ skipped));
+                (List.sort Int.compare (covered @ skipped));
               Alcotest.(check int) "covered count" len (List.length covered)
             end)
          [ 1; 2; 3; 5 ])
@@ -96,7 +96,7 @@ let test_objective () =
   Alcotest.(check (float 0.0)) "variant II picks min area" 1.0
     (Option.get (Objective.choose (Objective.Min_area_over_req 1.0) c)).Solution.area;
   Alcotest.(check bool) "infeasible" true
-    (Objective.choose (Objective.Max_req_under_area 0.5) c = None)
+    (Option.is_none (Objective.choose (Objective.Max_req_under_area 0.5) c))
 
 (* ---------- Star_ptree ---------- *)
 
@@ -208,7 +208,7 @@ let test_bubble_covers_swap () =
   let orders =
     Curve.to_list r.Bubble_construct.curve
     |> List.map (fun sol -> Order.to_list (Bubble_construct.realized_order sol))
-    |> List.sort_uniq compare
+    |> List.sort_uniq (List.compare Int.compare)
   in
   Alcotest.(check bool) "the swapped order was explored" true
     (List.length orders >= 1);

@@ -19,9 +19,15 @@ let qtest name ?(count = 300) arb prop =
    dominated by any other (and dedup equal coordinates). *)
 let brute_frontier sols =
   let key s = (s.Solution.req, s.Solution.load, s.Solution.area) in
-  let sols =
-    List.sort_uniq (fun a b -> compare (key a) (key b)) sols
+  let cmp3 a b =
+    let (ar, al, aa) = key a and (br, bl, ba) = key b in
+    let c = Float.compare ar br in
+    if c <> 0 then c
+    else
+      let c = Float.compare al bl in
+      if c <> 0 then c else Float.compare aa ba
   in
+  let sols = List.sort_uniq cmp3 sols in
   List.filter
     (fun s ->
        not
@@ -70,11 +76,11 @@ let test_best_queries () =
   Alcotest.(check (float 0.0)) "best under area 5" 7.0
     (req (Option.get (Curve.best_under_area c ~area:5.0)));
   Alcotest.(check bool) "infeasible area" true
-    (Curve.best_under_area c ~area:0.5 = None);
+    (Option.is_none (Curve.best_under_area c ~area:0.5));
   Alcotest.(check (float 0.0)) "min area with req >= 6" 4.0
     (Option.get (Curve.best_min_area c ~req:6.0)).Solution.area;
   Alcotest.(check bool) "infeasible req" true
-    (Curve.best_min_area c ~req:11.0 = None)
+    (Option.is_none (Curve.best_min_area c ~req:11.0))
 
 let test_cap_keeps_extremes () =
   (* A genuine 20-point frontier: req and load grow together. *)
@@ -113,7 +119,7 @@ let props =
         Curve.size (Curve.of_list sols)
         = List.length (brute_frontier sols));
     qtest "add keeps the best req" arb_sols (fun sols ->
-        sols = []
+        List.is_empty sols
         ||
         let c = Curve.of_list sols in
         let best =

@@ -60,7 +60,7 @@ exception Boom of int
 
 let test_exception_propagates () =
   Pool.with_pool ~domains:2 (fun pool ->
-      let fu = Pool.submit pool (fun () -> raise (Boom 42)) in
+      let fu = Pool.submit pool (fun () -> raise (Boom 42)) (* check: exn-flow *) in
       (match Pool.await fu with
        | _ -> Alcotest.fail "await should re-raise"
        | exception Boom 42 -> ());
@@ -72,7 +72,7 @@ let test_exception_propagates () =
 
 let test_map_first_exception () =
   Pool.with_pool ~domains:2 (fun pool ->
-      match Pool.map ~chunk:1 pool (fun x -> if x = 3 then raise (Boom x) else x)
+      match Pool.map ~chunk:1 pool (fun x -> if x = 3 then raise (Boom x) else x) (* check: exn-flow *)
               [ 1; 2; 3; 4 ] with
       | _ -> Alcotest.fail "map should re-raise"
       | exception Boom 3 -> ())

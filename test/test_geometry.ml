@@ -83,8 +83,8 @@ let props =
         let box = Rect.bounding_box pts in
         Rect.contains box (Point.center_of_mass pts));
     qtest "hanan grid size" arb_points (fun pts ->
-        let xs = List.sort_uniq compare (List.map (fun p -> p.Point.x) pts) in
-        let ys = List.sort_uniq compare (List.map (fun p -> p.Point.y) pts) in
+        let xs = List.sort_uniq Int.compare (List.map (fun p -> p.Point.x) pts) in
+        let ys = List.sort_uniq Int.compare (List.map (fun p -> p.Point.y) pts) in
         List.length (Hanan.full_grid pts) = List.length xs * List.length ys);
     qtest "hanan contains terminals" arb_points (fun pts ->
         let grid = Hanan.full_grid pts in

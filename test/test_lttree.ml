@@ -11,7 +11,8 @@ let mk_sinks n seed =
   let net = Net_gen.random_net ~seed ~name:"lt" ~n tech in
   Array.to_list net.Net.sinks
 
-let sink_ids sinks = List.sort compare (List.map (fun s -> s.Sink.id) sinks)
+let sink_ids sinks =
+  List.sort Int.compare (List.map (fun s -> s.Sink.id) sinks)
 
 let test_plan_covers_all () =
   List.iter

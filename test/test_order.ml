@@ -84,7 +84,8 @@ let props =
         List.for_all (Order.in_neighborhood o) (Order.neighborhood o));
     qtest "neighborhood members distinct" arb_perm (fun o ->
         let nb = List.map Order.to_list (Order.neighborhood o) in
-        List.length nb = List.length (List.sort_uniq compare nb));
+        List.length nb
+        = List.length (List.sort_uniq (List.compare Int.compare) nb));
     qtest "neighborhood closed-form count" arb_perm (fun o ->
         List.length (Order.neighborhood o)
         = Order.neighborhood_size (Order.length o));
