@@ -80,13 +80,36 @@ let json_obj fields =
          fields)
   ^ "}"
 
+(* Frontier-kernel telemetry: candidate counts per DP step (see
+   Star_ptree).  Counts are representation-independent — one increment
+   per candidate solution offered to the frontier — so before/after
+   kernel comparisons in BENCH_curve.json share the same scale. *)
+let counter_fields () =
+  let c a = Ji (Atomic.get a) in
+  let open Merlin_core.Star_ptree in
+  [ ("n_join_adds", c n_join_adds); ("n_close_adds", c n_close_adds);
+    ("n_pull_adds", c n_pull_adds); ("n_base_adds", c n_base_adds);
+    ("n_cells", c n_cells); ("n_pulls", c n_pulls) ]
+
 let write_json ~opts ~table ~wall_s rows =
   match opts.json with
   | None -> ()
   | Some file ->
     let oc = open_out file in
-    Printf.fprintf oc "{%S:%S,%S:%d,%S:%S,%S:%.3f,%S:[\n%s\n]}\n" "table" table
-      "jobs" opts.jobs "git_rev" (git_rev ()) "wall_s" wall_s "rows"
+    let counters =
+      String.concat ","
+        (List.map
+           (fun (k, v) ->
+              Printf.sprintf "%S:%s" k
+                (match v with
+                 | Ji i -> string_of_int i
+                 | Js s -> Printf.sprintf "%S" s
+                 | Jf f -> Printf.sprintf "%.6g" f))
+           (counter_fields ()))
+    in
+    Printf.fprintf oc "{%S:%S,%S:%d,%S:%S,%S:%.3f,%s,%S:[\n%s\n]}\n" "table"
+      table "jobs" opts.jobs "git_rev" (git_rev ()) "wall_s" wall_s counters
+      "rows"
       (String.concat ",\n" rows);
     close_out oc;
     progress "[%s] wrote %s" table file

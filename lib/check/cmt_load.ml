@@ -130,6 +130,16 @@ let collect_cmt_files roots =
   in
   List.sort String.compare (List.fold_left walk [] roots)
 
+(* Executables in different directories share module names (every
+   (name main) executable compiles a Dune__exe__Main), so unit identity
+   for merging must include the source directory — keying on the module
+   name alone would let one main.ml's typedtree shadow another's and
+   silently drop its references from the dead-export graph. *)
+let unit_key raw =
+  match raw.raw_source with
+  | Some s -> raw.raw_name ^ "|" ^ Filename.dirname s
+  | None -> raw.raw_name
+
 let load_files paths =
   let units : (string, t) Hashtbl.t = Hashtbl.create 64 in
   let order = ref [] in
@@ -140,11 +150,12 @@ let load_files paths =
          match read_raw path with
          | Error f -> errors := f :: !errors
          | Ok raw ->
+           let key = unit_key raw in
            let existing =
-             match Hashtbl.find_opt units raw.raw_name with
+             match Hashtbl.find_opt units key with
              | Some u -> u
              | None ->
-               order := raw.raw_name :: !order;
+               order := key :: !order;
                { name = raw.raw_name;
                  source = None;
                  intf_source = None;
@@ -159,7 +170,7 @@ let load_files paths =
                { existing with intf = Some sg; intf_source = raw.raw_source }
              | _ -> existing
            in
-           Hashtbl.replace units raw.raw_name merged))
+           Hashtbl.replace units key merged))
     paths;
   let loaded =
     List.rev !order |> List.filter_map (fun name -> Hashtbl.find_opt units name)

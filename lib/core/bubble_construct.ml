@@ -136,7 +136,19 @@ let construct ?candidates ~cfg ~tech ~buffers (net : Net.t) order =
     let set_out = IS.of_list covered_out in
     let start_out = Grouping.window_start ~r:r_out ~len:cov_len e_out in
     let active = active_for covered_out in
-    let acc = Array.make (Array.length candidates) Curve.empty in
+    (* Per-candidate batch accumulators, created lazily (most candidates
+       never receive a curve): every inner placement's curves are pushed
+       and the frontier computed once per candidate, instead of a
+       re-pruning union per placement. *)
+    let accb = Array.make (Array.length candidates) None in
+    let acc_builder p =
+      match accb.(p) with
+      | Some bld -> bld
+      | None ->
+        let bld = Curve.Builder.create () in
+        accb.(p) <- Some bld;
+        bld
+    in
     let seen_signatures = Hashtbl.create 16 in
     let try_inner l_in e_in r_in =
       match gamma_find l_in e_in r_in with
@@ -196,7 +208,11 @@ let construct ?candidates ~cfg ~tech ~buffers (net : Net.t) order =
                out of, or right of the inner window. *)
             assert (List.length terminals = 1 + (cov_len - l_in));
             let out = star ~active (Array.of_list terminals) in
-            Array.iteri (fun p c -> acc.(p) <- Curve.union acc.(p) c) out
+            Array.iteri
+              (fun p c ->
+                 if not (Curve.is_empty c) then
+                   Curve.Builder.add_curve (acc_builder p) c)
+              out
           end
         end
     in
@@ -218,7 +234,13 @@ let construct ?candidates ~cfg ~tech ~buffers (net : Net.t) order =
         structures
     done;
     let capped =
-      Array.map (fun c -> Curve.cap ~max_size:cfg.Config.max_curve c) acc
+      Array.map
+        (function
+          | None -> Curve.empty
+          | Some bld ->
+            Curve.cap ~max_size:cfg.Config.max_curve
+              (Curve.Builder.build ~name:"Bubble_construct.merge" bld))
+        accb
     in
     gamma_put cov_len e_out r_out capped
   in
@@ -238,19 +260,18 @@ let construct ?candidates ~cfg ~tech ~buffers (net : Net.t) order =
     match gamma_find n Grouping.Chi0 (n - 1) with
     | None -> Curve.empty
     | Some top ->
-      let to_driver acc curve =
-        Curve.fold
-          (fun acc sol ->
-             let at_source = Build.extend_wire tech ~to_:net.Net.source sol in
-             let gate =
-               Delay_model.delay net.Net.driver ~load:at_source.Solution.load
-             in
-             let rooted =
-               { at_source with Solution.req = at_source.Solution.req -. gate }
-             in
-             Curve.add acc rooted)
-          acc curve
-      in
-      Array.fold_left to_driver Curve.empty top
+      let bld = Curve.Builder.create () in
+      Array.iter
+        (Curve.iter (fun sol ->
+           let at_source = Build.extend_wire tech ~to_:net.Net.source sol in
+           let gate =
+             Delay_model.delay net.Net.driver ~load:at_source.Solution.load
+           in
+           Curve.Builder.push bld
+             ~req:(at_source.Solution.req -. gate)
+             ~load:at_source.Solution.load ~area:at_source.Solution.area
+             at_source.Solution.data))
+        top;
+      Curve.Builder.build ~name:"Bubble_construct.to_driver" bld
   in
   { curve = final; candidates; merges = !merges }

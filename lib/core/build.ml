@@ -47,6 +47,31 @@ let add_root_buffer b (s : sol) =
     ~area:(s.Solution.area +. b.Buffer_lib.area)
     { data with tree }
 
+(* Cost-only twins of the three moves, for the batch DP loops: they
+   compute the exact (req, load, area) the move would produce — the same
+   float expressions, so results are bit-identical — without building the
+   routing tree.  The loops push these coordinates into a Curve.Builder
+   and materialise trees only for frontier survivors. *)
+
+let extend_wire_cost tech ~to_ (s : sol) =
+  let from = Rtree.attach_point s.Solution.data.tree in
+  if Point.equal from to_ then (s.Solution.req, s.Solution.load, s.Solution.area)
+  else
+    let len = Point.manhattan from to_ in
+    ( s.Solution.req -. Tech.wire_elmore tech ~len ~load:s.Solution.load,
+      s.Solution.load +. Tech.wire_cap tech len,
+      s.Solution.area )
+
+let add_root_buffer_cost b (s : _ Solution.t) =
+  ( s.Solution.req -. Buffer_lib.delay b ~load:s.Solution.load,
+    b.Buffer_lib.input_cap,
+    s.Solution.area +. b.Buffer_lib.area )
+
+let join_cost (a : _ Solution.t) (b : _ Solution.t) =
+  ( min a.Solution.req b.Solution.req,
+    a.Solution.load +. b.Solution.load,
+    a.Solution.area +. b.Solution.area )
+
 let join at (a : sol) (b : sol) =
   if not (Point.equal (root a) at && Point.equal (root b) at) then
     invalid_arg "Build.join: solutions not rooted at the join point";

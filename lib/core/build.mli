@@ -43,3 +43,16 @@ val join : Point.t -> sol -> sol -> sol
 
 (** The root attachment point. *)
 val root : sol -> Point.t
+
+(** Cost-only twins of the moves above: the (required time, load, area)
+    the move would produce, computed with the same float expressions (so
+    bit-identical), without constructing the routing tree.  The batch DP
+    loops push these into a {!Curve.Builder} and materialise trees only
+    for the frontier survivors. *)
+
+val extend_wire_cost : Tech.t -> to_:Point.t -> sol -> float * float * float
+
+val add_root_buffer_cost :
+  Buffer_lib.buffer -> 'a Solution.t -> float * float * float
+
+val join_cost : 'a Solution.t -> 'b Solution.t -> float * float * float

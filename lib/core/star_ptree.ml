@@ -16,6 +16,13 @@ let buffer_subset buffers ~trials =
 
 let finish ~max_curve curve = Curve.cap ~max_size:max_curve curve
 
+(* Deferred payload of the buffer-closure batch: frontier survivors that
+   were already in the curve keep their tree; buffered candidates build
+   theirs only after pruning. *)
+type close_payload =
+  | Kept of Build.t
+  | Buffered of Merlin_tech.Buffer_lib.buffer * Build.sol
+
 (* Bounding box of the points a terminal can occupy. *)
 let terminal_box candidates = function
   | Sink_term s -> Rect.make s.Merlin_net.Sink.pt s.Merlin_net.Sink.pt
@@ -47,42 +54,81 @@ let run ~tech ~buffers ~trials ~max_curve ~grids ~bbox_slack ~candidates
     invalid_arg "Star_ptree.run: no active candidates";
   let subset = buffer_subset buffers ~trials in
   let req_grid, load_grid, area_grid = grids in
-  let quant_add acc s =
-    Curve.add acc (Solution.quantise ~req_grid ~load_grid ~area_grid s)
+  (* Quantise a raw candidate cost while pushing it — the per-candidate
+     Solution.quantise of the incremental version, fused into the batch
+     accumulation (same grid_down/grid_up helpers, so bit-identical). *)
+  let push_quant bld (req, load, area) payload =
+    Curve.Builder.push bld
+      ~req:(Solution.grid_down req_grid req)
+      ~load:(Solution.grid_up load_grid load)
+      ~area:(Solution.grid_up area_grid area)
+      payload
   in
   (* Try each buffer on every unbuffered root; re-buffering an existing
      buffer (a same-point repeater) is dominated by picking the right
-     single size from the graded library, so it is skipped. *)
+     single size from the graded library, so it is skipped.  Two push
+     passes — existing solutions first, then buffered candidates — so
+     equal-cost ties resolve exactly as they did when the candidates were
+     added one by one into the existing curve. *)
   let close_buffers curve =
-    Curve.fold
-      (fun acc sol ->
-         match sol.Solution.data.Build.tree with
-         | Merlin_rtree.Rtree.Node { buffer = Some _; _ } -> acc
-         | Merlin_rtree.Rtree.Leaf _ | Merlin_rtree.Rtree.Node { buffer = None; _ } ->
-           Array.fold_left
-             (fun acc b ->
-                Atomic.incr n_close_adds;
-                quant_add acc (Build.add_root_buffer b sol))
-             acc subset)
-      curve curve
+    if Curve.is_empty curve then curve
+    else begin
+      let bld =
+        Curve.Builder.create
+          ~hint:(Curve.size curve * (1 + Array.length subset)) ()
+      in
+      Curve.iter
+        (fun sol ->
+           Curve.Builder.push bld ~req:sol.Solution.req ~load:sol.Solution.load
+             ~area:sol.Solution.area (Kept sol.Solution.data))
+        curve;
+      Curve.iter
+        (fun sol ->
+           match sol.Solution.data.Build.tree with
+           | Merlin_rtree.Rtree.Node { buffer = Some _; _ } -> ()
+           | Merlin_rtree.Rtree.Leaf _
+           | Merlin_rtree.Rtree.Node { buffer = None; _ } ->
+             Array.iter
+               (fun b ->
+                  Atomic.incr n_close_adds;
+                  push_quant bld (Build.add_root_buffer_cost b sol)
+                    (Buffered (b, sol)))
+               subset)
+        curve;
+      Curve.Builder.build ~name:"Star_ptree.close_buffers" bld
+      |> Curve.map_data (function
+        | Kept data -> data
+        | Buffered (b, sol) -> (Build.add_root_buffer b sol).Solution.data)
+    end
   in
   let term_boxes = Array.map (terminal_box candidates) terminals in
+  (* Bounding box of terminals i..j, precomputed for all ranges by
+     extending each row left to right: O(m^2) once, instead of an O(j-i)
+     refold inside every cell_active call (O(m^3) over the run). *)
+  let range_box =
+    let tbl = Array.make (m * m) term_boxes.(0) in
+    for i = 0 to m - 1 do
+      tbl.((i * m) + i) <- term_boxes.(i);
+      for j = i + 1 to m - 1 do
+        let prev = tbl.((i * m) + j - 1) in
+        tbl.((i * m) + j) <-
+          Rect.bounding_box
+            [ prev.Rect.lo; prev.Rect.hi; term_boxes.(j).Rect.lo;
+              term_boxes.(j).Rect.hi ]
+      done
+    done;
+    tbl
+  in
   (* Active candidates of a cell: global actives within the inflated box of
      the cell's terminals.  The first global active is always kept (the
      caller places the source there, see Bubble_construct) so every cell
      can route toward the driver. *)
   let cell_active i j =
-    let box = ref term_boxes.(i) in
-    for t = i + 1 to j do
-      box :=
-        Rect.bounding_box
-          [ !box.Rect.lo; !box.Rect.hi; term_boxes.(t).Rect.lo;
-            term_boxes.(t).Rect.hi ]
-    done;
+    let box = range_box.((i * m) + j) in
     let margin =
-      1 + int_of_float (bbox_slack *. float_of_int (Rect.half_perimeter !box))
+      1 + int_of_float (bbox_slack *. float_of_int (Rect.half_perimeter box))
     in
-    let box = Rect.inflate !box margin in
+    let box = Rect.inflate box margin in
     let keep idx p = idx = 0 || Rect.contains box candidates.(p) in
     let inside = ref [] in
     for idx = Array.length active - 1 downto 0 do
@@ -95,15 +141,26 @@ let run ~tech ~buffers ~trials ~max_curve ~grids ~bbox_slack ~candidates
      demand instead of as a k^2 sweep. *)
   let table = Array.make (m * m) None in
   let idx i j = (i * m) + j in
+  (* Materialise an extend-to-[root] batch: coordinates were already
+     pushed (quantised) from extend_wire_cost; only frontier survivors
+     grow a wire in their tree. *)
+  let materialise_extend root curve =
+    Curve.map_data
+      (fun sol -> (Build.extend_wire tech ~to_:root sol).Solution.data)
+      curve
+  in
   let pull computed p =
     Atomic.incr n_pulls;
     let root = candidates.(p) in
-    let from acc curve =
-      Curve.fold
-        (fun acc sol -> Atomic.incr n_pull_adds; quant_add acc (Build.extend_wire tech ~to_:root sol))
-        acc curve
-    in
-    finish ~max_curve (Array.fold_left from Curve.empty computed)
+    let bld = Curve.Builder.create () in
+    Array.iter
+      (Curve.iter (fun sol ->
+         Atomic.incr n_pull_adds;
+         push_quant bld (Build.extend_wire_cost tech ~to_:root sol) sol))
+      computed;
+    finish ~max_curve
+      (materialise_extend root
+         (Curve.Builder.build ~name:"Star_ptree.pull" bld))
   in
   let cell_at i j p =
     match table.(idx i j) with
@@ -128,31 +185,37 @@ let run ~tech ~buffers ~trials ~max_curve ~grids ~bbox_slack ~candidates
         match terminals.(i) with
         | Sink_term s ->
           Atomic.incr n_base_adds;
-          quant_add Curve.empty
-            (Build.extend_wire tech ~to_:root (Build.of_sink s))
+          Curve.add Curve.empty
+            (Solution.quantise ~req_grid ~load_grid ~area_grid
+               (Build.extend_wire tech ~to_:root (Build.of_sink s)))
         | Sub_term sub ->
-          let attach acc curve =
-            Curve.fold
-              (fun acc sol ->
-                 Atomic.incr n_base_adds;
-                 quant_add acc (Build.extend_wire tech ~to_:root sol))
-              acc curve
-          in
-          Array.fold_left attach Curve.empty sub
+          let bld = Curve.Builder.create () in
+          Array.iter
+            (Curve.iter (fun sol ->
+               Atomic.incr n_base_adds;
+               push_quant bld (Build.extend_wire_cost tech ~to_:root sol) sol))
+            sub;
+          materialise_extend root
+            (Curve.Builder.build ~name:"Star_ptree.raw" bld)
       else fun p ->
         let root = candidates.(p) in
-        let acc = ref Curve.empty in
+        (* The join product: push every (a, b) cost pair, prune once, and
+           only build the joined trees that survive. *)
+        let bld = Curve.Builder.create () in
         for u = i to j - 1 do
           let left = cell_at i u p and right = cell_at (u + 1) j p in
           if not (Curve.is_empty left || Curve.is_empty right) then
             Curve.iter
               (fun a ->
                  Curve.iter
-                   (fun b -> Atomic.incr n_join_adds; acc := quant_add !acc (Build.join root a b))
+                   (fun b ->
+                      Atomic.incr n_join_adds;
+                      push_quant bld (Build.join_cost a b) (a, b))
                    right)
               left
         done;
-        !acc
+        Curve.Builder.build ~name:"Star_ptree.join" bld
+        |> Curve.map_data (fun (a, b) -> (Build.join root a b).Solution.data)
     in
     Atomic.incr n_cells;
     Array.iter

@@ -50,3 +50,31 @@ let check ~name sols =
     verify_frontier ~name sols
   end;
   sols
+
+let verify_sorted_arr ~name sols =
+  for i = 0 to Array.length sols - 2 do
+    if Solution.compare_key sols.(i) sols.(i + 1) >= 0 then
+      fail ~name "solutions out of compare_key order"
+  done
+
+let verify_frontier_arr ~name sols =
+  let n = Array.length sols in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if
+        strictly_dominates sols.(i) sols.(j)
+        || strictly_dominates sols.(j) sols.(i)
+      then fail ~name "curve holds an inferior solution"
+    done
+  done
+
+let check_sorted_arr ~name sols =
+  if !enabled_ref then verify_sorted_arr ~name sols;
+  sols
+
+let check_arr ~name sols =
+  if !enabled_ref then begin
+    verify_sorted_arr ~name sols;
+    verify_frontier_arr ~name sols
+  end;
+  sols

@@ -23,3 +23,10 @@ val check : name:string -> 'a Solution.t list -> 'a Solution.t list
 (** Sortedness only — O(n), cheap enough for the per-insertion hot path
     ({!Curve.add}). *)
 val check_sorted : name:string -> 'a Solution.t list -> 'a Solution.t list
+
+(** Array flavours of the same two checks, used by the array-backed
+    curve kernel so verification never round-trips through a list. *)
+val check_arr : name:string -> 'a Solution.t array -> 'a Solution.t array
+
+val check_sorted_arr :
+  name:string -> 'a Solution.t array -> 'a Solution.t array

@@ -1,127 +1,407 @@
-type 'a t = 'a Solution.t list
-(* Invariant: sorted by Solution.compare_key; pairwise non-dominated. *)
+(* Array-backed frontier kernel.
 
-let empty = []
+   A curve is a sorted (Solution.compare_key), pairwise non-dominated
+   array of solutions.  The empty curve is its own constructor so the
+   polymorphic [empty] constant generalises (a bare [|]|] would be
+   weakly typed under the value restriction); every non-empty curve
+   carries a non-empty array.
 
-let is_empty = function [] -> true | _ :: _ -> false
+   The batch path is [Builder]: candidates accumulate into
+   structure-of-arrays floatarray storage (req/load/area) plus a data
+   array, and [Builder.build] prunes the whole bag at once with one
+   stable sort and one staircase sweep.  The sweep exploits the key
+   order (req descending, then load, then area ascending): a processed
+   point can only be dominated by an earlier one, and a kept point is
+   never invalidated later, so maintaining the 2-D (load, area) minima
+   staircase of the kept points answers every dominance query with a
+   binary search.  Cost: O(P log P) for the sort plus O(log F) per
+   query and O(F) per staircase insertion (F = frontier size, F << P
+   in the DP hot paths), versus O(P·F) list rebuilding for P repeated
+   [add]s. *)
 
-let size = List.length
+type 'a t =
+  | Empty
+  | F of 'a Solution.t array
 
-let to_list c = c
+let empty = Empty
+
+let is_empty = function Empty -> true | F _ -> false
+
+let size = function Empty -> 0 | F arr -> Array.length arr
+
+let to_array = function Empty -> [||] | F arr -> arr
+
+let to_list c = Array.to_list (to_array c)
 
 let strictly_dominates a b =
   Solution.dominates a b && Solution.compare_key a b <> 0
 
-(* Single pass exploiting the sort order: an element before the insertion
-   point (higher req, or equal req with no worse load/area) can dominate
-   [s] but never be dominated by it; after the insertion point it is the
-   reverse. *)
+module Builder = struct
+  type 'a b = {
+    mutable req : floatarray;
+    mutable load : floatarray;
+    mutable area : floatarray;
+    mutable data : 'a array; (* empty until the first push, then >= len *)
+    mutable len : int;
+  }
+
+  let create ?(hint = 16) () =
+    let hint = max 4 hint in
+    { req = Float.Array.create hint;
+      load = Float.Array.create hint;
+      area = Float.Array.create hint;
+      data = [||];
+      len = 0 }
+
+  let length b = b.len
+
+  let clear b = b.len <- 0
+
+  (* Ensure room for one more element; [elt] seeds the data array (an
+     'a array cannot grow without a fill element). *)
+  let reserve b elt =
+    let cap = Float.Array.length b.req in
+    if b.len = cap then begin
+      let ncap = 2 * cap in
+      let grow a =
+        let n = Float.Array.create ncap in
+        Float.Array.blit a 0 n 0 b.len;
+        n
+      in
+      b.req <- grow b.req;
+      b.load <- grow b.load;
+      b.area <- grow b.area
+    end;
+    let cap = Float.Array.length b.req in
+    if Array.length b.data < cap then begin
+      let nd = Array.make cap elt in
+      Array.blit b.data 0 nd 0 b.len;
+      b.data <- nd
+    end
+
+  let push b ~req ~load ~area data =
+    reserve b data;
+    Float.Array.set b.req b.len req;
+    Float.Array.set b.load b.len load;
+    Float.Array.set b.area b.len area;
+    b.data.(b.len) <- data;
+    b.len <- b.len + 1
+
+  let add b (s : 'a Solution.t) =
+    push b ~req:s.Solution.req ~load:s.Solution.load ~area:s.Solution.area
+      s.Solution.data
+
+  let add_curve b c =
+    match c with Empty -> () | F arr -> Array.iter (add b) arr
+
+  (* One stable sort + one staircase sweep over the accumulated bag.
+     Ties (equal keys) keep the earliest push, matching the incremental
+     [add]'s first-wins behaviour, which is why the sort must be
+     stable.  [grids] quantises every coordinate before the sweep (the
+     per-candidate quantisation of the DP cores, fused into the batch
+     pass). *)
+  let build ?(name = "Curve.Builder.build") ?(grids = (0.0, 0.0, 0.0)) b =
+    let n = b.len in
+    if n = 0 then Empty
+    else begin
+      let req_grid, load_grid, area_grid = grids in
+      let quantised =
+        req_grid <> 0.0 || load_grid <> 0.0 || area_grid <> 0.0
+      in
+      let qreq, qload, qarea =
+        if not quantised then (b.req, b.load, b.area)
+        else begin
+          let qr = Float.Array.create n
+          and ql = Float.Array.create n
+          and qa = Float.Array.create n in
+          for i = 0 to n - 1 do
+            Float.Array.set qr i
+              (Solution.grid_down req_grid (Float.Array.get b.req i));
+            Float.Array.set ql i
+              (Solution.grid_up load_grid (Float.Array.get b.load i));
+            Float.Array.set qa i
+              (Solution.grid_up area_grid (Float.Array.get b.area i))
+          done;
+          (qr, ql, qa)
+        end
+      in
+      let idx = Array.init n (fun i -> i) in
+      Array.stable_sort
+        (fun i j ->
+           let c =
+             Float.compare (Float.Array.get qreq j) (Float.Array.get qreq i)
+           in
+           if c <> 0 then c
+           else
+             let c =
+               Float.compare (Float.Array.get qload i)
+                 (Float.Array.get qload j)
+             in
+             if c <> 0 then c
+             else
+               Float.compare (Float.Array.get qarea i)
+                 (Float.Array.get qarea j))
+        idx;
+      (* Staircase of the kept points' (load, area) minima: load strictly
+         increasing, area strictly decreasing. *)
+      let st_load = Float.Array.create n in
+      let st_area = Float.Array.create n in
+      let st_len = ref 0 in
+      let keep = Array.make n 0 in
+      let nkeep = ref 0 in
+      for t = 0 to n - 1 do
+        let i = idx.(t) in
+        let l = Float.Array.get qload i and a = Float.Array.get qarea i in
+        (* Rightmost staircase entry with load <= l (all kept points have
+           req >= this one's, so load/area decide dominance). *)
+        let p =
+          let lo = ref 0 and hi = ref !st_len in
+          while !lo < !hi do
+            let mid = (!lo + !hi) / 2 in
+            if Float.Array.get st_load mid <= l then lo := mid + 1
+            else hi := mid
+          done;
+          !lo - 1
+        in
+        let dominated = p >= 0 && Float.Array.get st_area p <= a in
+        if not dominated then begin
+          keep.(!nkeep) <- i;
+          incr nkeep;
+          (* Insert (l, a): entries with load >= l and area >= a are now
+             redundant; areas decrease rightward so they form a run. *)
+          let q =
+            if p >= 0 && Float.Array.get st_load p = l then p else p + 1
+          in
+          let r = ref q in
+          while !r < !st_len && Float.Array.get st_area !r >= a do incr r done;
+          let removed = !r - q in
+          if removed = 0 then begin
+            Float.Array.blit st_load q st_load (q + 1) (!st_len - q);
+            Float.Array.blit st_area q st_area (q + 1) (!st_len - q);
+            incr st_len
+          end
+          else if removed > 1 then begin
+            Float.Array.blit st_load !r st_load (q + 1) (!st_len - !r);
+            Float.Array.blit st_area !r st_area (q + 1) (!st_len - !r);
+            st_len := !st_len - removed + 1
+          end;
+          Float.Array.set st_load q l;
+          Float.Array.set st_area q a
+        end
+      done;
+      let out =
+        Array.init !nkeep (fun t ->
+            let i = keep.(t) in
+            Solution.make
+              ~req:(Float.Array.get qreq i)
+              ~load:(Float.Array.get qload i)
+              ~area:(Float.Array.get qarea i)
+              b.data.(i))
+      in
+      F (Contract.check_arr ~name out)
+    end
+end
+
+(* Incremental insertion: binary-search placement over the sorted array,
+   then a prefix dominance scan (only earlier elements can dominate [s])
+   and a suffix filter (only later elements can be dominated by [s]). *)
 let add c s =
-  let rec drop = function
-    | [] -> []
-    | x :: rest ->
-      if Solution.dominates s x then drop rest else x :: drop rest
-  in
-  let rec scan acc = function
-    | [] -> List.rev (s :: acc)
-    | x :: rest as l ->
-      let cmp = Solution.compare_key x s in
-      if cmp = 0 then c
-      else if cmp < 0 then
-        if Solution.dominates x s then c else scan (x :: acc) rest
-      else List.rev_append acc (s :: drop l)
-  in
-  Contract.check_sorted ~name:"Curve.add" (scan [] c)
+  match c with
+  | Empty -> F [| s |]
+  | F arr ->
+    let n = Array.length arr in
+    (* First index whose key is greater than [s]'s. *)
+    let pos =
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if Solution.compare_key arr.(mid) s <= 0 then lo := mid + 1
+        else hi := mid
+      done;
+      !lo
+    in
+    if pos > 0 && Solution.compare_key arr.(pos - 1) s = 0 then c
+    else begin
+      (* Every element before [pos] has req >= s.req, so domination of
+         [s] reduces to load/area. *)
+      let dominated = ref false in
+      let i = ref 0 in
+      while (not !dominated) && !i < pos do
+        let x = arr.(!i) in
+        if x.Solution.load <= s.Solution.load
+           && x.Solution.area <= s.Solution.area
+        then dominated := true;
+        incr i
+      done;
+      if !dominated then c
+      else begin
+        (* Elements from [pos] on have req <= s.req: drop those [s]
+           dominates. *)
+        let survives x =
+          not
+            (s.Solution.load <= x.Solution.load
+             && s.Solution.area <= x.Solution.area)
+        in
+        let kept = ref 0 in
+        for i = pos to n - 1 do
+          if survives arr.(i) then incr kept
+        done;
+        let out = Array.make (pos + 1 + !kept) s in
+        Array.blit arr 0 out 0 pos;
+        let w = ref (pos + 1) in
+        for i = pos to n - 1 do
+          if survives arr.(i) then begin
+            out.(!w) <- arr.(i);
+            incr w
+          end
+        done;
+        F (Contract.check_sorted_arr ~name:"Curve.add" out)
+      end
+    end
 
-let of_list sols = List.fold_left add empty sols
+let of_list sols =
+  let b = Builder.create ~hint:(List.length sols) () in
+  List.iter (Builder.add b) sols;
+  Builder.build ~name:"Curve.of_list" b
 
-let union a b = Contract.check ~name:"Curve.union" (List.fold_left add a b)
+let union a b =
+  match (a, b) with
+  | Empty, c | c, Empty -> c
+  | F _, F _ ->
+    let bld = Builder.create ~hint:(size a + size b) () in
+    Builder.add_curve bld a;
+    Builder.add_curve bld b;
+    Builder.build ~name:"Curve.union" bld
 
-let map_data f c = List.map (Solution.map f) c
+let map_data f c =
+  match c with Empty -> Empty | F arr -> F (Array.map (Solution.map f) arr)
 
-let map_solutions f c = of_list (List.map f c)
+let map_solutions f c =
+  match c with
+  | Empty -> Empty
+  | F arr ->
+    let bld = Builder.create ~hint:(Array.length arr) () in
+    Array.iter (fun s -> Builder.add bld (f s)) arr;
+    Builder.build ~name:"Curve.map_solutions" bld
 
-let fold f acc c = List.fold_left f acc c
+let fold f acc c = Array.fold_left f acc (to_array c)
 
-let iter f c = List.iter f c
+let iter f c = Array.iter f (to_array c)
 
-let best_req = function [] -> None | s :: _ -> Some s
+let best_req = function Empty -> None | F arr -> Some arr.(0)
 
 let best_under_area c ~area =
-  (* Curve order is req-descending, so the first fitting point wins. *)
-  List.find_opt (fun s -> s.Solution.area <= area) c
+  match c with
+  | Empty -> None
+  | F arr ->
+    (* Curve order is req-descending, so the first fitting point wins. *)
+    let n = Array.length arr in
+    let rec find i =
+      if i >= n then None
+      else if arr.(i).Solution.area <= area then Some arr.(i)
+      else find (i + 1)
+    in
+    find 0
 
 let best_min_area c ~req =
-  let fits s = s.Solution.req >= req in
-  List.fold_left
-    (fun acc s ->
-       if not (fits s) then acc
-       else
-         match acc with
-         | Some best when best.Solution.area <= s.Solution.area -> acc
-         | _ -> Some s)
-    None c
+  match c with
+  | Empty -> None
+  | F arr ->
+    (* The curve is req-descending: stop at the first element below the
+       floor instead of scanning the whole frontier. *)
+    let n = Array.length arr in
+    let rec scan i best =
+      if i >= n then best
+      else
+        let s = arr.(i) in
+        if s.Solution.req < req then best
+        else
+          let best =
+            match best with
+            | Some b when b.Solution.area <= s.Solution.area -> best
+            | Some _ | None -> Some s
+          in
+          scan (i + 1) best
+    in
+    scan 0 None
 
 let cap_impl ~max_size c =
   if max_size < 2 then invalid_arg "Curve.cap: max_size < 2";
-  let n = List.length c in
-  if n <= max_size then c
-  else begin
-    let arr = Array.of_list c in
-    (* Always keep the extreme point of each dimension (best required
-       time, least load, least area), then spread the rest evenly along
-       the required-time axis. *)
-    let extreme proj =
-      let best = ref 0 in
-      Array.iteri (fun i s -> if proj s < proj arr.(!best) then best := i) arr;
-      arr.(!best)
-    in
-    let keep =
-      [ arr.(0); extreme (fun s -> s.Solution.load);
-        extreme (fun s -> s.Solution.area); arr.(n - 1) ]
-    in
-    let spread = max 0 (max_size - List.length keep) in
-    let picked =
-      List.init spread (fun k -> arr.(1 + (k * (n - 2) / max 1 spread)))
-    in
-    let capped =
-      List.sort_uniq Solution.compare_key (keep @ picked) |> of_list
-    in
-    (* For very small caps the four kept extremes may overflow the cap;
-       truncate in curve order as a last resort. *)
-    if List.length capped <= max_size then capped
-    else List.filteri (fun i _ -> i < max_size) capped
-  end
+  match c with
+  | Empty -> Empty
+  | F arr ->
+    let n = Array.length arr in
+    if n <= max_size then c
+    else begin
+      (* Always keep the extreme point of each dimension (best required
+         time, least load, least area), then spread the rest evenly along
+         the required-time axis. *)
+      let extreme proj =
+        let best = ref 0 in
+        Array.iteri
+          (fun i s -> if proj s < proj arr.(!best) then best := i)
+          arr;
+        arr.(!best)
+      in
+      let keep =
+        [ arr.(0); extreme (fun s -> s.Solution.load);
+          extreme (fun s -> s.Solution.area); arr.(n - 1) ]
+      in
+      let spread = max 0 (max_size - List.length keep) in
+      let picked =
+        List.init spread (fun k -> arr.(1 + (k * (n - 2) / max 1 spread)))
+      in
+      let bld = Builder.create ~hint:max_size () in
+      List.iter (Builder.add bld) keep;
+      List.iter (Builder.add bld) picked;
+      let capped = Builder.build ~name:"Curve.cap" bld in
+      (* For very small caps the four kept extremes may overflow the cap;
+         truncate in curve order as a last resort. *)
+      if size capped <= max_size then capped
+      else
+        match capped with
+        | Empty -> Empty
+        | F a -> F (Array.sub a 0 max_size)
+    end
 
-let cap ~max_size c = Contract.check ~name:"Curve.cap" (cap_impl ~max_size c)
+let cap ~max_size c = cap_impl ~max_size c
 
 let quantise_load ~grid c =
   if grid <= 0.0 then invalid_arg "Curve.quantise_load: grid <= 0";
-  let round_up s =
-    let q = ceil (s.Solution.load /. grid) *. grid in
-    { s with Solution.load = q }
-  in
-  Contract.check ~name:"Curve.quantise_load" (map_solutions round_up c)
+  match c with
+  | Empty -> Empty
+  | F _ ->
+    let bld = Builder.create ~hint:(size c) () in
+    Builder.add_curve bld c;
+    Builder.build ~name:"Curve.quantise_load" ~grids:(0.0, grid, 0.0) bld
 
 let quantise ~req_grid ~load_grid ~area_grid c =
   if req_grid < 0.0 || load_grid < 0.0 || area_grid < 0.0 then
     invalid_arg "Curve.quantise: negative grid";
-  Contract.check ~name:"Curve.quantise"
-    (map_solutions (Solution.quantise ~req_grid ~load_grid ~area_grid) c)
+  match c with
+  | Empty -> Empty
+  | F _ ->
+    let bld = Builder.create ~hint:(size c) () in
+    Builder.add_curve bld c;
+    Builder.build ~name:"Curve.quantise"
+      ~grids:(req_grid, load_grid, area_grid) bld
 
 let is_frontier c =
-  let rec pairs = function
-    | [] -> true
-    | s :: rest ->
-      List.for_all
-        (fun x -> not (strictly_dominates s x) && not (strictly_dominates x s))
-        rest
-      && pairs rest
-  in
-  pairs c
+  let arr = to_array c in
+  let n = Array.length arr in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if
+        strictly_dominates arr.(i) arr.(j)
+        || strictly_dominates arr.(j) arr.(i)
+      then ok := false
+    done
+  done;
+  !ok
 
 let pp ppf c =
   Format.fprintf ppf "{%a}"
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
        Solution.pp)
-    c
+    (to_list c)

@@ -1,10 +1,18 @@
 (** Non-inferior three-dimensional solution curves.
 
     A curve holds only mutually non-inferior solutions (Definition 6) and
-    keeps them in the deterministic {!Solution.compare_key} order.  All
-    dynamic programs in the repository combine, extend and prune these
-    curves; Lemma 9 (pruning loses no non-inferior solution) is enforced
-    here and property-tested in [test/test_curves.ml]. *)
+    keeps them in the deterministic {!Solution.compare_key} order, backed
+    by a sorted array.  All dynamic programs in the repository combine,
+    extend and prune these curves; Lemma 9 (pruning loses no non-inferior
+    solution) is enforced here and property-tested in
+    [test/test_curves.ml] and [test/test_curve_kernel.ml] (observational
+    equivalence against the list-based {!Curve_reference}).
+
+    The DP hot paths should not [add] candidates one at a time: they
+    accumulate a whole cell-root's candidate bag into a {!Builder} and
+    prune once with {!Builder.build} — one stable sort plus one staircase
+    sweep instead of a per-candidate frontier rebuild (DESIGN.md §"Curve
+    kernel"). *)
 
 type 'a t
 
@@ -17,8 +25,48 @@ val size : 'a t -> int
 (** Solutions in {!Solution.compare_key} order. *)
 val to_list : 'a t -> 'a Solution.t list
 
+(** Batch accumulator: push candidate coordinates (and their payloads)
+    into structure-of-arrays storage, then prune the whole bag at once.
+    Ties on {!Solution.compare_key} keep the earliest push, matching the
+    incremental {!add}. *)
+module Builder : sig
+  type 'a b
+
+  (** [create ?hint ()] is an empty accumulator with initial capacity
+      [hint] (it grows as needed). *)
+  val create : ?hint:int -> unit -> 'a b
+
+  (** [push b ~req ~load ~area data] records one candidate without
+      allocating a {!Solution.t} — the hot paths push raw costs and defer
+      building the carried structure to the frontier survivors. *)
+  val push : 'a b -> req:float -> load:float -> area:float -> 'a -> unit
+
+  (** [add b s] pushes an existing solution. *)
+  val add : 'a b -> 'a Solution.t -> unit
+
+  (** [add_curve b c] pushes every solution of [c]. *)
+  val add_curve : 'a b -> 'a t -> unit
+
+  (** Candidates pushed so far (pre-pruning). *)
+  val length : 'a b -> int
+
+  (** Forget all pushed candidates, keeping the capacity. *)
+  val clear : 'a b -> unit
+
+  (** [build ?name ?grids b] prunes the accumulated bag to its
+      non-inferior frontier: one stable sort + one staircase sweep,
+      O(P log P + P·F_insert) for P candidates and frontier size F,
+      versus O(P·F) for P repeated {!add}s.  [grids] applies
+      {!Solution.quantise} bucketing to every candidate during the sweep
+      (the DP cores' per-candidate quantisation, fused into the batch
+      pass); [name] labels {!Contract} violations. *)
+  val build : ?name:string -> ?grids:float * float * float -> 'a b -> 'a t
+end
+
 (** [add curve s] inserts [s] unless an existing solution dominates it and
-    removes every solution [s] dominates. *)
+    removes every solution [s] dominates.  Placement is a binary search
+    over the sorted array; kept for genuinely incremental callers — batch
+    producers should use {!Builder}. *)
 val add : 'a t -> 'a Solution.t -> 'a t
 
 val of_list : 'a Solution.t list -> 'a t
@@ -26,6 +74,9 @@ val of_list : 'a Solution.t list -> 'a t
 (** [union a b] is the pruned merge of both curves. *)
 val union : 'a t -> 'a t -> 'a t
 
+(** [map_data f c] maps only the carried payloads; coordinates — and
+    hence the frontier — are unchanged.  This is how hot paths
+    materialise deferred payloads after {!Builder.build}. *)
 val map_data : ('a -> 'b) -> 'a t -> 'b t
 
 (** [map_solutions f c] rebuilds the curve from [f] applied to each
@@ -46,7 +97,8 @@ val best_req : 'a t -> 'a Solution.t option
 val best_under_area : 'a t -> area:float -> 'a Solution.t option
 
 (** [best_min_area curve ~req] is the min-area solution with required time
-    at least [req] (problem variant II). *)
+    at least [req] (problem variant II).  The scan early-exits at the
+    first element below the floor (the curve is req-descending). *)
 val best_min_area : 'a t -> req:float -> 'a Solution.t option
 
 (** [cap ~max_size curve] reduces the curve to at most [max_size] points

@@ -14,13 +14,18 @@ let compare_key s1 s2 =
 
 let map f s = { req = s.req; load = s.load; area = s.area; data = f s.data }
 
+(* Scalar bucketing helpers, shared with the batch curve kernel so a
+   coordinate quantised during a builder sweep is bit-identical to one
+   quantised through [quantise]. *)
+let grid_down grid v = if grid = 0.0 then v else floor (v /. grid) *. grid
+
+let grid_up grid v = if grid = 0.0 then v else ceil (v /. grid) *. grid
+
 let quantise ~req_grid ~load_grid ~area_grid s =
-  let down grid v = if grid = 0.0 then v else floor (v /. grid) *. grid in
-  let up grid v = if grid = 0.0 then v else ceil (v /. grid) *. grid in
   { s with
-    req = down req_grid s.req;
-    load = up load_grid s.load;
-    area = up area_grid s.area }
+    req = grid_down req_grid s.req;
+    load = grid_up load_grid s.load;
+    area = grid_up area_grid s.area }
 
 let pp ppf s =
   Format.fprintf ppf "(req=%.1f load=%.2f area=%.2f)" s.req s.load s.area

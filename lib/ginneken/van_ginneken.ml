@@ -23,13 +23,19 @@ let curve ~tech ~buffers ?trials ?(max_curve = 16) ?refine_seg tree =
     | Some max_seg -> Rtree.refine ~max_seg tree
   in
   let cap c = Curve.cap ~max_size:max_curve c in
+  (* Existing solutions first, buffered candidates second, one batch
+     prune — the same tie-resolution as adding each candidate into the
+     existing curve, without the per-candidate frontier rebuilds. *)
   let close c =
-    Curve.fold
-      (fun acc sol ->
-         Array.fold_left
-           (fun acc b -> Curve.add acc (Build.add_root_buffer b sol))
-           acc subset)
-      c c
+    let bld = Curve.Builder.create ~hint:(Curve.size c * (1 + Array.length subset)) () in
+    Curve.Builder.add_curve bld c;
+    Curve.iter
+      (fun sol ->
+         Array.iter
+           (fun b -> Curve.Builder.add bld (Build.add_root_buffer b sol))
+           subset)
+      c;
+    Curve.Builder.build ~name:"Van_ginneken.close" bld
   in
   let rec walk = function
     | Rtree.Leaf s ->
@@ -45,15 +51,16 @@ let curve ~tech ~buffers ?trials ?(max_curve = 16) ?refine_seg tree =
         match acc with
         | None -> Some c
         | Some acc ->
-          let joined = ref Curve.empty in
+          let bld =
+            Curve.Builder.create ~hint:(Curve.size acc * Curve.size c) ()
+          in
           Curve.iter
             (fun a ->
                Curve.iter
-                 (fun b ->
-                    joined := Curve.add !joined (Build.join n.Rtree.loc a b))
+                 (fun b -> Curve.Builder.add bld (Build.join n.Rtree.loc a b))
                  c)
             acc;
-          Some (cap !joined)
+          Some (cap (Curve.Builder.build ~name:"Van_ginneken.join" bld))
       in
       let joined =
         match List.fold_left join2 None n.Rtree.children with

@@ -272,10 +272,86 @@ module Mli_sibling = struct
       paths
 end
 
+(* R7 — no incremental Curve.add inside loops in the DP core.  The hot
+   paths must accumulate candidates into a Curve.Builder and prune once
+   per batch (one sort + one sweep); a per-candidate [Curve.add] inside a
+   for/while body or an iter/fold callback rebuilds the frontier per
+   candidate and silently reverts the batch kernel.  Genuinely
+   incremental call sites carry a same-line [lint: curve-add-in-loop]
+   waiver. *)
+module Curve_add_in_loop = struct
+  let name = "curve-add-in-loop"
+
+  let severity = Finding.Error
+
+  let doc =
+    "Curve.add inside a loop or iter/fold callback in the DP core; \
+     accumulate into Curve.Builder and build once per batch"
+
+  let path_in_core path =
+    Rule.path_in_lib path
+    && List.exists
+         (String.equal "core")
+         (String.split_on_char '/' path)
+
+  let is_curve_add = function
+    | Longident.Ldot (Longident.Lident "Curve", "add")
+    | Longident.Ldot
+        (Longident.Ldot (Longident.Lident "Merlin_curves", "Curve"), "add") ->
+      true
+    | _ -> false
+
+  let is_iterish = function
+    | Longident.Ldot (_, ("iter" | "iteri" | "fold" | "fold_left" | "fold_right"))
+      ->
+      true
+    | _ -> false
+
+  (* Scan a loop body (or callback argument) for Curve.add idents with a
+     dedicated sub-iterator; [seen] dedups sites reached through nested
+     loops. *)
+  let scan ctx seen root =
+    let expr self e =
+      (match e.pexp_desc with
+       | Pexp_ident { txt; loc } when is_curve_add txt ->
+         let key =
+           (loc.Location.loc_start.Lexing.pos_lnum,
+            loc.Location.loc_start.Lexing.pos_cnum)
+         in
+         if not (Hashtbl.mem seen key) then begin
+           Hashtbl.add seen key ();
+           Rule.report ctx ~rule:name ~severity ~waiver:name ~loc
+             "Curve.add inside a loop; accumulate into a Curve.Builder \
+              and build once"
+         end
+       | _ -> ());
+      Ast_iterator.default_iterator.expr self e
+    in
+    let sub = { Ast_iterator.default_iterator with expr } in
+    sub.expr sub root
+
+  let hooks ctx prev =
+    if not (path_in_core ctx.Rule.filename) then prev
+    else begin
+      let seen = Hashtbl.create 8 in
+      on_expr prev (fun e ->
+          match e.pexp_desc with
+          | Pexp_for (_, _, _, _, body) | Pexp_while (_, body) ->
+            scan ctx seen body
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+            when is_iterish txt ->
+            List.iter (fun (_, arg) -> scan ctx seen arg) args
+          | _ -> ())
+    end
+
+  let files = Rule.no_files
+end
+
 let all : (module Rule.S) list =
   [ (module Poly_compare);
     (module Raising_accessor);
     (module Physical_eq);
     (module Error_prefix);
     (module Catch_all);
-    (module Mli_sibling) ]
+    (module Mli_sibling);
+    (module Curve_add_in_loop) ]

@@ -56,7 +56,7 @@ let curve ~buffers ~max_fanout sinks =
     match memo.(i) with
     | Some c -> c
     | None ->
-      let acc = ref Curve.empty in
+      let bld = Curve.Builder.create () in
       let try_group j =
         (* directs i..j; remaining j+1.. goes to the next link. *)
         let directs = group i j in
@@ -65,12 +65,9 @@ let curve ~buffers ~max_fanout sinks =
           Array.iter
             (fun b ->
                let breq = req -. Buffer_lib.delay b ~load in
-               let sol =
-                 Solution.make ~req:breq ~load:b.Buffer_lib.input_cap
-                   ~area:(area +. b.Buffer_lib.area)
-                   { buffer = b; directs; chain = link_chain }
-               in
-               acc := Curve.add !acc sol)
+               Curve.Builder.push bld ~req:breq ~load:b.Buffer_lib.input_cap
+                 ~area:(area +. b.Buffer_lib.area)
+                 { buffer = b; directs; chain = link_chain })
             buffers
         in
         if j = n - 1 then
@@ -90,37 +87,34 @@ let curve ~buffers ~max_fanout sinks =
         let width = j - i + 1 + (if j = n - 1 then 0 else 1) in
         if width <= max_fanout then try_group j
       done;
-      memo.(i) <- Some !acc;
-      !acc
+      let c = Curve.Builder.build ~name:"Lttree.links" bld in
+      memo.(i) <- Some c;
+      c
   in
   (* Root level: the driver (not a buffer) drives directs 0..j plus
      optionally the chain starting at j+1. *)
-  let out = ref Curve.empty in
+  let out = Curve.Builder.create () in
   let root_group j =
     let directs = group 0 j in
     let d_load = group_load 0 j and d_req = group_req 0 in
     if j = n - 1 then
-      out :=
-        Curve.add !out
-          (Solution.make ~req:d_req ~load:d_load ~area:0.0
-             { root_directs = directs; root_chain = None })
+      Curve.Builder.push out ~req:d_req ~load:d_load ~area:0.0
+        { root_directs = directs; root_chain = None }
     else
       Curve.iter
         (fun (next : chain Solution.t) ->
-           out :=
-             Curve.add !out
-               (Solution.make
-                  ~req:(min d_req next.Solution.req)
-                  ~load:(d_load +. next.Solution.load)
-                  ~area:next.Solution.area
-                  { root_directs = directs; root_chain = Some next.Solution.data }))
+           Curve.Builder.push out
+             ~req:(min d_req next.Solution.req)
+             ~load:(d_load +. next.Solution.load)
+             ~area:next.Solution.area
+             { root_directs = directs; root_chain = Some next.Solution.data })
         (links (j + 1))
   in
   for j = 0 to n - 1 do
     let width = j + 1 + (if j = n - 1 then 0 else 1) in
     if width <= max_fanout then root_group j
   done;
-  !out
+  Curve.Builder.build ~name:"Lttree.root" out
 
 let best ~buffers ~max_fanout ~driver sinks =
   let c = curve ~buffers ~max_fanout sinks in

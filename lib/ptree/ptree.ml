@@ -34,15 +34,17 @@ let curve ~tech ?(max_curve = 12) ?(bbox_slack = 0.4) ~candidates ~order
     Star_ptree.run ~tech ~buffers:[||] ~trials:1 ~max_curve
       ~grids:(0.0, 0.0, 0.0) ~bbox_slack ~candidates ~active ~terminals
   in
-  let to_driver acc c =
-    Curve.fold
-      (fun acc sol ->
-         let at_source = Build.extend_wire tech ~to_:net.Net.source sol in
-         let gate = Delay_model.delay net.Net.driver ~load:at_source.Solution.load in
-         Curve.add acc { at_source with Solution.req = at_source.Solution.req -. gate })
-      acc c
-  in
-  Array.fold_left to_driver Curve.empty per_candidate
+  let bld = Curve.Builder.create () in
+  Array.iter
+    (Curve.iter (fun sol ->
+       let at_source = Build.extend_wire tech ~to_:net.Net.source sol in
+       let gate = Delay_model.delay net.Net.driver ~load:at_source.Solution.load in
+       Curve.Builder.push bld
+         ~req:(at_source.Solution.req -. gate)
+         ~load:at_source.Solution.load ~area:at_source.Solution.area
+         at_source.Solution.data))
+    per_candidate;
+  Curve.Builder.build ~name:"Ptree.to_driver" bld
 
 let route ~tech ?max_curve ?candidates ?order (net : Net.t) =
   let candidates =

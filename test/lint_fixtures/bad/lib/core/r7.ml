@@ -1,0 +1,19 @@
+(* R7 fixture: per-candidate Curve.add inside loops in the DP core. *)
+
+let fold_fill curve sols =
+  List.fold_left (fun acc s -> Curve.add acc s) curve sols
+
+let iter_fill curve sols =
+  let acc = ref curve in
+  List.iter (fun s -> acc := Curve.add !acc s) sols;
+  !acc
+
+let loop_fill curve arr =
+  let acc = ref curve in
+  for i = 0 to Array.length arr - 1 do
+    acc := Curve.add !acc arr.(i)
+  done;
+  !acc
+
+(* A single insert outside any loop is the sanctioned use and passes. *)
+let single curve s = Curve.add curve s

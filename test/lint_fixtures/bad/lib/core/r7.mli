@@ -1,0 +1,7 @@
+val fold_fill : 'a -> 'b list -> 'a
+
+val iter_fill : 'a -> 'b list -> 'a
+
+val loop_fill : 'a -> 'b array -> 'a
+
+val single : 'a -> 'b -> 'a

@@ -5,6 +5,7 @@ let () =
     [ Test_geometry.suite;
       Test_tech.suite;
       Test_curves.suite;
+      Test_curve_kernel.suite;
       Test_order.suite;
       Test_net.suite;
       Test_rtree.suite;

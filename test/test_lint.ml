@@ -65,6 +65,31 @@ let test_catch_all () =
   check_spans "specific exception passes" [] ~filename:"lib/fix.ml"
     "let safe f = try f () with Not_found -> 0\n"
 
+let test_curve_add_in_loop () =
+  check_spans "fold callback flagged in core" [ ("curve-add-in-loop", 1) ]
+    ~filename:"lib/core/fix.ml"
+    "let f c sols = List.fold_left (fun acc s -> Curve.add acc s) c sols\n";
+  check_spans "iter callback flagged in core" [ ("curve-add-in-loop", 1) ]
+    ~filename:"lib/core/fix.ml"
+    "let f acc sols = Array.iter (fun s -> acc := Curve.add !acc s) sols\n";
+  check_spans "for-loop body flagged in core" [ ("curve-add-in-loop", 3) ]
+    ~filename:"lib/core/fix.ml"
+    "let f c arr =\n\
+    \  let acc = ref c in\n\
+    \  for i = 0 to 3 do acc := Curve.add !acc arr.(i) done;\n\
+    \  !acc\n";
+  check_spans "nested loops report the site once" [ ("curve-add-in-loop", 2) ]
+    ~filename:"lib/core/fix.ml"
+    "let f acc l r =\n\
+    \  List.iter (fun a -> List.iter (fun b -> acc := Curve.add !acc (a, b)) r) l\n";
+  check_spans "single add outside loops passes" [] ~filename:"lib/core/fix.ml"
+    "let f c s = Curve.add c s\n";
+  check_spans "outside lib/core passes" [] ~filename:"lib/curves/fix.ml"
+    "let f acc sols = List.iter (fun s -> acc := Curve.add !acc s) sols\n";
+  check_spans "waiver accepted" [] ~filename:"lib/core/fix.ml"
+    "let f acc sols =\n\
+    \  List.iter (fun s -> acc := Curve.add !acc s) sols (* l\105nt: curve-add-in-loop *)\n"
+
 let write_file path text =
   let oc = open_out path in
   output_string oc text;
@@ -121,5 +146,6 @@ let suite =
       Alcotest.test_case "R4 error-prefix" `Quick test_error_prefix;
       Alcotest.test_case "R5 catch-all" `Quick test_catch_all;
       Alcotest.test_case "R6 mli-sibling" `Quick test_mli_sibling;
+      Alcotest.test_case "R7 curve-add-in-loop" `Quick test_curve_add_in_loop;
       Alcotest.test_case "parse error reported" `Quick test_parse_error;
       Alcotest.test_case "rendering" `Quick test_render ] )
