@@ -26,6 +26,7 @@ module Flows = Merlin_flows.Flows
 module FR = Merlin_circuit.Flow_runner
 module Pool = Merlin_exec.Pool
 module Clock = Merlin_exec.Clock
+module Json = Merlin_report.Json
 
 let tech = Tech.default
 let buffers = Buffer_lib.default
@@ -64,28 +65,21 @@ let git_rev () =
   | exception Sys_error _ -> "unknown"
   | exception Unix.Unix_error _ -> "unknown"
 
-type jfield = Js of string | Jf of float | Ji of int
+(* BENCH_*.json documents are built from the repository's shared JSON
+   layer (Merlin_report.Json), the same one behind the metrics wire
+   schema and the serving protocol, so every machine-readable artifact
+   prints numbers and escapes strings identically. *)
 
-let json_obj fields =
-  "{"
-  ^ String.concat ","
-      (List.map
-         (fun (k, v) ->
-            Printf.sprintf "%S:%s" k
-              (match v with
-               | Js s -> Printf.sprintf "%S" s
-               | Jf f ->
-                 if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
-               | Ji i -> string_of_int i))
-         fields)
-  ^ "}"
+let js s = Json.Str s
+let jf f = Json.Num f
+let ji i = Json.Num (float_of_int i)
 
 (* Frontier-kernel telemetry: candidate counts per DP step (see
    Star_ptree).  Counts are representation-independent — one increment
    per candidate solution offered to the frontier — so before/after
    kernel comparisons in BENCH_curve.json share the same scale. *)
 let counter_fields () =
-  let c a = Ji (Atomic.get a) in
+  let c a = ji (Atomic.get a) in
   let open Merlin_core.Star_ptree in
   [ ("n_join_adds", c n_join_adds); ("n_close_adds", c n_close_adds);
     ("n_pull_adds", c n_pull_adds); ("n_base_adds", c n_base_adds);
@@ -95,22 +89,18 @@ let write_json ~opts ~table ~wall_s rows =
   match opts.json with
   | None -> ()
   | Some file ->
-    let oc = open_out file in
-    let counters =
-      String.concat ","
-        (List.map
-           (fun (k, v) ->
-              Printf.sprintf "%S:%s" k
-                (match v with
-                 | Ji i -> string_of_int i
-                 | Js s -> Printf.sprintf "%S" s
-                 | Jf f -> Printf.sprintf "%.6g" f))
-           (counter_fields ()))
+    let doc =
+      Json.Obj
+        ([ ("table", js table);
+           ("jobs", ji opts.jobs);
+           ("git_rev", js (git_rev ()));
+           ("wall_s", jf wall_s) ]
+        @ counter_fields ()
+        @ [ ("rows", Json.List rows) ])
     in
-    Printf.fprintf oc "{%S:%S,%S:%d,%S:%S,%S:%.3f,%s,%S:[\n%s\n]}\n" "table"
-      table "jobs" opts.jobs "git_rev" (git_rev ()) "wall_s" wall_s counters
-      "rows"
-      (String.concat ",\n" rows);
+    let oc = open_out file in
+    output_string oc (Json.to_string doc);
+    output_char oc '\n';
     close_out oc;
     progress "[%s] wrote %s" table file
 
@@ -157,9 +147,15 @@ let table1 ~opts pool () =
   in
   let row (circuit, name, net) =
     progress "[table1] %s %s (n=%d)..." circuit name (Net.n_sinks net);
-    let m1 = Flows.flow1 ~tech ~buffers net in
-    let m2 = Flows.flow2 ~tech ~buffers net in
-    let m3 = Flows.flow3 ~tech ~buffers ~cfg:(cfg3 net) net in
+    let run algo = Flows.run { Flows.tech; buffers; algo } net in
+    let m1 = run (Flows.Lttree_ptree { max_fanout = 10 }) in
+    let m2 = run (Flows.Ptree_vg { refine_seg = None }) in
+    let m3 =
+      run
+        (Flows.Merlin
+           { cfg = Some (cfg3 net);
+             objective = Merlin_core.Objective.Best_req })
+    in
     (circuit, name, Net.n_sinks net, m1, m2, m3)
   in
   let rows, wall_s = Clock.timed (fun () -> pmap pool row nets) in
@@ -210,14 +206,14 @@ let table1 ~opts pool () =
   let json_rows =
     List.map
       (fun (circuit, name, sinks, m1, m2, m3) ->
-         json_obj
-           [ ("circuit", Js circuit); ("net", Js name); ("sinks", Ji sinks);
-             ("area1", Jf m1.Flows.area); ("delay1", Jf m1.Flows.delay);
-             ("runtime1", Jf m1.Flows.runtime);
-             ("area2", Jf m2.Flows.area); ("delay2", Jf m2.Flows.delay);
-             ("runtime2", Jf m2.Flows.runtime);
-             ("area3", Jf m3.Flows.area); ("delay3", Jf m3.Flows.delay);
-             ("runtime3", Jf m3.Flows.runtime); ("loops3", Ji m3.Flows.loops) ])
+         Json.Obj
+           [ ("circuit", js circuit); ("net", js name); ("sinks", ji sinks);
+             ("area1", jf m1.Flows.area); ("delay1", jf m1.Flows.delay);
+             ("runtime1", jf m1.Flows.runtime);
+             ("area2", jf m2.Flows.area); ("delay2", jf m2.Flows.delay);
+             ("runtime2", jf m2.Flows.runtime);
+             ("area3", jf m3.Flows.area); ("delay3", jf m3.Flows.delay);
+             ("runtime3", jf m3.Flows.runtime); ("loops3", ji m3.Flows.loops) ])
       rows
   in
   write_json ~opts ~table:"table1" ~wall_s json_rows
@@ -303,15 +299,15 @@ let table2 ~opts pool () =
   let json_rows =
     List.map
       (fun (name, gates, r1, r2, r3) ->
-         json_obj
-           [ ("circuit", Js name); ("gates", Ji gates);
-             ("area1", Jf r1.FR.area); ("delay1", Jf r1.FR.delay);
-             ("runtime1", Jf r1.FR.runtime);
-             ("area2", Jf r2.FR.area); ("delay2", Jf r2.FR.delay);
-             ("runtime2", Jf r2.FR.runtime);
-             ("area3", Jf r3.FR.area); ("delay3", Jf r3.FR.delay);
-             ("runtime3", Jf r3.FR.runtime);
-             ("nets3", Ji r3.FR.nets_optimized) ])
+         Json.Obj
+           [ ("circuit", js name); ("gates", ji gates);
+             ("area1", jf r1.FR.area); ("delay1", jf r1.FR.delay);
+             ("runtime1", jf r1.FR.runtime);
+             ("area2", jf r2.FR.area); ("delay2", jf r2.FR.delay);
+             ("runtime2", jf r2.FR.runtime);
+             ("area3", jf r3.FR.area); ("delay3", jf r3.FR.delay);
+             ("runtime3", jf r3.FR.runtime);
+             ("nets3", ji r3.FR.nets_optimized) ])
       rows
   in
   write_json ~opts ~table:"table2" ~wall_s json_rows

@@ -3,9 +3,16 @@
      merlin-cli gen --sinks 12 --seed 7 -o net.txt
      merlin-cli route net.txt --flow merlin --alpha 10
      merlin-cli route --random 10 --flow all -j 3 --stats
-     merlin-cli route net.txt --objective area:50
+     merlin-cli route net.txt --objective area:50 --json
      merlin-cli circuit --name B9 --flow all -j 4 --stats
-*)
+     merlin-cli serve --socket /tmp/merlin.sock -j 4
+     merlin-cli submit net.txt --socket /tmp/merlin.sock --deadline 10
+     merlin-cli submit --admin stats --socket /tmp/merlin.sock
+
+   Helpers return [(_, string) result] and errors surface through
+   [Term.term_result'] — Cmdliner owns every exit path, so `--help`,
+   usage errors and our own diagnostics all behave consistently (no
+   [exit] from inside argument processing). *)
 
 open Cmdliner
 open Merlin_tech
@@ -13,30 +20,62 @@ open Merlin_net
 module Flows = Merlin_flows.Flows
 module FR = Merlin_circuit.Flow_runner
 module Pool = Merlin_exec.Pool
+module Json = Merlin_report.Json
+module Metrics = Merlin_report.Metrics
+module Serve = Merlin_serve
 
 let tech = Tech.default
 let buffers = Buffer_lib.default
 
+let ( let* ) = Result.bind
+
 let load_net file random seed =
   match (file, random) with
-  | Some path, _ -> Net_io.load path
-  | None, Some n -> Net_gen.random_net ~seed ~name:"random" ~n tech
-  | None, None ->
-    prerr_endline "either a net file or --random N is required";
-    exit 2
+  | Some path, _ -> (
+    match Net_io.load path with
+    | net -> Ok net
+    | exception Sys_error msg -> Error msg
+    | exception Failure msg -> Error msg)
+  | None, Some n -> Ok (Net_gen.random_net ~seed ~name:"random" ~n tech)
+  | None, None -> Error "either a net file or --random N is required"
 
 let parse_objective = function
-  | None -> Merlin_core.Objective.Best_req
-  | Some s ->
-    (match String.split_on_char ':' s with
-     | [ "best" ] -> Merlin_core.Objective.Best_req
-     | [ "area"; v ] ->
-       Merlin_core.Objective.Max_req_under_area (float_of_string v)
-     | [ "req"; v ] ->
-       Merlin_core.Objective.Min_area_over_req (float_of_string v)
-     | _ ->
-       prerr_endline "objective must be best, area:<budget> or req:<floor>";
-       exit 2)
+  | None -> Ok Merlin_core.Objective.Best_req
+  | Some s -> (
+    match String.split_on_char ':' s with
+    | [ "best" ] -> Ok Merlin_core.Objective.Best_req
+    | [ "area"; v ] -> (
+      match float_of_string_opt v with
+      | Some v -> Ok (Merlin_core.Objective.Max_req_under_area v)
+      | None -> Error (Printf.sprintf "invalid area budget %S" v))
+    | [ "req"; v ] -> (
+      match float_of_string_opt v with
+      | Some v -> Ok (Merlin_core.Objective.Min_area_over_req v)
+      | None -> Error (Printf.sprintf "invalid req floor %S" v))
+    | _ -> Error "objective must be best, area:<budget> or req:<floor>")
+
+(* The knobs shared by `route` and `submit`: one flow name plus the
+   optional alpha/objective overrides, resolved against the net. *)
+let make_algo ~flow ~alpha ~objective net =
+  let* objective = parse_objective objective in
+  match Flows.default_algo flow with
+  | Some (Flows.Merlin _) ->
+    let base = Merlin_core.Config.scaled (Net.n_sinks net) in
+    let cfg =
+      match alpha with
+      | None -> base
+      | Some alpha -> { base with Merlin_core.Config.alpha }
+    in
+    Ok (Flows.Merlin { cfg = Some cfg; objective })
+  | Some algo -> Ok algo
+  | None ->
+    Error
+      (Printf.sprintf "unknown flow %s (merlin|lttree-ptree|ptree-vg)" flow)
+
+let run_spec spec net =
+  match Flows.run spec net with
+  | m -> Ok m
+  | exception Flows.Infeasible msg -> Error msg
 
 let print_metrics (m : Flows.metrics) =
   Format.printf
@@ -45,32 +84,42 @@ let print_metrics (m : Flows.metrics) =
     m.Flows.flow m.Flows.area m.Flows.delay m.Flows.root_req m.Flows.n_buffers
     m.Flows.wirelength m.Flows.loops m.Flows.runtime
 
+let emit_metrics ~json ~with_tree m =
+  if json then
+    print_endline
+      (Json.to_string (Metrics.to_json (Flows.wire_metrics ~with_tree m)))
+  else print_metrics m
+
 let dump_stats pool =
   Format.eprintf "%a@." Pool.pp_stats (Pool.stats pool)
 
-(* ---- route ---- *)
-
-let route file random seed flow alpha objective show_tree verbose jobs stats =
-  (* May re-exec the process; must run before any domain is spawned. *)
-  if jobs > 1 then Merlin_exec.Runparam.ensure_minor_heap ();
+let setup_verbose verbose =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
-  end;
-  let net = load_net file random seed in
-  Format.printf "%a@." Net.pp net;
+  end
+
+(* ---- route ---- *)
+
+let route file random seed flow alpha objective json show_tree verbose jobs
+    stats =
+  (* May re-exec the process; must run before any domain is spawned. *)
+  if jobs > 1 then Merlin_exec.Runparam.ensure_minor_heap ();
+  setup_verbose verbose;
+  let* net = load_net file random seed in
+  if not json then Format.printf "%a@." Net.pp net;
   let cfg =
     let base = Merlin_core.Config.scaled (Net.n_sinks net) in
     match alpha with
     | None -> base
     | Some alpha -> { base with Merlin_core.Config.alpha }
   in
-  let objective = parse_objective objective in
-  let run_flow3 () =
+  let* objective = parse_objective objective in
+  let run_flow3_verbose () =
+    (* Rich human output for the headline flow: evaluation, hierarchy
+       and (optionally) the routing tree. *)
     match Merlin_core.Merlin.run ~cfg ~objective ~tech ~buffers net with
-    | None ->
-      prerr_endline "objective infeasible on the final solution curve";
-      exit 1
+    | None -> Error "objective infeasible on the final solution curve"
     | Some out ->
       let ev = Merlin_rtree.Eval.net tech net out.Merlin_core.Merlin.tree in
       Format.printf
@@ -83,43 +132,53 @@ let route file random seed flow alpha objective show_tree verbose jobs stats =
         out.Merlin_core.Merlin.hierarchy;
       if show_tree then
         Format.printf "tree:@.%a@." Merlin_rtree.Rtree.pp
-          out.Merlin_core.Merlin.tree
+          out.Merlin_core.Merlin.tree;
+      Ok 0
   in
-  (match flow with
-   | "merlin" -> run_flow3 ()
-   | "lttree-ptree" -> print_metrics (Flows.flow1 ~tech ~buffers net)
-   | "ptree-vg" -> print_metrics (Flows.flow2 ~tech ~buffers net)
-   | "all" when jobs > 1 ->
-     (* The three flows are independent; run them as pool tasks.  The
-        deterministic map keeps the output order I, II, III. *)
-     Pool.with_pool ~domains:jobs (fun pool ->
-         let ms =
-           Pool.map ~chunk:1 pool
-             (fun f -> f ())
-             [ (fun () -> Flows.flow1 ~tech ~buffers net);
-               (fun () -> Flows.flow2 ~tech ~buffers net);
-               (fun () -> Flows.flow3 ~tech ~buffers ~cfg net) ]
-         in
-         List.iter print_metrics ms;
-         if stats then dump_stats pool)
-   | "all" -> List.iter print_metrics (Flows.all ~tech ~buffers ~cfg3:cfg net)
-   | other ->
-     Printf.eprintf "unknown flow %s (merlin|lttree-ptree|ptree-vg|all)\n" other;
-     exit 2);
-  0
+  let emit = emit_metrics ~json ~with_tree:show_tree in
+  let single algo =
+    let* m = run_spec { Flows.tech; buffers; algo } net in
+    emit m;
+    Ok 0
+  in
+  match flow with
+  | "merlin" when not json -> run_flow3_verbose ()
+  | "merlin" -> single (Flows.Merlin { cfg = Some cfg; objective })
+  | "lttree-ptree" -> single (Flows.Lttree_ptree { max_fanout = 10 })
+  | "ptree-vg" -> single (Flows.Ptree_vg { refine_seg = None })
+  | "all" when jobs > 1 ->
+    (* The three flows are independent; run them as pool tasks.  The
+       deterministic map keeps the output order I, II, III. *)
+    let specs =
+      [ Flows.Lttree_ptree { max_fanout = 10 };
+        Flows.Ptree_vg { refine_seg = None };
+        Flows.Merlin { cfg = Some cfg; objective = Merlin_core.Objective.Best_req } ]
+    in
+    Pool.with_pool ~domains:jobs (fun pool ->
+        let ms =
+          Pool.map ~chunk:1 pool
+            (fun algo -> Flows.run { Flows.tech; buffers; algo } net)
+            specs
+        in
+        List.iter emit ms;
+        if stats then dump_stats pool;
+        Ok 0)
+  | "all" ->
+    List.iter emit (Flows.all ~tech ~buffers ~cfg3:cfg net);
+    Ok 0
+  | other ->
+    Error
+      (Printf.sprintf "unknown flow %s (merlin|lttree-ptree|ptree-vg|all)"
+         other)
 
 (* ---- circuit ---- *)
 
 let circuit name scale_down flow min_sinks jobs net_timeout stats =
   if jobs > 1 then Merlin_exec.Runparam.ensure_minor_heap ();
-  let netlist =
-    match
-      Merlin_circuit.Circuit_gen.generate ~scale_down ~name ()
-    with
-    | nl -> Merlin_circuit.Placement.place nl
-    | exception Invalid_argument msg ->
-      Printf.eprintf "%s\n" msg;
-      exit 2
+  let* netlist =
+    match Merlin_circuit.Circuit_gen.generate ~scale_down ~name () with
+    | nl -> Ok (Merlin_circuit.Placement.place nl)
+    | exception Invalid_argument msg -> Error msg
   in
   let print_result (r : FR.result) =
     Format.printf
@@ -132,16 +191,16 @@ let circuit name scale_down flow min_sinks jobs net_timeout stats =
        else "")
       r.FR.runtime
   in
-  let flows =
+  let* flows =
     match flow with
-    | "merlin" -> [ FR.Flow3 ]
-    | "lttree-ptree" -> [ FR.Flow1 ]
-    | "ptree-vg" -> [ FR.Flow2 ]
-    | "all" -> [ FR.Flow1; FR.Flow2; FR.Flow3 ]
+    | "merlin" -> Ok [ FR.Flow3 ]
+    | "lttree-ptree" -> Ok [ FR.Flow1 ]
+    | "ptree-vg" -> Ok [ FR.Flow2 ]
+    | "all" -> Ok [ FR.Flow1; FR.Flow2; FR.Flow3 ]
     | other ->
-      Printf.eprintf "unknown flow %s (merlin|lttree-ptree|ptree-vg|all)\n"
-        other;
-      exit 2
+      Error
+        (Printf.sprintf "unknown flow %s (merlin|lttree-ptree|ptree-vg|all)"
+           other)
   in
   Format.printf "%s: %d gates, %d nodes@." name
     (Array.length netlist.Merlin_circuit.Netlist.gates)
@@ -159,7 +218,7 @@ let circuit name scale_down flow min_sinks jobs net_timeout stats =
         run (Some pool);
         if stats then dump_stats pool)
   else run None;
-  0
+  Ok 0
 
 (* ---- gen ---- *)
 
@@ -171,6 +230,119 @@ let gen sinks seed output =
      Printf.printf "wrote %s (%d sinks)\n" path sinks
    | None -> print_string (Net_io.to_string net));
   0
+
+(* ---- serve ---- *)
+
+let parse_tcp = function
+  | None -> Ok None
+  | Some s -> (
+    match String.rindex_opt s ':' with
+    | None -> Error (Printf.sprintf "--tcp %S: expected HOST:PORT" s)
+    | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 -> Ok (Some (host, p))
+      | _ -> Error (Printf.sprintf "--tcp %S: invalid port %S" s port)))
+
+let serve socket_path tcp jobs cache_capacity default_deadline_s verbose =
+  setup_verbose verbose;
+  (* The pool spawns domains at startup; grow the minor heap first. *)
+  Merlin_exec.Runparam.ensure_minor_heap ();
+  let* tcp = parse_tcp tcp in
+  let cfg =
+    { (Serve.Server.default_config ~socket_path) with
+      Serve.Server.tcp;
+      domains = jobs;
+      cache_capacity;
+      default_deadline_s }
+  in
+  match Serve.Server.start cfg with
+  | server ->
+    Printf.printf "merlin-serve: listening on %s%s\n%!" socket_path
+      (match tcp with
+       | None -> ""
+       | Some (h, p) -> Printf.sprintf " and %s:%d" h p);
+    Serve.Server.wait server;
+    Printf.printf "merlin-serve: drained, bye\n%!";
+    Ok 0
+  | exception Unix.Unix_error (err, _, arg) ->
+    Error
+      (Printf.sprintf "cannot listen on %s: %s %s" socket_path
+         (Unix.error_message err) arg)
+
+(* ---- submit ---- *)
+
+let print_wire_metrics ~cached (m : Metrics.t) =
+  Format.printf
+    "%-16s area=%.2f delay=%.1fps req=%.1fps buffers=%d wirelength=%d \
+     loops=%d runtime=%.2fs%s@."
+    m.Metrics.flow m.Metrics.area m.Metrics.delay m.Metrics.root_req
+    m.Metrics.n_buffers m.Metrics.wirelength m.Metrics.loops
+    m.Metrics.runtime
+    (match cached with Serve.Wire.Hit -> "  [cached]" | Serve.Wire.Miss -> "");
+  match m.Metrics.tree with
+  | Some tree -> Format.printf "tree:@.%a@." Merlin_rtree.Rtree.pp tree
+  | None -> ()
+
+let submit file random seed socket_path flow alpha objective deadline_s
+    want_tree json id admin =
+  let* client =
+    match Serve.Client.connect_unix socket_path with
+    | c -> Ok c
+    | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Printf.sprintf "cannot connect to %s: %s (is `merlin-cli serve` \
+                         running?)" socket_path (Unix.error_message err))
+  in
+  Fun.protect ~finally:(fun () -> Serve.Client.close client) @@ fun () ->
+  let* msg =
+    match admin with
+    | Some "stats" -> Ok Serve.Wire.Stats
+    | Some "ping" -> Ok Serve.Wire.Ping
+    | Some "drain" -> Ok Serve.Wire.Drain
+    | Some "shutdown" -> Ok Serve.Wire.Shutdown
+    | Some other ->
+      Error
+        (Printf.sprintf "unknown admin op %s (stats|ping|drain|shutdown)"
+           other)
+    | None ->
+      let* net = load_net file random seed in
+      let* algo = make_algo ~flow ~alpha ~objective net in
+      Ok
+        (Serve.Wire.Route
+           { Serve.Wire.id;
+             spec = { Flows.tech; buffers; algo };
+             net;
+             deadline_s;
+             want_tree })
+  in
+  let* reply = Serve.Client.call client msg in
+  match reply with
+  | Serve.Wire.Reply { cached; metrics; _ } ->
+    if json then
+      print_endline (Json.to_string (Metrics.to_json metrics))
+    else print_wire_metrics ~cached metrics;
+    Ok 0
+  | Serve.Wire.Refused { kind; message; _ } ->
+    Error
+      (Printf.sprintf "%s: %s"
+         (match kind with
+          | Serve.Wire.Bad_request -> "bad request"
+          | Serve.Wire.Infeasible -> "infeasible"
+          | Serve.Wire.Timeout -> "timeout"
+          | Serve.Wire.Draining -> "draining"
+          | Serve.Wire.Internal -> "internal error")
+         message)
+  | Serve.Wire.Stats_reply stats ->
+    print_endline (Json.to_string stats);
+    Ok 0
+  | Serve.Wire.Pong ->
+    print_endline "pong";
+    Ok 0
+  | Serve.Wire.Admin_ok what ->
+    print_endline what;
+    Ok 0
 
 (* ---- cmdliner plumbing ---- *)
 
@@ -192,7 +364,13 @@ let alpha_arg =
 let objective_arg =
   Arg.(value & opt (some string) None & info [ "objective" ] ~doc:"best | area:<budget> | req:<floor>")
 
-let tree_arg = Arg.(value & flag & info [ "tree" ] ~doc:"Print the routing tree")
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit metrics as JSON (the versioned Metrics wire schema)")
+
+let tree_arg = Arg.(value & flag & info [ "tree" ] ~doc:"Print/include the routing tree")
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging")
 
@@ -207,12 +385,20 @@ let stats_arg =
     value & flag
     & info [ "stats" ] ~doc:"Dump execution-engine telemetry to stderr")
 
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/merlin-serve.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
+
 let route_cmd =
   Cmd.v
     (Cmd.info "route" ~doc:"Build a buffered routing tree for a net")
-    Term.(
-      const route $ file_arg $ random_arg $ seed_arg $ flow_arg $ alpha_arg
-      $ objective_arg $ tree_arg $ verbose_arg $ jobs_arg $ stats_arg)
+    (Term.term_result'
+       Term.(
+         const route $ file_arg $ random_arg $ seed_arg $ flow_arg $ alpha_arg
+         $ objective_arg $ json_arg $ tree_arg $ verbose_arg $ jobs_arg
+         $ stats_arg))
 
 let circuit_cmd =
   let name_arg =
@@ -241,9 +427,10 @@ let circuit_cmd =
   Cmd.v
     (Cmd.info "circuit"
        ~doc:"Run a full-circuit flow (Table 2 style) on the execution engine")
-    Term.(
-      const circuit $ name_arg $ scale_down $ flow_arg $ min_sinks $ jobs_arg
-      $ net_timeout $ stats_arg)
+    (Term.term_result'
+       Term.(
+         const circuit $ name_arg $ scale_down $ flow_arg $ min_sinks
+         $ jobs_arg $ net_timeout $ stats_arg))
 
 let gen_cmd =
   let sinks = Arg.(value & opt int 8 & info [ "sinks" ] ~doc:"Sink count") in
@@ -254,10 +441,69 @@ let gen_cmd =
     (Cmd.info "gen" ~doc:"Generate a random net (paper Section IV recipe)")
     Term.(const gen $ sinks $ seed_arg $ output)
 
+let serve_cmd =
+  let tcp_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:"Additionally listen on a TCP socket")
+  in
+  let serve_jobs =
+    Arg.(
+      value & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: recommended domain count)")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "cache" ] ~docv:"N" ~doc:"Result-cache capacity (entries)")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "default-deadline" ] ~docv:"S"
+          ~doc:"Budget applied to requests that carry no deadline")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the routing-service daemon (length-prefixed JSON over a \
+             Unix socket)")
+    (Term.term_result'
+       Term.(
+         const serve $ socket_arg $ tcp_arg $ serve_jobs $ cache_arg
+         $ deadline_arg $ verbose_arg))
+
+let submit_cmd =
+  let deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"S" ~doc:"Per-request compute budget")
+  in
+  let id_arg =
+    Arg.(
+      value & opt string "cli"
+      & info [ "id" ] ~doc:"Request id echoed in the reply")
+  in
+  let admin_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "admin" ] ~docv:"OP"
+          ~doc:"Send an admin op instead of a route: stats | ping | drain \
+                | shutdown")
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc:"Submit a routing request to a running daemon")
+    (Term.term_result'
+       Term.(
+         const submit $ file_arg $ random_arg $ seed_arg $ socket_arg
+         $ flow_arg $ alpha_arg $ objective_arg $ deadline_arg $ tree_arg
+         $ json_arg $ id_arg $ admin_arg))
+
 let main =
   Cmd.group
     (Cmd.info "merlin-cli" ~version:"1.0.0"
        ~doc:"MERLIN buffered routing tree generation (DAC 1999 reproduction)")
-    [ route_cmd; gen_cmd; circuit_cmd ]
+    [ route_cmd; gen_cmd; circuit_cmd; serve_cmd; submit_cmd ]
 
 let () = exit (Cmd.eval' main)

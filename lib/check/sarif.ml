@@ -5,7 +5,7 @@
    promoted to a baseline verbatim. *)
 
 module Finding = Merlin_lint.Finding
-module Json = Merlin_lint.Json
+module Json = Merlin_report.Json
 
 let version = "2.1.0"
 

@@ -15,7 +15,11 @@ let sinks =
   [ ([ "Pool"; "submit" ], "Pool.submit");
     ([ "Pool"; "map" ], "Pool.map");
     ([ "Pool"; "run_timeout" ], "Pool.run_timeout");
-    ([ "Flow_runner"; "run" ], "Flow_runner.run") ]
+    ([ "Flow_runner"; "run" ], "Flow_runner.run");
+    (* The serving layer's cache-or-compute entry point forwards its
+       closure to Pool.submit/run_timeout; the closure built at the
+       call site is the one that escapes to a worker domain. *)
+    ([ "Scheduler"; "schedule" ], "Scheduler.schedule") ]
 
 type site = {
   sink : string;  (** display name, e.g. ["Pool.map"] *)

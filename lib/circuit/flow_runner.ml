@@ -29,14 +29,17 @@ let default_merlin_cfg n =
     alpha = min 10 (max 2 cfg.Merlin_core.Config.alpha) }
 
 let optimize_net ~tech ~buffers ~flow ~merlin_cfg net =
-  let m =
+  let algo =
     match flow with
-    | Flow1 -> Merlin_flows.Flows.flow1 ~tech ~buffers net
-    | Flow2 -> Merlin_flows.Flows.flow2 ~tech ~buffers net
+    | Flow1 -> Merlin_flows.Flows.Lttree_ptree { max_fanout = 10 }
+    | Flow2 -> Merlin_flows.Flows.Ptree_vg { refine_seg = None }
     | Flow3 ->
-      Merlin_flows.Flows.flow3 ~tech ~buffers
-        ~cfg:(merlin_cfg (Net.n_sinks net))
-        net
+      Merlin_flows.Flows.Merlin
+        { cfg = Some (merlin_cfg (Net.n_sinks net));
+          objective = Merlin_core.Objective.Best_req }
+  in
+  let m =
+    Merlin_flows.Flows.run { Merlin_flows.Flows.tech; buffers; algo } net
   in
   m.Merlin_flows.Flows.tree
 

@@ -73,7 +73,7 @@ let route_level ~tech ~source ~driver_model ~directs ~sub =
   in
   restore routed
 
-let flow1 ~tech ~buffers ?(max_fanout = 10) (net : Net.t) =
+let run_flow1 ~tech ~buffers ~max_fanout (net : Net.t) =
   let build () =
     let sinks = Array.to_list net.Net.sinks in
     let best =
@@ -123,7 +123,7 @@ let flow1 ~tech ~buffers ?(max_fanout = 10) (net : Net.t) =
 
 (* ---------- Flow II: PTREE + van Ginneken ---------- *)
 
-let flow2 ~tech ~buffers ?refine_seg (net : Net.t) =
+let run_flow2 ~tech ~buffers ~refine_seg (net : Net.t) =
   (* The paper's Flow II applies [Gi90] to the fixed PTREE routing: buffer
      sites are the routing's own Steiner/branch points.  Pass [refine_seg]
      to additionally split long edges (stronger than the paper's setup). *)
@@ -136,35 +136,106 @@ let flow2 ~tech ~buffers ?refine_seg (net : Net.t) =
 
 (* ---------- Flow III: MERLIN ---------- *)
 
-let flow3 ~tech ~buffers ?cfg (net : Net.t) =
+exception Infeasible of string
+
+let run_flow3 ~tech ~buffers ~cfg ~objective (net : Net.t) =
   let cfg =
     match cfg with
     | Some c -> c
     | None -> Merlin_core.Config.scaled (Net.n_sinks net)
   in
   let out, runtime =
-    timed (fun () -> Merlin_core.Merlin.run ~cfg ~tech ~buffers net)
+    timed (fun () -> Merlin_core.Merlin.run ~cfg ~objective ~tech ~buffers net)
   in
   match out with
-  | None -> assert false (* Best_req objective is always feasible *)
+  | None ->
+    (* Only the constrained objectives can be infeasible; Best_req
+       always yields a curve point. *)
+    raise
+      (Infeasible
+         (Format.asprintf
+            "objective %a infeasible on the final solution curve"
+            Merlin_core.Objective.pp objective))
   | Some out ->
-    (* The paper extracts "the solution with the best trade-off between
-       required time and total buffer area": take the cheapest solution
-       within two quantisation buckets of the best required time. *)
-    let curve = out.Merlin_core.Merlin.curve in
-    let best = out.Merlin_core.Merlin.best in
-    let slack = 2.0 *. cfg.Merlin_core.Config.quant_req in
     let chosen =
-      match
-        Merlin_curves.Curve.best_min_area curve
-          ~req:(best.Merlin_curves.Solution.req -. slack)
-      with
-      | Some s -> s
-      | None -> best
+      match objective with
+      | Merlin_core.Objective.Best_req ->
+        (* The paper extracts "the solution with the best trade-off
+           between required time and total buffer area": take the
+           cheapest solution within two quantisation buckets of the best
+           required time. *)
+        let curve = out.Merlin_core.Merlin.curve in
+        let best = out.Merlin_core.Merlin.best in
+        let slack = 2.0 *. cfg.Merlin_core.Config.quant_req in
+        (match
+           Merlin_curves.Curve.best_min_area curve
+             ~req:(best.Merlin_curves.Solution.req -. slack)
+         with
+         | Some s -> s
+         | None -> best)
+      | Merlin_core.Objective.Max_req_under_area _
+      | Merlin_core.Objective.Min_area_over_req _ ->
+        (* A constrained objective already names its curve point. *)
+        out.Merlin_core.Merlin.best
     in
     metrics_of_tree ~flow:"III:MERLIN" ~tech
       ~loops:out.Merlin_core.Merlin.loops ~runtime net
       chosen.Merlin_curves.Solution.data.Merlin_core.Build.tree
+
+(* ---------- The unified entry point ---------- *)
+
+type algo =
+  | Lttree_ptree of { max_fanout : int }
+  | Ptree_vg of { refine_seg : int option }
+  | Merlin of {
+      cfg : Merlin_core.Config.t option;
+      objective : Merlin_core.Objective.t;
+    }
+
+type spec = {
+  tech : Tech.t;
+  buffers : Buffer_lib.t;
+  algo : algo;
+}
+
+let default_algo = function
+  | "lttree-ptree" -> Some (Lttree_ptree { max_fanout = 10 })
+  | "ptree-vg" -> Some (Ptree_vg { refine_seg = None })
+  | "merlin" ->
+    Some (Merlin { cfg = None; objective = Merlin_core.Objective.Best_req })
+  | _ -> None
+
+let run { tech; buffers; algo } net =
+  match algo with
+  | Lttree_ptree { max_fanout } -> run_flow1 ~tech ~buffers ~max_fanout net
+  | Ptree_vg { refine_seg } -> run_flow2 ~tech ~buffers ~refine_seg net
+  | Merlin { cfg; objective } -> run_flow3 ~tech ~buffers ~cfg ~objective net
+
+let wire_metrics ?(with_tree = false) (m : metrics) =
+  { Merlin_report.Metrics.flow = m.flow;
+    area = m.area;
+    delay = m.delay;
+    root_req = m.root_req;
+    runtime = m.runtime;
+    n_buffers = m.n_buffers;
+    wirelength = m.wirelength;
+    loops = m.loops;
+    tree = (if with_tree then Some m.tree else None) }
+
+(* ---------- Deprecated per-flow wrappers ---------- *)
+
+let flow1 ~tech ~buffers ?(max_fanout = 10) net =
+  run { tech; buffers; algo = Lttree_ptree { max_fanout } } net
+
+let flow2 ~tech ~buffers ?refine_seg net =
+  run { tech; buffers; algo = Ptree_vg { refine_seg } } net
+
+let flow3 ~tech ~buffers ?cfg net =
+  run
+    { tech;
+      buffers;
+      algo = Merlin { cfg; objective = Merlin_core.Objective.Best_req } }
+    net
 
 let all ~tech ~buffers ?cfg3 net =
   [ flow1 ~tech ~buffers net;

@@ -1,12 +1,14 @@
-(** The three experimental setups of the paper's Section IV, each taking a
-    net to a buffered routing tree:
+(** The experimental setups of the paper's Section IV behind one entry
+    point, each taking a net to a buffered routing tree:
 
-    - Flow I: fanout optimization with LTTREE (required-time sink order)
-      followed by PTREE routing of every level (TSP order), buffers
-      embedded at the center of mass of the sinks they drive.
-    - Flow II: PTREE routing of the whole net (TSP order) followed by
-      van Ginneken buffer insertion on the fixed tree.
-    - Flow III: MERLIN hierarchical buffered routing generation.
+    - Flow I ([Lttree_ptree]): fanout optimization with LTTREE
+      (required-time sink order) followed by PTREE routing of every
+      level (TSP order), buffers embedded at the center of mass of the
+      sinks they drive.
+    - Flow II ([Ptree_vg]): PTREE routing of the whole net (TSP order)
+      followed by van Ginneken buffer insertion on the fixed tree.
+    - Flow III ([Merlin]): MERLIN hierarchical buffered routing
+      generation under a {!Merlin_core.Objective.t}.
 
     All flows report the same figures of merit, measured with the same
     Elmore/4-parameter evaluator. *)
@@ -27,20 +29,59 @@ type metrics = {
   tree : Rtree.t;
 }
 
+(** Which flow to run, with its knobs.  [Merlin.cfg = None] picks
+    {!Merlin_core.Config.scaled} per net. *)
+type algo =
+  | Lttree_ptree of { max_fanout : int }
+  | Ptree_vg of { refine_seg : int option }
+  | Merlin of {
+      cfg : Merlin_core.Config.t option;
+      objective : Merlin_core.Objective.t;
+    }
+
+(** A complete, self-contained routing request: the algorithm plus the
+    technology and buffer library it runs against.  This is the unit
+    the serving layer fingerprints and caches. *)
+type spec = {
+  tech : Tech.t;
+  buffers : Buffer_lib.t;
+  algo : algo;
+}
+
+(** [default_algo name] maps the CLI/wire flow names ["lttree-ptree"],
+    ["ptree-vg"] and ["merlin"] to an {!algo} with default knobs. *)
+val default_algo : string -> algo option
+
+(** Raised by {!run} when a constrained MERLIN objective is infeasible
+    on the final solution curve. *)
+exception Infeasible of string
+
+(** [run spec net] — the single entry point all front ends
+    (CLI, bench, circuit driver, serving daemon) go through. *)
+val run : spec -> Net.t -> metrics
+
+(** [wire_metrics ?with_tree m] converts to the shared wire schema
+    ({!Merlin_report.Metrics}); the routing tree is omitted unless
+    [with_tree]. *)
+val wire_metrics : ?with_tree:bool -> metrics -> Merlin_report.Metrics.t
+
 (** [flow1 ~tech ~buffers net] — LTTREE + PTREE. [max_fanout] bounds the
-    LT-tree level width (default 10). *)
+    LT-tree level width (default 10).
+    @deprecated Use {!run} with [Lttree_ptree]. *)
 val flow1 :
   tech:Tech.t -> buffers:Buffer_lib.t -> ?max_fanout:int -> Net.t -> metrics
 
 (** [flow2 ~tech ~buffers net] — PTREE + van Ginneken.  As in the paper,
     buffer sites are the fixed routing's own Steiner points; [refine_seg]
-    optionally splits long edges to add interior sites (a stronger flow
-    than the paper's Setup II). *)
+    optionally splits long edges (a stronger flow than the paper's
+    Setup II).
+    @deprecated Use {!run} with [Ptree_vg]. *)
 val flow2 :
   tech:Tech.t -> buffers:Buffer_lib.t -> ?refine_seg:int -> Net.t -> metrics
 
 (** [flow3 ~tech ~buffers net] — MERLIN, with {!Merlin_core.Config.scaled}
-    knobs by default. *)
+    knobs by default and the [Best_req] objective.
+    @deprecated Use {!run} with [Merlin]. *)
 val flow3 :
   tech:Tech.t ->
   buffers:Buffer_lib.t ->

@@ -5,6 +5,8 @@
    baseline entry with [count = n] absorbs at most [n] identical
    findings; the (n+1)-th is new. *)
 
+module Json = Merlin_report.Json
+
 type entry = {
   rule : string;
   file : string;

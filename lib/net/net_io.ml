@@ -1,6 +1,25 @@
 open Merlin_geometry
 open Merlin_tech
 
+(* Shortest decimal that parses back to the same float.  The text form
+   doubles as the canonical fingerprint pre-image, so printing must be
+   lossless: save -> load -> fingerprint has to land on the same key a
+   live in-memory net hashes to. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else begin
+    let exact p =
+      let s = Printf.sprintf "%.*g" p f in
+      if Float.equal (float_of_string s) f then Some s else None
+    in
+    match exact 12 with
+    | Some s -> s
+    | None ->
+      (match exact 15 with
+       | Some s -> s
+       | None -> Printf.sprintf "%.17g" f)
+  end
+
 let to_string (net : Net.t) =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Printf.sprintf "net %s\n" net.Net.name);
@@ -9,15 +28,38 @@ let to_string (net : Net.t) =
        net.Net.source.Point.y);
   let d = net.Net.driver in
   Buffer.add_string buf
-    (Printf.sprintf "driver %g %g %g %g\n" d.Delay_model.d0
-       d.Delay_model.r_drive d.Delay_model.k_slew d.Delay_model.s0);
+    (Printf.sprintf "driver %s %s %s %s\n"
+       (float_repr d.Delay_model.d0)
+       (float_repr d.Delay_model.r_drive)
+       (float_repr d.Delay_model.k_slew)
+       (float_repr d.Delay_model.s0));
   Array.iter
     (fun s ->
        Buffer.add_string buf
-         (Printf.sprintf "sink %d %d %d %g %g\n" s.Sink.id s.Sink.pt.Point.x
-            s.Sink.pt.Point.y s.Sink.cap s.Sink.req))
+         (Printf.sprintf "sink %d %d %d %s %s\n" s.Sink.id s.Sink.pt.Point.x
+            s.Sink.pt.Point.y
+            (float_repr s.Sink.cap)
+            (float_repr s.Sink.req)))
     net.Net.sinks;
   Buffer.contents buf
+
+(* The cache key has to separate nets that differ only in sink order —
+   every flow is order-sensitive (MERLIN is only *semi*
+   order-independent), so order is part of the problem, not noise.  The
+   canonical text keeps sinks in id order, which IS the sink order
+   ([Net.make] pins [sinks.(i).id = i]).  The name line is dropped:
+   renaming a net does not change the routing problem, so it must not
+   split the cache.  Reloading a saved net reproduces the text
+   byte-for-byte because [float_repr] prints losslessly and
+   text -> float -> text is stable. *)
+let fingerprint (net : Net.t) =
+  let text = to_string net in
+  let body =
+    match String.index_opt text '\n' with
+    | Some i -> String.sub text (i + 1) (String.length text - i - 1)
+    | None -> text
+  in
+  Digest.to_hex (Digest.string body)
 
 let fail lineno msg = failwith (Printf.sprintf "Net_io.of_string: line %d: %s" lineno msg)
 

@@ -6,9 +6,21 @@
     driver <d0> <r_drive> <k_slew> <s0>
     sink <id> <x> <y> <cap> <req>
     ...
-    v} *)
+    v}
+
+    The text form is canonical: floats print as the shortest decimal
+    that parses back to the same value, so [to_string] is stable under
+    save/load round trips and doubles as the fingerprint pre-image. *)
 
 val to_string : Net.t -> string
+
+(** [fingerprint net] — hex digest of the canonical text without the
+    name line.  Two nets differing only in sink order (the ids) hash
+    differently — every flow is order-sensitive, so order is part of
+    the problem — while renaming, saving and reloading a net preserves
+    its fingerprint.  This is the net component of the serving layer's
+    cache key. *)
+val fingerprint : Net.t -> string
 
 (** Raises [Failure] with a line-numbered message on malformed input. *)
 val of_string : string -> Net.t

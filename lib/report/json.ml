@@ -1,7 +1,8 @@
-(* Minimal JSON tree, parser and printer.  merlin_lint/merlin_check
-   only need enough JSON to read baseline files (native or SARIF) and
-   to emit reports; depending on yojson for that would drag a new
-   package into a repo that is otherwise compiler-libs-only. *)
+(* Minimal JSON tree, parser and printer — the single JSON layer of
+   the repository, shared by the lint/check baselines and reports, the
+   metrics wire format (Metrics), the bench emitters and the serving
+   protocol (Merlin_serve.Wire).  Depending on yojson for that would
+   drag a new package into a repo that otherwise needs none. *)
 
 type t =
   | Null
@@ -33,10 +34,25 @@ let escape s =
     s;
   Buffer.contents buf
 
+(* Shortest decimal that parses back to the same float: wire payloads
+   (metrics, cached replies) must survive encode -> decode -> encode
+   byte-identically, which "%g"'s 6 significant digits do not. *)
 let number_to_string f =
   if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.0f" f
-  else Printf.sprintf "%g" f
+  else if not (Float.is_finite f) then "null"
+  else begin
+    let exact p =
+      let s = Printf.sprintf "%.*g" p f in
+      if Float.equal (float_of_string s) f then Some s else None
+    in
+    match exact 12 with
+    | Some s -> s
+    | None ->
+      (match exact 15 with
+       | Some s -> s
+       | None -> Printf.sprintf "%.17g" f)
+  end
 
 let rec write buf = function
   | Null -> Buffer.add_string buf "null"
@@ -276,5 +292,7 @@ let member key = function
 let to_list = function List xs -> Some xs | _ -> None
 
 let to_str = function Str s -> Some s | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
 
 let to_num = function Num f -> Some f | _ -> None

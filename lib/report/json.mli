@@ -1,5 +1,9 @@
-(** Minimal JSON tree, parser and printer — just enough for report
-    emission and baseline files, with no external dependency. *)
+(** Minimal JSON tree, parser and printer — the repository's single
+    JSON layer (lint/check baselines and reports, the {!Metrics} wire
+    format, bench emitters, the serving protocol), with no external
+    dependency.  Finite numbers print as the shortest decimal that
+    parses back to the same float, so documents survive
+    encode→decode→encode byte-identically. *)
 
 type t =
   | Null
@@ -26,5 +30,7 @@ val member : string -> t -> t option
 val to_list : t -> t list option
 
 val to_str : t -> string option
+
+val to_bool : t -> bool option
 
 val to_num : t -> float option

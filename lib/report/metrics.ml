@@ -1,0 +1,185 @@
+(* Versioned wire format for flow metrics.
+
+   One schema shared by every emitter: the serving protocol
+   (Merlin_serve.Wire), `merlin-cli route --json` and the bench
+   BENCH_*.json rows all go through [to_json]/[of_json] instead of
+   hand-rolled printers.  The [v] field gates schema evolution: a
+   decoder refuses documents from a newer major version instead of
+   misreading them.
+
+   The routing tree is optional on the wire — replies are compact by
+   default and a client opts in — so [t] mirrors
+   [Merlin_flows.Flows.metrics] with [tree : Rtree.t option]. *)
+
+open Merlin_geometry
+open Merlin_tech
+open Merlin_net
+open Merlin_rtree
+
+let version = 1
+
+type t = {
+  flow : string;
+  area : float;
+  delay : float;
+  root_req : float;
+  runtime : float;
+  n_buffers : int;
+  wirelength : int;
+  loops : int;
+  tree : Rtree.t option;
+}
+
+(* ---------- encoding ---------- *)
+
+let num f = Json.Num f
+
+let int i = Json.Num (float_of_int i)
+
+let model_to_json (m : Delay_model.t) =
+  Json.Obj
+    [ ("d0", num m.Delay_model.d0);
+      ("r_drive", num m.Delay_model.r_drive);
+      ("k_slew", num m.Delay_model.k_slew);
+      ("s0", num m.Delay_model.s0) ]
+
+let buffer_to_json (b : Buffer_lib.buffer) =
+  Json.Obj
+    [ ("name", Json.Str b.Buffer_lib.name);
+      ("area", num b.Buffer_lib.area);
+      ("input_cap", num b.Buffer_lib.input_cap);
+      ("model", model_to_json b.Buffer_lib.model) ]
+
+let sink_to_json (s : Sink.t) =
+  Json.Obj
+    [ ("id", int s.Sink.id);
+      ("x", int s.Sink.pt.Point.x);
+      ("y", int s.Sink.pt.Point.y);
+      ("cap", num s.Sink.cap);
+      ("req", num s.Sink.req) ]
+
+let rec tree_to_json = function
+  | Rtree.Leaf s -> Json.Obj [ ("sink", sink_to_json s) ]
+  | Rtree.Node n ->
+    let buffer =
+      match n.Rtree.buffer with
+      | None -> []
+      | Some b -> [ ("buffer", buffer_to_json b) ]
+    in
+    Json.Obj
+      ([ ("x", int n.Rtree.loc.Point.x); ("y", int n.Rtree.loc.Point.y) ]
+      @ buffer
+      @ [ ("children", Json.List (List.map tree_to_json n.Rtree.children)) ])
+
+let to_json (m : t) =
+  let tree =
+    match m.tree with None -> [] | Some t -> [ ("tree", tree_to_json t) ]
+  in
+  Json.Obj
+    ([ ("v", int version);
+       ("flow", Json.Str m.flow);
+       ("area", num m.area);
+       ("delay", num m.delay);
+       ("root_req", num m.root_req);
+       ("runtime", num m.runtime);
+       ("n_buffers", int m.n_buffers);
+       ("wirelength", int m.wirelength);
+       ("loops", int m.loops) ]
+    @ tree)
+
+(* ---------- decoding ---------- *)
+
+(* Field accessors returning [Result]: decoding wire input must never
+   raise — a malformed request becomes a structured error reply. *)
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let fnum name j =
+  Result.bind (field name j) (fun v ->
+      match Json.to_num v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "field %S: expected a number" name))
+
+let fint name j =
+  Result.bind (fnum name j) (fun f ->
+      if Float.is_integer f then Ok (int_of_float f)
+      else Error (Printf.sprintf "field %S: expected an integer" name))
+
+let fstr name j =
+  Result.bind (field name j) (fun v ->
+      match Json.to_str v with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "field %S: expected a string" name))
+
+let ( let* ) = Result.bind
+
+let model_of_json j =
+  let* d0 = fnum "d0" j in
+  let* r_drive = fnum "r_drive" j in
+  let* k_slew = fnum "k_slew" j in
+  let* s0 = fnum "s0" j in
+  Ok (Delay_model.make ~d0 ~r_drive ~k_slew ~s0)
+
+let buffer_of_json j =
+  let* name = fstr "name" j in
+  let* area = fnum "area" j in
+  let* input_cap = fnum "input_cap" j in
+  let* model = Result.bind (field "model" j) model_of_json in
+  Ok { Buffer_lib.name; area; input_cap; model }
+
+let sink_of_json j =
+  let* id = fint "id" j in
+  let* x = fint "x" j in
+  let* y = fint "y" j in
+  let* cap = fnum "cap" j in
+  let* req = fnum "req" j in
+  Ok (Sink.make ~id ~pt:(Point.make x y) ~cap ~req)
+
+let rec tree_of_json j =
+  match Json.member "sink" j with
+  | Some s -> Result.map (fun s -> Rtree.Leaf s) (sink_of_json s)
+  | None ->
+    let* x = fint "x" j in
+    let* y = fint "y" j in
+    let* buffer =
+      match Json.member "buffer" j with
+      | None -> Ok None
+      | Some b -> Result.map Option.some (buffer_of_json b)
+    in
+    let* children =
+      match Option.bind (Json.member "children" j) Json.to_list with
+      | None -> Error "tree node: missing children"
+      | Some [] -> Error "tree node: empty children"
+      | Some cs ->
+        List.fold_left
+          (fun acc c ->
+             let* acc = acc in
+             let* c = tree_of_json c in
+             Ok (c :: acc))
+          (Ok []) cs
+        |> Result.map List.rev
+    in
+    Ok (Rtree.Node { Rtree.loc = Point.make x y; buffer; children })
+
+let of_json j =
+  let* v = fint "v" j in
+  if v <> version then
+    Error (Printf.sprintf "metrics version %d unsupported (expected %d)" v version)
+  else
+    let* flow = fstr "flow" j in
+    let* area = fnum "area" j in
+    let* delay = fnum "delay" j in
+    let* root_req = fnum "root_req" j in
+    let* runtime = fnum "runtime" j in
+    let* n_buffers = fint "n_buffers" j in
+    let* wirelength = fint "wirelength" j in
+    let* loops = fint "loops" j in
+    let* tree =
+      match Json.member "tree" j with
+      | None -> Ok None
+      | Some t -> Result.map Option.some (tree_of_json t)
+    in
+    Ok { flow; area; delay; root_req; runtime; n_buffers; wirelength; loops; tree }

@@ -1,0 +1,32 @@
+(** Versioned wire format for flow metrics — the one JSON schema shared
+    by the serving protocol, [merlin-cli route --json] and the bench
+    BENCH_*.json emitters.
+
+    The document carries a ["v"] major-version field ({!version});
+    {!of_json} refuses documents from any other version.  The routing
+    tree is optional on the wire: replies are compact unless the client
+    asked for the tree. *)
+
+open Merlin_rtree
+
+(** Schema major version written by {!to_json} and required by
+    {!of_json}. *)
+val version : int
+
+type t = {
+  flow : string;       (** flow label, e.g. ["III:MERLIN"] *)
+  area : float;        (** total buffer area, 1000 lambda^2 *)
+  delay : float;       (** net delay, ps *)
+  root_req : float;    (** required time at the driver input, ps *)
+  runtime : float;     (** wall-clock seconds *)
+  n_buffers : int;
+  wirelength : int;    (** grid units *)
+  loops : int;         (** MERLIN iterations (1 for flows I and II) *)
+  tree : Rtree.t option;  (** routing tree, omitted from compact replies *)
+}
+
+val to_json : t -> Json.t
+
+(** Total decoder: malformed input is an [Error] with a field-naming
+    message, never an exception (wire input must not kill a server). *)
+val of_json : Json.t -> (t, string) result

@@ -1,0 +1,46 @@
+(* Blocking client for the routing service: one request, one reply, in
+   order, over a connection the caller owns.  Used by `merlin-cli
+   submit` and the serve smoke test. *)
+
+type t = {
+  fd : Unix.file_descr;
+  max_frame : int;
+}
+
+let connect_unix ?(max_frame = Wire.default_max_frame) path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  { fd; max_frame }
+
+let connect_tcp ?(max_frame = Wire.default_max_frame) host port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+        failwith (Printf.sprintf "Client.connect_tcp: no address for %S" host)
+      | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+      | exception Not_found ->
+        failwith (Printf.sprintf "Client.connect_tcp: unknown host %S" host))
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  { fd; max_frame }
+
+let read_error_to_string = function
+  | Wire.Closed -> "connection closed by server"
+  | Wire.Truncated -> "connection lost mid-reply"
+  | Wire.Oversized n -> Printf.sprintf "reply frame of %d bytes too large" n
+
+let call t msg =
+  match Wire.write_frame t.fd (Wire.encode_client msg) with
+  | () -> (
+    match Wire.read_frame ~max_frame:t.max_frame t.fd with
+    | Error e -> Error (read_error_to_string e)
+    | Ok payload -> Wire.decode_server payload)
+  | exception Unix.Unix_error (err, _, _) ->
+    Error (Printf.sprintf "send failed: %s" (Unix.error_message err))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,17 @@
+(** Blocking client for the routing service: one request, one reply, in
+    order, over a connection the caller owns. *)
+
+type t
+
+(** Raises [Unix.Unix_error] when the socket cannot be connected. *)
+val connect_unix : ?max_frame:int -> string -> t
+
+(** [connect_tcp host port] — [host] is a literal address or a name to
+    resolve.  Raises [Unix.Unix_error] / [Failure]. *)
+val connect_tcp : ?max_frame:int -> string -> int -> t
+
+(** [call t msg] sends one message and blocks for its reply; transport
+    and decode problems come back as [Error]. *)
+val call : t -> Wire.client_msg -> (Wire.server_msg, string) result
+
+val close : t -> unit

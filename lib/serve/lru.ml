@@ -1,0 +1,108 @@
+(* Thread-safe LRU result cache.
+
+   Hashtbl for lookup plus an intrusive doubly-linked recency list:
+   find and add are O(1), eviction pops the list tail.  One mutex
+   guards everything — connection handler threads and the scheduler
+   share the cache, and the critical sections are a few pointer swaps,
+   so finer-grained locking would buy nothing.  Hit/miss/eviction
+   counters live under the same lock so a stats snapshot is
+   consistent. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (* towards the most recent end *)
+  mutable next : 'a node option;  (* towards the least recent end *)
+}
+
+type 'a t = {
+  capacity : int;
+  tbl : (string, 'a node) Hashtbl.t;
+  lock : Mutex.t;
+  mutable head : 'a node option;  (* most recently used *)
+  mutable tail : 'a node option;  (* least recently used *)
+  mutable size : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  capacity : int;
+  size : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  { capacity;
+    tbl = Hashtbl.create (2 * capacity);
+    lock = Mutex.create ();
+    head = None;
+    tail = None;
+    size = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0 }
+
+(* List surgery below assumes t.lock is held. *)
+
+let unlink t node =
+  (match node.prev with
+   | Some p -> p.next <- node.next
+   | None -> t.head <- node.next);
+  (match node.next with
+   | Some n -> n.prev <- node.prev
+   | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> ());
+  t.head <- Some node;
+  match t.tail with None -> t.tail <- Some node | Some _ -> ()
+
+let find t key =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | None ->
+        t.misses <- t.misses + 1;
+        None
+      | Some node ->
+        t.hits <- t.hits + 1;
+        unlink t node;
+        push_front t node;
+        Some node.value)
+
+let add t key value =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some node ->
+        node.value <- value;
+        unlink t node;
+        push_front t node
+      | None ->
+        let node = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.tbl key node;
+        push_front t node;
+        t.size <- t.size + 1;
+        if t.size > t.capacity then (
+          match t.tail with
+          | None -> ()  (* capacity >= 1 and size > capacity: unreachable *)
+          | Some lru ->
+            unlink t lru;
+            Hashtbl.remove t.tbl lru.key;
+            t.size <- t.size - 1;
+            t.evictions <- t.evictions + 1))
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      { capacity = t.capacity;
+        size = t.size;
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions })

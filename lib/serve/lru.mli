@@ -1,0 +1,27 @@
+(** Thread-safe LRU result cache with hit/miss/eviction telemetry.
+
+    All operations are O(1) and serialise on one internal mutex; the
+    scheduler and every connection-handler thread share one instance.
+    {!find} counts a hit or a miss and refreshes recency; {!add}
+    inserts (or refreshes) an entry and evicts the least recently used
+    one when past capacity. *)
+
+type 'a t
+
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+val create : capacity:int -> 'a t
+
+val find : 'a t -> string -> 'a option
+
+val add : 'a t -> string -> 'a -> unit
+
+type stats = {
+  capacity : int;
+  size : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+(** Consistent snapshot of the counters. *)
+val stats : 'a t -> stats

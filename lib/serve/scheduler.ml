@@ -1,0 +1,57 @@
+(* Cache-or-compute scheduling layer between the server and the domain
+   pool.
+
+   A hit answers from the LRU without touching the pool (no task is
+   submitted — the smoke test asserts pool.submitted stays flat across
+   a repeated request).  A miss runs the job on the pool, bounded by
+   the per-request deadline when one is given; only successful results
+   enter the cache, so a timeout or failure is retried from scratch on
+   the next identical request.
+
+   The cache does not deduplicate in-flight work: two identical
+   requests racing through a miss both compute.  Routing flows are
+   deterministic, so the loser's [Lru.add] overwrites the winner's
+   with an equal value — wasteful, never wrong — and a found/computed
+   distinction per request stays exact.
+
+   Timeouts and failures are already counted by the pool
+   ([stats.timed_out], [stats.failed]); cache traffic by {!Lru}.  The
+   scheduler adds no counters of its own. *)
+
+module Pool = Merlin_exec.Pool
+
+type 'a t = {
+  pool : Pool.t;
+  cache : 'a Lru.t;
+}
+
+type 'a outcome =
+  | Done of { value : 'a; cached : Wire.cache_status }
+  | Timed_out of float
+  | Failed of exn
+
+let create ?(cache_capacity = 256) pool =
+  { pool; cache = Lru.create ~capacity:cache_capacity }
+
+let schedule t ~key ?deadline_s job =
+  match Lru.find t.cache key with
+  | Some value -> Done { value; cached = Wire.Hit }
+  | None -> (
+    match deadline_s with
+    | None -> (
+      match Pool.await (Pool.submit t.pool job) with
+      | value ->
+        Lru.add t.cache key value;
+        Done { value; cached = Wire.Miss }
+      | exception e -> Failed e)
+    | Some timeout_s -> (
+      match Pool.run_timeout t.pool ~timeout_s job with
+      | Pool.Done value ->
+        Lru.add t.cache key value;
+        Done { value; cached = Wire.Miss }
+      | Pool.Timed_out -> Timed_out timeout_s
+      | Pool.Failed e -> Failed e))
+
+let cache_stats t = Lru.stats t.cache
+
+let pool t = t.pool

@@ -1,0 +1,27 @@
+(** Cache-or-compute scheduling onto the {!Merlin_exec.Pool}.
+
+    {!schedule} answers a known key from the LRU cache without
+    submitting a pool task; a miss computes on the pool, bounded by the
+    per-request deadline when one is given, and caches only successes.
+    In-flight identical requests are not deduplicated — flows are
+    deterministic, so a racing duplicate wastes work but cannot answer
+    wrongly. *)
+
+type 'a t
+
+val create : ?cache_capacity:int -> Merlin_exec.Pool.t -> 'a t
+
+type 'a outcome =
+  | Done of { value : 'a; cached : Wire.cache_status }
+  | Timed_out of float  (** the expired budget, seconds *)
+  | Failed of exn
+
+(** [schedule t ~key ?deadline_s job] — cache lookup, then pool
+    execution.  Never raises: job exceptions come back as [Failed]. *)
+val schedule :
+  'a t -> key:string -> ?deadline_s:float -> (unit -> 'a) -> 'a outcome
+
+val cache_stats : 'a t -> Lru.stats
+
+(** The underlying pool (for telemetry and shutdown). *)
+val pool : 'a t -> Merlin_exec.Pool.t

@@ -1,0 +1,348 @@
+(* The routing-service daemon.
+
+   One accept-loop thread per listener (Unix-domain socket always, TCP
+   optionally) and one thread per connection; compute happens on the
+   shared {!Merlin_exec.Pool} via {!Scheduler}, so connection threads
+   only block, they never burn a domain.  A connection thread owns its
+   socket exclusively — requests on one connection are answered in
+   order, concurrency comes from multiple connections.
+
+   Error discipline: every decodable defect in a request produces a
+   structured [Refused] reply on the same connection; the socket only
+   dies on framing damage we cannot resynchronise from (oversized or
+   truncated frames).  A connection-level exception closes that
+   connection and nothing else.
+
+   Drain/shutdown: [Drain] flips the server to refusing new routes
+   ([Refused Draining]) while stats/ping keep answering and in-flight
+   computes finish.  [Shutdown] drains and additionally wakes {!wait},
+   which closes the listeners, waits for the active-request count to
+   reach zero, joins the accept threads and shuts the pool down. *)
+
+module Pool = Merlin_exec.Pool
+module Clock = Merlin_exec.Clock
+module Flows = Merlin_flows.Flows
+module Json = Merlin_report.Json
+
+type config = {
+  socket_path : string;
+  tcp : (string * int) option;
+  domains : int option;
+  cache_capacity : int;
+  default_deadline_s : float option;
+  max_frame : int;
+}
+
+let default_config ~socket_path =
+  { socket_path;
+    tcp = None;
+    domains = None;
+    cache_capacity = 256;
+    default_deadline_s = None;
+    max_frame = Wire.default_max_frame }
+
+type t = {
+  cfg : config;
+  sched : Flows.metrics Scheduler.t;
+  lock : Mutex.t;
+  cond : Condition.t;
+  listeners : Unix.file_descr list;  (* closed by [wait], after the joins *)
+  tcp_fd : Unix.file_descr option;
+  mutable accept_threads : Thread.t list;
+  mutable draining : bool;
+  mutable stopping : bool;
+  mutable active : int;       (* route requests being computed *)
+  mutable connections : int;  (* accepted so far *)
+  mutable requests : int;     (* frames dispatched *)
+  mutable refused : int;      (* error replies sent *)
+  started_at : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let int_field n i = (n, Json.Num (float_of_int i))
+
+let stats_json t =
+  let server, cache, pool =
+    Mutex.protect t.lock (fun () ->
+        ( Json.Obj
+            [ int_field "connections" t.connections;
+              int_field "requests" t.requests;
+              int_field "refused" t.refused;
+              int_field "active" t.active;
+              ("draining", Json.Bool t.draining);
+              ("uptime_s", Json.Num (Clock.elapsed_s t.started_at)) ],
+          Scheduler.cache_stats t.sched,
+          Pool.stats (Scheduler.pool t.sched) ))
+  in
+  let cache_json =
+    Json.Obj
+      [ int_field "capacity" cache.Lru.capacity;
+        int_field "size" cache.Lru.size;
+        int_field "hits" cache.Lru.hits;
+        int_field "misses" cache.Lru.misses;
+        int_field "evictions" cache.Lru.evictions ]
+  in
+  let pool_json =
+    Json.Obj
+      [ int_field "domains" pool.Pool.domains;
+        int_field "submitted" pool.Pool.submitted;
+        int_field "completed" pool.Pool.completed;
+        int_field "failed" pool.Pool.failed;
+        int_field "cancelled" pool.Pool.cancelled;
+        int_field "timed_out" pool.Pool.timed_out ]
+  in
+  Json.Obj [ ("server", server); ("cache", cache_json); ("pool", pool_json) ]
+
+(* ------------------------------------------------------------------ *)
+(* Request dispatch                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let route t (r : Wire.request) =
+  let refused =
+    Mutex.protect t.lock (fun () ->
+        if t.draining then true
+        else begin
+          t.active <- t.active + 1;
+          false
+        end)
+  in
+  if refused then
+    Wire.Refused
+      { id = Some r.Wire.id;
+        kind = Wire.Draining;
+        message = "server is draining; not accepting new routes" }
+  else begin
+    let finish () =
+      Mutex.protect t.lock (fun () ->
+          t.active <- t.active - 1;
+          Condition.broadcast t.cond)
+    in
+    let key = Wire.request_key r.Wire.spec r.Wire.net in
+    let deadline_s =
+      match r.Wire.deadline_s with
+      | Some _ as d -> d
+      | None -> t.cfg.default_deadline_s
+    in
+    let spec = r.Wire.spec and net = r.Wire.net in
+    let outcome =
+      match
+        Scheduler.schedule t.sched ~key ?deadline_s (fun () ->
+            Flows.run spec net)
+      with
+      | o -> finish (); o
+      | exception e -> finish (); raise e
+    in
+    match outcome with
+    | Scheduler.Done { value; cached } ->
+      Wire.Reply
+        { id = r.Wire.id;
+          cached;
+          metrics = Flows.wire_metrics ~with_tree:r.Wire.want_tree value }
+    | Scheduler.Timed_out budget ->
+      Wire.Refused
+        { id = Some r.Wire.id;
+          kind = Wire.Timeout;
+          message =
+            Printf.sprintf "deadline of %gs exceeded; result abandoned" budget }
+    | Scheduler.Failed (Flows.Infeasible msg) ->
+      Wire.Refused { id = Some r.Wire.id; kind = Wire.Infeasible; message = msg }
+    | Scheduler.Failed e ->
+      Wire.Refused
+        { id = Some r.Wire.id;
+          kind = Wire.Internal;
+          message = Printexc.to_string e }
+  end
+
+let request_stop t =
+  Mutex.protect t.lock (fun () ->
+      t.draining <- true;
+      t.stopping <- true;
+      Condition.broadcast t.cond)
+
+let dispatch t (msg : Wire.client_msg) =
+  match msg with
+  | Wire.Route r -> route t r
+  | Wire.Stats -> Wire.Stats_reply (stats_json t)
+  | Wire.Ping -> Wire.Pong
+  | Wire.Drain ->
+    Mutex.protect t.lock (fun () -> t.draining <- true);
+    Wire.Admin_ok "draining"
+  | Wire.Shutdown ->
+    Mutex.protect t.lock (fun () -> t.draining <- true);
+    Wire.Admin_ok "shutdown"
+
+(* ------------------------------------------------------------------ *)
+(* Connection handling                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let send t fd (reply : Wire.server_msg) =
+  (match reply with
+   | Wire.Refused _ -> Mutex.protect t.lock (fun () -> t.refused <- t.refused + 1)
+   | _ -> ());
+  Wire.write_frame fd (Wire.encode_server reply)
+
+let handle_connection t fd =
+  let rec loop () =
+    match Wire.read_frame ~max_frame:t.cfg.max_frame fd with
+    | Error Wire.Closed -> ()
+    | Error Wire.Truncated -> ()  (* peer died mid-frame; nothing to say *)
+    | Error (Wire.Oversized n) ->
+      (* The stream cannot be resynchronised past an oversized frame:
+         refuse loudly, then close. *)
+      send t fd
+        (Wire.Refused
+           { id = None;
+             kind = Wire.Bad_request;
+             message =
+               Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" n
+                 t.cfg.max_frame })
+    | Ok payload ->
+      Mutex.protect t.lock (fun () -> t.requests <- t.requests + 1);
+      (match Wire.decode_client payload with
+       | Error msg ->
+         send t fd
+           (Wire.Refused { id = None; kind = Wire.Bad_request; message = msg });
+         loop ()
+       | Ok msg ->
+         send t fd (dispatch t msg);
+         (match msg with
+          | Wire.Shutdown -> request_stop t
+          | _ -> ());
+         loop ())
+  in
+  (match loop () with
+   | () -> ()
+   | exception e ->
+     (* A broken connection must never take the daemon down. *)
+     Logs.debug (fun m ->
+         m "serve: connection error: %s" (Printexc.to_string e)));
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Closing an fd does not wake a thread blocked in accept(2) on Linux,
+   so the accept loop polls the stop flag through a short select
+   timeout instead of blocking; the listener is only closed by [wait],
+   after this thread is joined. *)
+let accept_loop t listener =
+  let stopping () = Mutex.protect t.lock (fun () -> t.stopping) in
+  let rec loop () =
+    if stopping () then ()
+    else
+      match Unix.select [ listener ] [] [] 0.2 with
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ -> (
+        match Unix.accept ~cloexec:true listener with
+        | fd, _ ->
+          Mutex.protect t.lock (fun () -> t.connections <- t.connections + 1);
+          ignore (Thread.create (fun () -> handle_connection t fd) ());
+          loop ()
+        | exception
+            Unix.Unix_error
+              ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
+          ->
+          loop ()
+        | exception Unix.Unix_error _ ->
+          (* The listener is unusable; nothing left to accept. *)
+          ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let listen_unix path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX path);
+     Unix.listen fd 64
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  fd
+
+let listen_tcp host port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ ->
+      failwith (Printf.sprintf "Server.listen_tcp: invalid address %S" host)
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (addr, port));
+     Unix.listen fd 64
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  fd
+
+let start cfg =
+  (* A peer closing mid-write must surface as EPIPE, not kill us. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let pool = Pool.create ?domains:cfg.domains () in
+  let sched = Scheduler.create ~cache_capacity:cfg.cache_capacity pool in
+  let unix_fd = listen_unix cfg.socket_path in
+  let tcp_fd =
+    match cfg.tcp with
+    | None -> None
+    | Some (host, port) -> (
+      match listen_tcp host port with
+      | fd -> Some fd
+      | exception e ->
+        (try Unix.close unix_fd with Unix.Unix_error _ -> ());
+        Pool.shutdown pool;
+        raise e)
+  in
+  let listeners =
+    unix_fd :: (match tcp_fd with None -> [] | Some fd -> [ fd ])
+  in
+  let t =
+    { cfg;
+      sched;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      listeners;
+      tcp_fd;
+      accept_threads = [];
+      draining = false;
+      stopping = false;
+      active = 0;
+      connections = 0;
+      requests = 0;
+      refused = 0;
+      started_at = Clock.monotonic_s () }
+  in
+  t.accept_threads <-
+    List.map (fun fd -> Thread.create (fun () -> accept_loop t fd) ()) listeners;
+  t
+
+let wait t =
+  Mutex.protect t.lock (fun () ->
+      while not t.stopping do
+        Condition.wait t.cond t.lock
+      done;
+      while t.active > 0 do
+        Condition.wait t.cond t.lock
+      done);
+  List.iter Thread.join t.accept_threads;
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    t.listeners;
+  Pool.shutdown (Scheduler.pool t.sched);
+  try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ()
+
+let stop t =
+  request_stop t;
+  wait t
+
+(* Port 0 in [config.tcp] asks the kernel for an ephemeral port; this
+   reports the one actually bound. *)
+let tcp_port t =
+  match t.tcp_fd with
+  | None -> None
+  | Some fd -> (
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, port) -> Some port
+    | Unix.ADDR_UNIX _ -> None)

@@ -1,0 +1,45 @@
+(** The routing-service daemon.
+
+    [start] binds a Unix-domain socket (and optionally a TCP one),
+    spawns an accept thread per listener and a thread per connection,
+    and schedules route requests onto a {!Merlin_exec.Pool} through the
+    {!Scheduler} cache.  Every malformed or failing request gets a
+    structured error reply — a connection only closes on unrecoverable
+    framing damage or peer EOF.
+
+    [Drain] makes the server refuse new routes while stats/ping keep
+    working and in-flight computes finish; [Shutdown] additionally
+    wakes {!wait}, which closes the listeners, lets the active requests
+    drain, joins the accept threads and shuts the pool down. *)
+
+type config = {
+  socket_path : string;
+  tcp : (string * int) option;  (** optional [(address, port)] listener *)
+  domains : int option;  (** pool size; [None] = recommended count *)
+  cache_capacity : int;
+  default_deadline_s : float option;
+      (** budget applied to requests that carry none *)
+  max_frame : int;
+}
+
+(** Unix socket only, 256-entry cache, no default deadline,
+    {!Wire.default_max_frame}. *)
+val default_config : socket_path:string -> config
+
+type t
+
+(** Bind, listen and serve in background threads; returns immediately.
+    Raises [Unix.Unix_error] if a listener cannot be bound. *)
+val start : config -> t
+
+(** Block until a [Shutdown] request (or {!stop}) arrives, then finish
+    in-flight work, release the sockets and shut the pool down. *)
+val wait : t -> unit
+
+(** Programmatic shutdown: {!wait} with the stop already requested.
+    Idempotent. *)
+val stop : t -> unit
+
+(** The TCP port actually bound ([config.tcp] with port 0 asks the
+    kernel for an ephemeral one); [None] without a TCP listener. *)
+val tcp_port : t -> int option

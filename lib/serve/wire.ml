@@ -1,0 +1,505 @@
+(* Wire protocol of the routing service.
+
+   Frames: a 4-byte big-endian payload length followed by that many
+   bytes of UTF-8 JSON.  Length-prefixing keeps framing independent of
+   payload content (trees and nets may contain anything) and lets the
+   reader refuse oversized frames before allocating.
+
+   Every payload carries a ["v"] protocol version; decoders are total —
+   malformed input becomes an [Error] the server answers with a
+   structured [Refused], never an exception and never a dead socket.
+
+   The routing problem travels as a {!Merlin_flows.Flows.spec}
+   (tech + buffer library + algorithm knobs) plus the net in its
+   canonical Net_io text form.  The cache key is derived from exactly
+   these two: [request_key] hashes the canonical spec JSON together
+   with the net fingerprint, so a key separates any two requests that
+   could legally produce different answers (different sink order,
+   different tech, different knobs) and nothing else. *)
+
+open Merlin_tech
+open Merlin_net
+module Flows = Merlin_flows.Flows
+module Json = Merlin_report.Json
+module Metrics = Merlin_report.Metrics
+
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type request = {
+  id : string;                (* client-chosen, echoed in the reply *)
+  spec : Flows.spec;
+  net : Net.t;
+  deadline_s : float option;  (* per-request compute budget *)
+  want_tree : bool;           (* include the routing tree in the reply *)
+}
+
+type client_msg =
+  | Route of request
+  | Stats
+  | Ping
+  | Drain
+  | Shutdown
+
+type error_kind =
+  | Bad_request
+  | Infeasible
+  | Timeout
+  | Draining
+  | Internal
+
+type cache_status = Hit | Miss
+
+type server_msg =
+  | Reply of { id : string; cached : cache_status; metrics : Metrics.t }
+  | Refused of { id : string option; kind : error_kind; message : string }
+  | Stats_reply of Json.t
+  | Pong
+  | Admin_ok of string
+
+(* ------------------------------------------------------------------ *)
+(* JSON helpers (total decoders)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let fnum name j =
+  let* v = field name j in
+  match Json.to_num v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "field %S: expected a number" name)
+
+let fint name j =
+  let* f = fnum name j in
+  if Float.is_integer f then Ok (int_of_float f)
+  else Error (Printf.sprintf "field %S: expected an integer" name)
+
+let fstr name j =
+  let* v = field name j in
+  match Json.to_str v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S: expected a string" name)
+
+let fbool_opt ~default name j =
+  match Json.member name j with
+  | None -> Ok default
+  | Some v -> (
+    match Json.to_bool v with
+    | Some b -> Ok b
+    | None -> Error (Printf.sprintf "field %S: expected a bool" name))
+
+let fnum_opt name j =
+  match Json.member name j with
+  | None -> Ok None
+  | Some v -> (
+    match Json.to_num v with
+    | Some f -> Ok (Some f)
+    | None -> Error (Printf.sprintf "field %S: expected a number" name))
+
+let num f = Json.Num f
+
+let int i = Json.Num (float_of_int i)
+
+(* ------------------------------------------------------------------ *)
+(* Spec encoding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let tech_to_json (t : Tech.t) =
+  Json.Obj
+    [ ("name", Json.Str t.Tech.name);
+      ("unit_wire_res", num t.Tech.unit_wire_res);
+      ("unit_wire_cap", num t.Tech.unit_wire_cap);
+      ("unit_wire_area", num t.Tech.unit_wire_area) ]
+
+let tech_of_json j =
+  let* name = fstr "name" j in
+  let* unit_wire_res = fnum "unit_wire_res" j in
+  let* unit_wire_cap = fnum "unit_wire_cap" j in
+  let* unit_wire_area = fnum "unit_wire_area" j in
+  Ok { Tech.name; unit_wire_res; unit_wire_cap; unit_wire_area }
+
+let model_to_json (m : Delay_model.t) =
+  Json.Obj
+    [ ("d0", num m.Delay_model.d0);
+      ("r_drive", num m.Delay_model.r_drive);
+      ("k_slew", num m.Delay_model.k_slew);
+      ("s0", num m.Delay_model.s0) ]
+
+let model_of_json j =
+  let* d0 = fnum "d0" j in
+  let* r_drive = fnum "r_drive" j in
+  let* k_slew = fnum "k_slew" j in
+  let* s0 = fnum "s0" j in
+  Ok (Delay_model.make ~d0 ~r_drive ~k_slew ~s0)
+
+let buffer_to_json (b : Buffer_lib.buffer) =
+  Json.Obj
+    [ ("name", Json.Str b.Buffer_lib.name);
+      ("area", num b.Buffer_lib.area);
+      ("input_cap", num b.Buffer_lib.input_cap);
+      ("model", model_to_json b.Buffer_lib.model) ]
+
+let buffer_of_json j =
+  let* name = fstr "name" j in
+  let* area = fnum "area" j in
+  let* input_cap = fnum "input_cap" j in
+  let* model = Result.bind (field "model" j) model_of_json in
+  Ok { Buffer_lib.name; area; input_cap; model }
+
+let buffers_of_json j =
+  match Json.to_list j with
+  | None -> Error "field \"buffers\": expected an array"
+  | Some [] -> Error "field \"buffers\": empty buffer library"
+  | Some bs ->
+    let* rev =
+      List.fold_left
+        (fun acc b ->
+           let* acc = acc in
+           let* b = buffer_of_json b in
+           Ok (b :: acc))
+        (Ok []) bs
+    in
+    Ok (Array.of_list (List.rev rev))
+
+let objective_to_json (o : Merlin_core.Objective.t) =
+  match o with
+  | Merlin_core.Objective.Best_req -> Json.Obj [ ("kind", Json.Str "best") ]
+  | Merlin_core.Objective.Max_req_under_area budget ->
+    Json.Obj [ ("kind", Json.Str "area"); ("bound", num budget) ]
+  | Merlin_core.Objective.Min_area_over_req floor ->
+    Json.Obj [ ("kind", Json.Str "req"); ("bound", num floor) ]
+
+let objective_of_json j =
+  let* kind = fstr "kind" j in
+  match kind with
+  | "best" -> Ok Merlin_core.Objective.Best_req
+  | "area" ->
+    let* b = fnum "bound" j in
+    Ok (Merlin_core.Objective.Max_req_under_area b)
+  | "req" ->
+    let* b = fnum "bound" j in
+    Ok (Merlin_core.Objective.Min_area_over_req b)
+  | other -> Error (Printf.sprintf "objective kind %S (best|area|req)" other)
+
+let chain_placement_to_string = function
+  | Merlin_core.Config.All_positions -> "all_positions"
+  | Merlin_core.Config.Flush_ends -> "flush_ends"
+
+let cfg_to_json (c : Merlin_core.Config.t) =
+  let open Merlin_core.Config in
+  Json.Obj
+    [ ("alpha", int c.alpha);
+      ("max_curve", int c.max_curve);
+      ("quant_req", num c.quant_req);
+      ("quant_load", num c.quant_load);
+      ("quant_area", num c.quant_area);
+      ("candidate_limit", int c.candidate_limit);
+      ("buffer_trials", int c.buffer_trials);
+      ("bbox_slack", num c.bbox_slack);
+      ("full_hanan", Json.Bool c.full_hanan);
+      ("chain_placement", Json.Str (chain_placement_to_string c.chain_placement));
+      ("bubbling", Json.Bool c.bubbling);
+      ("max_iters", int c.max_iters) ]
+
+(* Missing knobs default from [Config.default] — clients override only
+   what they care about; [Config.validate] rejects nonsense ranges. *)
+let cfg_of_json j =
+  let open Merlin_core.Config in
+  let d = default in
+  let* alpha = match Json.member "alpha" j with None -> Ok d.alpha | Some _ -> fint "alpha" j in
+  let* max_curve = match Json.member "max_curve" j with None -> Ok d.max_curve | Some _ -> fint "max_curve" j in
+  let* quant_req = match Json.member "quant_req" j with None -> Ok d.quant_req | Some _ -> fnum "quant_req" j in
+  let* quant_load = match Json.member "quant_load" j with None -> Ok d.quant_load | Some _ -> fnum "quant_load" j in
+  let* quant_area = match Json.member "quant_area" j with None -> Ok d.quant_area | Some _ -> fnum "quant_area" j in
+  let* candidate_limit = match Json.member "candidate_limit" j with None -> Ok d.candidate_limit | Some _ -> fint "candidate_limit" j in
+  let* buffer_trials = match Json.member "buffer_trials" j with None -> Ok d.buffer_trials | Some _ -> fint "buffer_trials" j in
+  let* bbox_slack = match Json.member "bbox_slack" j with None -> Ok d.bbox_slack | Some _ -> fnum "bbox_slack" j in
+  let* full_hanan = fbool_opt ~default:d.full_hanan "full_hanan" j in
+  let* bubbling = fbool_opt ~default:d.bubbling "bubbling" j in
+  let* max_iters = match Json.member "max_iters" j with None -> Ok d.max_iters | Some _ -> fint "max_iters" j in
+  let* chain_placement =
+    match Json.member "chain_placement" j with
+    | None -> Ok d.chain_placement
+    | Some v -> (
+      match Json.to_str v with
+      | Some "all_positions" -> Ok All_positions
+      | Some "flush_ends" -> Ok Flush_ends
+      | Some other ->
+        Error
+          (Printf.sprintf "chain_placement %S (all_positions|flush_ends)" other)
+      | None -> Error "field \"chain_placement\": expected a string")
+  in
+  let cfg =
+    { alpha; max_curve; quant_req; quant_load; quant_area; candidate_limit;
+      buffer_trials; bbox_slack; full_hanan; chain_placement; bubbling;
+      max_iters }
+  in
+  match validate cfg with
+  | () -> Ok cfg
+  | exception Invalid_argument msg -> Error msg
+
+let algo_to_json (a : Flows.algo) =
+  match a with
+  | Flows.Lttree_ptree { max_fanout } ->
+    Json.Obj
+      [ ("flow", Json.Str "lttree-ptree"); ("max_fanout", int max_fanout) ]
+  | Flows.Ptree_vg { refine_seg } ->
+    Json.Obj
+      ([ ("flow", Json.Str "ptree-vg") ]
+      @ (match refine_seg with
+         | None -> []
+         | Some s -> [ ("refine_seg", int s) ]))
+  | Flows.Merlin { cfg; objective } ->
+    Json.Obj
+      ([ ("flow", Json.Str "merlin"); ("objective", objective_to_json objective) ]
+      @ (match cfg with None -> [] | Some c -> [ ("cfg", cfg_to_json c) ]))
+
+let algo_of_json j =
+  let* flow = fstr "flow" j in
+  match flow with
+  | "lttree-ptree" ->
+    let* max_fanout =
+      match Json.member "max_fanout" j with
+      | None -> Ok 10
+      | Some _ -> fint "max_fanout" j
+    in
+    Ok (Flows.Lttree_ptree { max_fanout })
+  | "ptree-vg" ->
+    let* refine_seg =
+      match Json.member "refine_seg" j with
+      | None -> Ok None
+      | Some _ -> Result.map Option.some (fint "refine_seg" j)
+    in
+    Ok (Flows.Ptree_vg { refine_seg })
+  | "merlin" ->
+    let* objective =
+      match Json.member "objective" j with
+      | None -> Ok Merlin_core.Objective.Best_req
+      | Some o -> objective_of_json o
+    in
+    let* cfg =
+      match Json.member "cfg" j with
+      | None -> Ok None
+      | Some c -> Result.map Option.some (cfg_of_json c)
+    in
+    Ok (Flows.Merlin { cfg; objective })
+  | other ->
+    Error (Printf.sprintf "flow %S (lttree-ptree|ptree-vg|merlin)" other)
+
+let spec_to_json (s : Flows.spec) =
+  Json.Obj
+    [ ("tech", tech_to_json s.Flows.tech);
+      ("buffers", Json.List (Array.to_list (Array.map buffer_to_json s.Flows.buffers)));
+      ("algo", algo_to_json s.Flows.algo) ]
+
+let spec_of_json j =
+  let* tech = Result.bind (field "tech" j) tech_of_json in
+  let* buffers = Result.bind (field "buffers" j) buffers_of_json in
+  let* algo = Result.bind (field "algo" j) algo_of_json in
+  Ok { Flows.tech; buffers; algo }
+
+(* ------------------------------------------------------------------ *)
+(* Cache key                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let request_key (spec : Flows.spec) net =
+  let spec_text = Json.to_string (spec_to_json spec) in
+  Digest.to_hex
+    (Digest.string (spec_text ^ "\x00" ^ Net_io.fingerprint net))
+
+(* ------------------------------------------------------------------ *)
+(* Messages                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let client_msg_to_json (m : client_msg) =
+  match m with
+  | Route r ->
+    Json.Obj
+      ([ ("v", int version);
+         ("type", Json.Str "route");
+         ("id", Json.Str r.id);
+         ("spec", spec_to_json r.spec);
+         ("net", Json.Str (Net_io.to_string r.net)) ]
+      @ (match r.deadline_s with
+         | None -> []
+         | Some d -> [ ("deadline_s", num d) ])
+      @ if r.want_tree then [ ("want_tree", Json.Bool true) ] else [])
+  | Stats -> Json.Obj [ ("v", int version); ("type", Json.Str "stats") ]
+  | Ping -> Json.Obj [ ("v", int version); ("type", Json.Str "ping") ]
+  | Drain -> Json.Obj [ ("v", int version); ("type", Json.Str "drain") ]
+  | Shutdown -> Json.Obj [ ("v", int version); ("type", Json.Str "shutdown") ]
+
+let check_version j =
+  let* v = fint "v" j in
+  if v = version then Ok ()
+  else Error (Printf.sprintf "protocol version %d unsupported (expected %d)" v version)
+
+let client_msg_of_json j =
+  let* () = check_version j in
+  let* ty = fstr "type" j in
+  match ty with
+  | "stats" -> Ok Stats
+  | "ping" -> Ok Ping
+  | "drain" -> Ok Drain
+  | "shutdown" -> Ok Shutdown
+  | "route" ->
+    let* id = fstr "id" j in
+    let* spec = Result.bind (field "spec" j) spec_of_json in
+    let* net_text = fstr "net" j in
+    let* net =
+      match Net_io.of_string net_text with
+      | net -> Ok net
+      | exception Failure msg -> Error msg
+      | exception Invalid_argument msg -> Error msg
+    in
+    let* deadline_s = fnum_opt "deadline_s" j in
+    let* want_tree = fbool_opt ~default:false "want_tree" j in
+    Ok (Route { id; spec; net; deadline_s; want_tree })
+  | other ->
+    Error
+      (Printf.sprintf "message type %S (route|stats|ping|drain|shutdown)" other)
+
+let error_kind_to_string = function
+  | Bad_request -> "bad-request"
+  | Infeasible -> "infeasible"
+  | Timeout -> "timeout"
+  | Draining -> "draining"
+  | Internal -> "internal"
+
+let error_kind_of_string = function
+  | "bad-request" -> Some Bad_request
+  | "infeasible" -> Some Infeasible
+  | "timeout" -> Some Timeout
+  | "draining" -> Some Draining
+  | "internal" -> Some Internal
+  | _ -> None
+
+let server_msg_to_json (m : server_msg) =
+  match m with
+  | Reply { id; cached; metrics } ->
+    Json.Obj
+      [ ("v", int version);
+        ("type", Json.Str "reply");
+        ("id", Json.Str id);
+        ("cached", Json.Bool (match cached with Hit -> true | Miss -> false));
+        ("metrics", Metrics.to_json metrics) ]
+  | Refused { id; kind; message } ->
+    Json.Obj
+      ([ ("v", int version); ("type", Json.Str "error") ]
+      @ (match id with None -> [] | Some id -> [ ("id", Json.Str id) ])
+      @ [ ("kind", Json.Str (error_kind_to_string kind));
+          ("message", Json.Str message) ])
+  | Stats_reply stats ->
+    Json.Obj
+      [ ("v", int version); ("type", Json.Str "stats"); ("stats", stats) ]
+  | Pong -> Json.Obj [ ("v", int version); ("type", Json.Str "pong") ]
+  | Admin_ok what ->
+    Json.Obj
+      [ ("v", int version); ("type", Json.Str "ok"); ("what", Json.Str what) ]
+
+let server_msg_of_json j =
+  let* () = check_version j in
+  let* ty = fstr "type" j in
+  match ty with
+  | "pong" -> Ok Pong
+  | "ok" ->
+    let* what = fstr "what" j in
+    Ok (Admin_ok what)
+  | "stats" ->
+    let* stats = field "stats" j in
+    Ok (Stats_reply stats)
+  | "reply" ->
+    let* id = fstr "id" j in
+    let* cached = field "cached" j in
+    let* cached =
+      match Json.to_bool cached with
+      | Some true -> Ok Hit
+      | Some false -> Ok Miss
+      | None -> Error "field \"cached\": expected a bool"
+    in
+    let* metrics = Result.bind (field "metrics" j) Metrics.of_json in
+    Ok (Reply { id; cached; metrics })
+  | "error" ->
+    let* kind_s = fstr "kind" j in
+    let* kind =
+      match error_kind_of_string kind_s with
+      | Some k -> Ok k
+      | None -> Error (Printf.sprintf "error kind %S" kind_s)
+    in
+    let* message = fstr "message" j in
+    let id = Option.bind (Json.member "id" j) Json.to_str in
+    Ok (Refused { id; kind; message })
+  | other ->
+    Error (Printf.sprintf "message type %S (reply|error|stats|pong|ok)" other)
+
+let decode_client text =
+  match Json.of_string text with
+  | j -> client_msg_of_json j
+  | exception Json.Parse_error msg -> Error msg
+
+let decode_server text =
+  match Json.of_string text with
+  | j -> server_msg_of_json j
+  | exception Json.Parse_error msg -> Error msg
+
+let encode_client m = Json.to_string (client_msg_to_json m)
+
+let encode_server m = Json.to_string (server_msg_to_json m)
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let default_max_frame = 64 * 1024 * 1024
+
+type read_error =
+  | Closed            (* orderly EOF before any byte of a frame *)
+  | Truncated         (* EOF mid-frame *)
+  | Oversized of int  (* declared length beyond the limit *)
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let n = Unix.write fd buf off len in
+    write_all fd buf (off + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let n = String.length payload in
+  let buf = Bytes.create (4 + n) in
+  Bytes.set_int32_be buf 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 buf 4 n;
+  write_all fd buf 0 (4 + n)
+
+(* [read_exact] distinguishes EOF-at-a-frame-boundary (orderly close)
+   from EOF mid-frame (peer died); EINTR restarts. *)
+let read_exact fd buf len =
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> if off = 0 then Error Closed else Error Truncated
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let read_frame ?(max_frame = default_max_frame) fd =
+  let hdr = Bytes.create 4 in
+  let* () = read_exact fd hdr 4 in
+  let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+  if len < 0 || len > max_frame then Error (Oversized len)
+  else begin
+    let buf = Bytes.create len in
+    match read_exact fd buf len with
+    | Ok () -> Ok (Bytes.unsafe_to_string buf)
+    | Error Closed | Error Truncated -> Error Truncated (* EOF after header *)
+    | Error (Oversized _ as e) -> Error e
+  end

@@ -1,0 +1,77 @@
+(** Wire protocol of the routing service.
+
+    Frames are a 4-byte big-endian payload length followed by that many
+    bytes of UTF-8 JSON.  Every payload carries a protocol version;
+    decoders are total ([Error], never an exception), so a malformed
+    request always yields a structured error reply rather than a dead
+    socket.
+
+    The routing problem travels as a {!Merlin_flows.Flows.spec} plus
+    the net in canonical {!Merlin_net.Net_io} text; {!request_key}
+    hashes exactly those two, which makes it the cache key: it
+    separates requests that could legally differ (sink order, tech,
+    knobs) and nothing else. *)
+
+type request = {
+  id : string;  (** client-chosen, echoed in the reply *)
+  spec : Merlin_flows.Flows.spec;
+  net : Merlin_net.Net.t;
+  deadline_s : float option;  (** per-request compute budget *)
+  want_tree : bool;  (** include the routing tree in the reply *)
+}
+
+type client_msg =
+  | Route of request
+  | Stats
+  | Ping
+  | Drain  (** finish in-flight work, refuse new routes *)
+  | Shutdown
+
+type error_kind =
+  | Bad_request
+  | Infeasible
+  | Timeout
+  | Draining
+  | Internal
+
+type cache_status = Hit | Miss
+
+type server_msg =
+  | Reply of {
+      id : string;
+      cached : cache_status;
+      metrics : Merlin_report.Metrics.t;
+    }
+  | Refused of { id : string option; kind : error_kind; message : string }
+  | Stats_reply of Merlin_report.Json.t
+  | Pong
+  | Admin_ok of string
+
+(** [request_key spec net] — hex digest identifying the routing problem;
+    the LRU cache key. *)
+val request_key : Merlin_flows.Flows.spec -> Merlin_net.Net.t -> string
+
+val spec_to_json : Merlin_flows.Flows.spec -> Merlin_report.Json.t
+
+val spec_of_json : Merlin_report.Json.t -> (Merlin_flows.Flows.spec, string) result
+
+val encode_client : client_msg -> string
+
+val decode_client : string -> (client_msg, string) result
+
+val encode_server : server_msg -> string
+
+val decode_server : string -> (server_msg, string) result
+
+(** Frame-size guard applied by readers when none is given: 64 MiB. *)
+val default_max_frame : int
+
+type read_error =
+  | Closed  (** orderly EOF at a frame boundary *)
+  | Truncated  (** EOF mid-frame *)
+  | Oversized of int  (** declared length beyond the limit *)
+
+val write_frame : Unix.file_descr -> string -> unit
+
+val read_frame :
+  ?max_frame:int -> Unix.file_descr -> (string, read_error) result

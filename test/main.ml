@@ -14,6 +14,7 @@ let () =
       Test_ginneken.suite;
       Test_core.suite;
       Test_report.suite;
+      Test_serve.suite;
       Test_flows.suite;
       Test_circuit.suite;
       Test_exec.suite;

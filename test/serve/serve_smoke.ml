@@ -1,0 +1,223 @@
+(* End-to-end smoke test of the routing-service daemon (@serve-smoke).
+
+   Boots a server on an ephemeral Unix socket (plus an ephemeral TCP
+   port), then checks, over real sockets:
+
+   - N concurrent submits return byte-identical metrics to direct
+     in-process [Flows.run] calls (runtime zeroed on both sides — wall
+     clock is the one legitimately non-deterministic field);
+   - a repeated request is answered from the cache: [cached] flips to
+     true, the cache hit counter increments and the pool's submitted
+     counter does not move;
+   - a request with a tiny deadline gets a structured timeout reply and
+     the daemon keeps serving afterwards;
+   - the TCP listener answers;
+   - drain refuses new routes while ping still answers;
+   - shutdown via the protocol unblocks [Server.wait]. *)
+
+open Merlin_tech
+open Merlin_net
+module Flows = Merlin_flows.Flows
+module Json = Merlin_report.Json
+module Metrics = Merlin_report.Metrics
+module Serve = Merlin_serve
+
+let tech = Tech.default
+let buffers = Buffer_lib.default
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+let check name b = if not b then fail "%s" name
+
+let spec algo = { Flows.tech; buffers; algo }
+
+let fast_merlin =
+  Flows.Merlin
+    { cfg =
+        Some
+          { Merlin_core.Config.default with
+            Merlin_core.Config.candidate_limit = 8;
+            max_curve = 5;
+            buffer_trials = 4;
+            max_iters = 1 };
+      objective = Merlin_core.Objective.Best_req }
+
+(* The three concurrent requests: distinct nets, one per flow. *)
+let requests =
+  [| ( "r-flow1",
+       spec (Flows.Lttree_ptree { max_fanout = 10 }),
+       Net_gen.random_net ~seed:11 ~name:"smoke1" ~n:6 tech );
+     ( "r-flow2",
+       spec (Flows.Ptree_vg { refine_seg = None }),
+       Net_gen.random_net ~seed:12 ~name:"smoke2" ~n:6 tech );
+     ( "r-flow3",
+       spec fast_merlin,
+       Net_gen.random_net ~seed:13 ~name:"smoke3" ~n:5 tech ) |]
+
+let metrics_fingerprint (m : Metrics.t) =
+  Json.to_string (Metrics.to_json { m with Metrics.runtime = 0.0 })
+
+let expect_reply ~ctx = function
+  | Ok (Serve.Wire.Reply { id; cached; metrics }) -> (id, cached, metrics)
+  | Ok other ->
+    fail "%s: unexpected reply %s" ctx (Serve.Wire.encode_server other)
+  | Error msg -> fail "%s: %s" ctx msg
+
+let stat_of path stats =
+  let rec go j = function
+    | [] -> (match Json.to_num j with Some f -> int_of_float f | None -> fail "stats: %s not a number" (String.concat "." path))
+    | k :: rest -> (
+      match Json.member k j with
+      | Some v -> go v rest
+      | None -> fail "stats: missing %s" (String.concat "." path))
+  in
+  go stats path
+
+let get_stats client =
+  match Serve.Client.call client Serve.Wire.Stats with
+  | Ok (Serve.Wire.Stats_reply s) -> s
+  | Ok other -> fail "stats: unexpected reply %s" (Serve.Wire.encode_server other)
+  | Error msg -> fail "stats: %s" msg
+
+let () =
+  let socket_path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "merlin-smoke-%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    Serve.Server.start
+      { (Serve.Server.default_config ~socket_path) with
+        Serve.Server.tcp = Some ("127.0.0.1", 0);
+        domains = Some 2;
+        cache_capacity = 8 }
+  in
+
+  (* --- concurrent submits, byte-identical to direct Flows.run --- *)
+  let replies = Array.make (Array.length requests) None in
+  let threads =
+    Array.mapi
+      (fun i (id, spec, net) ->
+         Thread.create
+           (fun () ->
+              let client = Serve.Client.connect_unix socket_path in
+              let reply =
+                expect_reply ~ctx:id
+                  (Serve.Client.call client
+                     (Serve.Wire.Route
+                        { Serve.Wire.id; spec; net; deadline_s = None;
+                          want_tree = true }))
+              in
+              Serve.Client.close client;
+              replies.(i) <- Some reply)
+           ())
+      requests
+  in
+  Array.iter Thread.join threads;
+  Array.iteri
+    (fun i (id, spec, net) ->
+       match replies.(i) with
+       | None -> fail "%s: no reply" id
+       | Some (rid, _, metrics) ->
+         check (id ^ ": echoes id") (String.equal rid id);
+         let direct =
+           Flows.wire_metrics ~with_tree:true (Flows.run spec net)
+         in
+         if
+           not
+             (String.equal
+                (metrics_fingerprint metrics)
+                (metrics_fingerprint direct))
+         then
+           fail "%s: server metrics differ from direct Flows.run\n  srv: %s\n  dir: %s"
+             id
+             (metrics_fingerprint metrics)
+             (metrics_fingerprint direct))
+    requests;
+  print_endline "smoke: concurrent submits byte-identical to direct runs";
+
+  (* --- repeated request answered from the cache, no new pool task --- *)
+  let client = Serve.Client.connect_unix socket_path in
+  let before = get_stats client in
+  let id, spec0, net0 = requests.(0) in
+  let _, again_cached, again_metrics =
+    expect_reply ~ctx:"repeat"
+      (Serve.Client.call client
+         (Serve.Wire.Route
+            { Serve.Wire.id; spec = spec0; net = net0; deadline_s = None;
+              want_tree = true }))
+  in
+  check "repeat: served from cache"
+    (match again_cached with Serve.Wire.Hit -> true | Serve.Wire.Miss -> false);
+  check "repeat: same bytes"
+    (String.equal
+       (metrics_fingerprint again_metrics)
+       (metrics_fingerprint
+          (Flows.wire_metrics ~with_tree:true (Flows.run spec0 net0))));
+  let after = get_stats client in
+  let hits j = stat_of [ "cache"; "hits" ] j
+  and submitted j = stat_of [ "pool"; "submitted" ] j in
+  check "repeat: cache hit counted" (hits after = hits before + 1);
+  check "repeat: no new pool task" (submitted after = submitted before);
+  print_endline "smoke: repeated request hit the cache without a pool task";
+
+  (* --- tiny deadline: structured timeout, daemon survives --- *)
+  let slow_net = Net_gen.random_net ~seed:99 ~name:"slow" ~n:10 tech in
+  (match
+     Serve.Client.call client
+       (Serve.Wire.Route
+          { Serve.Wire.id = "r-deadline";
+            spec = spec (Flows.Merlin { cfg = None; objective = Merlin_core.Objective.Best_req });
+            net = slow_net;
+            deadline_s = Some 1e-4;
+            want_tree = false })
+   with
+   | Ok (Serve.Wire.Refused { kind = Serve.Wire.Timeout; id = Some rid; _ }) ->
+     check "deadline: echoes id" (String.equal rid "r-deadline")
+   | Ok other ->
+     fail "deadline: expected a timeout, got %s" (Serve.Wire.encode_server other)
+   | Error msg -> fail "deadline: %s" msg);
+  (match Serve.Client.call client Serve.Wire.Ping with
+   | Ok Serve.Wire.Pong -> ()
+   | Ok other ->
+     fail "post-timeout ping: %s" (Serve.Wire.encode_server other)
+   | Error msg -> fail "post-timeout ping: %s" msg);
+  print_endline "smoke: deadline exceeded produced a structured timeout reply";
+
+  (* --- TCP listener answers --- *)
+  (match Serve.Server.tcp_port server with
+   | None -> fail "no TCP port bound"
+   | Some port ->
+     let tcp = Serve.Client.connect_tcp "127.0.0.1" port in
+     (match Serve.Client.call tcp Serve.Wire.Ping with
+      | Ok Serve.Wire.Pong -> ()
+      | Ok other -> fail "tcp ping: %s" (Serve.Wire.encode_server other)
+      | Error msg -> fail "tcp ping: %s" msg);
+     Serve.Client.close tcp);
+  print_endline "smoke: TCP listener answers";
+
+  (* --- drain refuses routes, then shutdown unblocks wait --- *)
+  (match Serve.Client.call client Serve.Wire.Drain with
+   | Ok (Serve.Wire.Admin_ok _) -> ()
+   | Ok other -> fail "drain: %s" (Serve.Wire.encode_server other)
+   | Error msg -> fail "drain: %s" msg);
+  (match
+     Serve.Client.call client
+       (Serve.Wire.Route
+          { Serve.Wire.id = "r-drained"; spec = spec0; net = net0;
+            deadline_s = None; want_tree = false })
+   with
+   | Ok (Serve.Wire.Refused { kind = Serve.Wire.Draining; _ }) -> ()
+   | Ok other ->
+     fail "draining: expected a refusal, got %s" (Serve.Wire.encode_server other)
+   | Error msg -> fail "draining: %s" msg);
+  (match Serve.Client.call client Serve.Wire.Shutdown with
+   | Ok (Serve.Wire.Admin_ok _) -> ()
+   | Ok other -> fail "shutdown: %s" (Serve.Wire.encode_server other)
+   | Error msg -> fail "shutdown: %s" msg);
+  Serve.Client.close client;
+  Serve.Server.wait server;
+  Serve.Server.stop server;  (* idempotent after wait *)
+  check "socket unlinked" (not (Sys.file_exists socket_path));
+  print_endline "smoke: drain refused new work and shutdown unblocked wait";
+  print_endline "serve smoke OK"

@@ -1,4 +1,6 @@
 open Merlin_report.Report
+module Json = Merlin_report.Json
+module Metrics = Merlin_report.Metrics
 
 let test_cells () =
   Alcotest.(check string) "string" "x" (cell_to_string (S "x"));
@@ -20,8 +22,76 @@ let test_print_does_not_raise () =
   print ~title:"t" ~header:[ "a"; "b" ] [ [ S "x" ]; [ I 1; F 2.0; R 3.0 ] ];
   print ~title:"empty" ~header:[ "only" ] []
 
+(* ---------------- metrics wire format ---------------- *)
+
+let sample_tree () =
+  let b = Merlin_tech.Buffer_lib.default.(0) in
+  let sink id x y =
+    Merlin_rtree.Rtree.leaf
+      (Merlin_net.Sink.make ~id ~pt:(Merlin_geometry.Point.make x y) ~cap:7.5
+         ~req:(1000.0 /. 3.0))
+  in
+  Merlin_rtree.Rtree.node
+    (Merlin_geometry.Point.make 5 5)
+    [ sink 0 0 40;
+      Merlin_rtree.Rtree.node ~buffer:b
+        (Merlin_geometry.Point.make 60 5)
+        [ sink 1 90 0; sink 2 90 30 ] ]
+
+let sample_metrics tree =
+  { Metrics.flow = "III:MERLIN";
+    area = 48.25;
+    delay = 1056.71;
+    root_req = 2564.0 /. 3.0;
+    runtime = 0.125;
+    n_buffers = 1;
+    wirelength = 8393;
+    loops = 2;
+    tree }
+
+let roundtrip name m =
+  let j = Metrics.to_json m in
+  match Metrics.of_json j with
+  | Error msg -> Alcotest.fail (name ^ ": " ^ msg)
+  | Ok m' ->
+    Alcotest.(check string) name (Json.to_string j)
+      (Json.to_string (Metrics.to_json m'));
+    (* The document must also survive a text round trip: parse back the
+       printed form and re-encode byte-identically (shortest-decimal
+       float printing). *)
+    Alcotest.(check string) (name ^ " via text") (Json.to_string j)
+      (Json.to_string (Json.of_string (Json.to_string j)))
+
+let test_metrics_roundtrip () =
+  roundtrip "without tree" (sample_metrics None);
+  roundtrip "with tree" (sample_metrics (Some (sample_tree ())))
+
+let test_metrics_versioning () =
+  let j = Metrics.to_json (sample_metrics None) in
+  (match Json.member "v" j with
+   | Some (Json.Num v) ->
+     Alcotest.(check int) "carries the schema version" Metrics.version
+       (int_of_float v)
+   | Some _ | None -> Alcotest.fail "no version field");
+  let bumped =
+    match j with
+    | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (k, v) -> if String.equal k "v" then (k, Json.Num 999.0) else (k, v))
+           fields)
+    | _ -> Alcotest.fail "metrics not an object"
+  in
+  match Metrics.of_json bumped with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decoder accepted a future schema version"
+
 let suite =
   ( "report",
     [ Alcotest.test_case "cells" `Quick test_cells;
       Alcotest.test_case "means" `Quick test_means;
-      Alcotest.test_case "print smoke" `Quick test_print_does_not_raise ] )
+      Alcotest.test_case "print smoke" `Quick test_print_does_not_raise;
+      Alcotest.test_case "metrics json round trip" `Quick
+        test_metrics_roundtrip;
+      Alcotest.test_case "metrics schema version" `Quick
+        test_metrics_versioning ] )

@@ -1,0 +1,279 @@
+(* Unit tests for the serving layer: LRU cache behaviour, wire-protocol
+   round trips (qcheck) and the cache-key/fingerprint semantics. *)
+
+open Merlin_tech
+open Merlin_net
+module Flows = Merlin_flows.Flows
+module Json = Merlin_report.Json
+module Wire = Merlin_serve.Wire
+module Lru = Merlin_serve.Lru
+
+let tech = Tech.default
+let buffers = Buffer_lib.default
+
+let qtest ?(count = 200) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+(* ---------------- LRU ---------------- *)
+
+let test_lru_basic () =
+  let c = Lru.create ~capacity:4 in
+  Alcotest.(check (option int)) "miss" None (Lru.find c "a");
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Alcotest.(check (option int)) "hit a" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "hit b" (Some 2) (Lru.find c "b");
+  Lru.add c "a" 10;
+  Alcotest.(check (option int)) "refresh value" (Some 10) (Lru.find c "a");
+  let s = Lru.stats c in
+  Alcotest.(check int) "size" 2 s.Lru.size;
+  Alcotest.(check int) "hits" 3 s.Lru.hits;
+  Alcotest.(check int) "misses" 1 s.Lru.misses;
+  Alcotest.(check int) "evictions" 0 s.Lru.evictions
+
+let test_lru_evicts_least_recent () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  (* Touch a so b becomes the LRU entry. *)
+  Alcotest.(check (option int)) "touch a" (Some 1) (Lru.find c "a");
+  Lru.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Lru.find c "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Lru.find c "c");
+  Alcotest.(check int) "one eviction" 1 (Lru.stats c).Lru.evictions
+
+let test_lru_capacity_one () =
+  let c = Lru.create ~capacity:1 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Alcotest.(check (option int)) "a evicted" None (Lru.find c "a");
+  Alcotest.(check (option int)) "b kept" (Some 2) (Lru.find c "b");
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Lru.create: capacity must be >= 1") (fun () ->
+      ignore (Lru.create ~capacity:0))
+
+(* ---------------- generators ---------------- *)
+
+let gen_name =
+  QCheck.Gen.(
+    map (String.concat "") (list_size (int_range 1 8) (map (String.make 1) (char_range 'a' 'z'))))
+
+(* Finite floats with both "round" and awkward decimal expansions, so
+   the shortest-round-trip printer is actually exercised. *)
+let gen_float =
+  QCheck.Gen.(
+    oneof
+      [ map float_of_int (int_range (-10000) 10000);
+        float_range (-1e6) 1e6;
+        map (fun f -> f /. 3.0) (float_range 0.0 1e4) ])
+
+let gen_model =
+  QCheck.Gen.(
+    map
+      (fun (d0, r_drive, k_slew, s0) ->
+         Delay_model.make ~d0 ~r_drive ~k_slew ~s0)
+      (quad gen_float gen_float gen_float gen_float))
+
+let gen_tech =
+  QCheck.Gen.(
+    map
+      (fun (name, (r, c, a)) ->
+         { Tech.name; unit_wire_res = r; unit_wire_cap = c; unit_wire_area = a })
+      (pair gen_name (triple gen_float gen_float gen_float)))
+
+let gen_buffer =
+  QCheck.Gen.(
+    map
+      (fun (name, area, input_cap, model) ->
+         { Buffer_lib.name; area; input_cap; model })
+      (quad gen_name gen_float gen_float gen_model))
+
+let gen_buffers =
+  QCheck.Gen.(map Array.of_list (list_size (int_range 1 4) gen_buffer))
+
+let gen_objective =
+  QCheck.Gen.(
+    oneof
+      [ return Merlin_core.Objective.Best_req;
+        map (fun b -> Merlin_core.Objective.Max_req_under_area b) gen_float;
+        map (fun b -> Merlin_core.Objective.Min_area_over_req b) gen_float ])
+
+let gen_cfg =
+  QCheck.Gen.(
+    map
+      (fun (alpha, bubbling, full_hanan, max_iters) ->
+         { Merlin_core.Config.default with
+           Merlin_core.Config.alpha = alpha;
+           bubbling;
+           full_hanan;
+           max_iters })
+      (quad (int_range 2 20) bool bool (int_range 1 8)))
+
+let gen_algo =
+  QCheck.Gen.(
+    oneof
+      [ map (fun max_fanout -> Flows.Lttree_ptree { max_fanout }) (int_range 2 20);
+        map
+          (fun refine_seg -> Flows.Ptree_vg { refine_seg })
+          (opt (int_range 1 10));
+        map2
+          (fun cfg objective -> Flows.Merlin { cfg; objective })
+          (opt gen_cfg) gen_objective ])
+
+let gen_spec =
+  QCheck.Gen.(
+    map
+      (fun (tech, buffers, algo) -> { Flows.tech; buffers; algo })
+      (triple gen_tech gen_buffers gen_algo))
+
+let gen_net =
+  QCheck.Gen.(
+    map2
+      (fun n seed -> Net_gen.random_net ~seed ~name:"wire" ~n tech)
+      (int_range 1 8) (int_range 0 1000))
+
+let gen_request =
+  QCheck.Gen.(
+    map
+      (fun (id, spec, net, (deadline_s, want_tree)) ->
+         { Wire.id; spec; net; deadline_s; want_tree })
+      (quad gen_name gen_spec gen_net
+         (pair (opt (float_range 0.001 100.0)) bool)))
+
+let arb_spec = QCheck.make ~print:(fun s -> Json.to_string (Wire.spec_to_json s)) gen_spec
+
+let arb_request =
+  QCheck.make
+    ~print:(fun r -> Wire.encode_client (Wire.Route r))
+    gen_request
+
+(* ---------------- wire round trips ---------------- *)
+
+let spec_roundtrip spec =
+  let j = Wire.spec_to_json spec in
+  match Wire.spec_of_json j with
+  | Error msg -> QCheck.Test.fail_reportf "spec decode failed: %s" msg
+  | Ok spec' ->
+    (* Structural equality through the canonical encoding: the decoder
+       must reconstruct a spec that re-encodes byte-identically. *)
+    String.equal (Json.to_string j) (Json.to_string (Wire.spec_to_json spec'))
+
+let client_roundtrip r =
+  let text = Wire.encode_client (Wire.Route r) in
+  match Wire.decode_client text with
+  | Error msg -> QCheck.Test.fail_reportf "client decode failed: %s" msg
+  | Ok msg -> String.equal text (Wire.encode_client msg)
+
+let admin_roundtrip () =
+  List.iter
+    (fun m ->
+       match Wire.decode_client (Wire.encode_client m) with
+       | Ok m' ->
+         Alcotest.(check string) "admin msg" (Wire.encode_client m)
+           (Wire.encode_client m')
+       | Error msg -> Alcotest.fail msg)
+    [ Wire.Stats; Wire.Ping; Wire.Drain; Wire.Shutdown ]
+
+let server_msg_roundtrip () =
+  let metrics =
+    { Merlin_report.Metrics.flow = "III:MERLIN";
+      area = 48.25;
+      delay = 1056.71;
+      root_req = 2564.0 /. 3.0;
+      runtime = 0.125;
+      n_buffers = 4;
+      wirelength = 8393;
+      loops = 2;
+      tree = None }
+  in
+  List.iter
+    (fun m ->
+       match Wire.decode_server (Wire.encode_server m) with
+       | Ok m' ->
+         Alcotest.(check string) "server msg" (Wire.encode_server m)
+           (Wire.encode_server m')
+       | Error msg -> Alcotest.fail msg)
+    [ Wire.Reply { id = "r1"; cached = Wire.Hit; metrics };
+      Wire.Reply { id = "r2"; cached = Wire.Miss; metrics };
+      Wire.Refused
+        { id = Some "r3"; kind = Wire.Timeout; message = "deadline exceeded" };
+      Wire.Refused { id = None; kind = Wire.Bad_request; message = "nope" };
+      Wire.Stats_reply (Json.Obj [ ("x", Json.Num 1.0) ]);
+      Wire.Pong;
+      Wire.Admin_ok "draining" ]
+
+let decode_rejects () =
+  let is_error = function Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "garbage" true (is_error (Wire.decode_client "{x"));
+  Alcotest.(check bool) "not a message" true
+    (is_error (Wire.decode_client "{\"v\":1}"));
+  Alcotest.(check bool) "wrong version" true
+    (is_error (Wire.decode_client "{\"v\":99,\"type\":\"ping\"}"));
+  Alcotest.(check bool) "unknown type" true
+    (is_error (Wire.decode_client "{\"v\":1,\"type\":\"frobnicate\"}"));
+  Alcotest.(check bool) "bad net text" true
+    (is_error
+       (Wire.decode_client
+          "{\"v\":1,\"type\":\"route\",\"id\":\"x\",\"spec\":{},\"net\":\"zz\"}"))
+
+(* ---------------- cache keys ---------------- *)
+
+let mk_sink id (x, y, cap, req) =
+  Sink.make ~id ~pt:(Merlin_geometry.Point.make x y) ~cap ~req
+
+let test_fingerprint_sink_order () =
+  let a = (0, 0, 5.0, 100.0) and b = (900, 40, 9.0, 250.0) in
+  let mk name sinks =
+    Net.make ~name ~source:(Merlin_geometry.Point.make 10 10)
+      ~driver:Net.default_driver
+      (List.mapi mk_sink sinks)
+  in
+  let net_ab = mk "n" [ a; b ] and net_ba = mk "n" [ b; a ] in
+  Alcotest.(check bool) "sink order changes the fingerprint" false
+    (String.equal (Net_io.fingerprint net_ab) (Net_io.fingerprint net_ba));
+  let renamed = mk "other-name" [ a; b ] in
+  Alcotest.(check string) "renaming does not change the fingerprint"
+    (Net_io.fingerprint net_ab) (Net_io.fingerprint renamed)
+
+let test_fingerprint_survives_save_load () =
+  List.iter
+    (fun seed ->
+       let net = Net_gen.random_net ~seed ~name:"fp" ~n:7 tech in
+       let reloaded = Net_io.of_string (Net_io.to_string net) in
+       Alcotest.(check string)
+         (Printf.sprintf "seed %d reload keeps the key" seed)
+         (Net_io.fingerprint net)
+         (Net_io.fingerprint reloaded))
+    [ 1; 2; 3; 42 ]
+
+let test_request_key_separates () =
+  let net = Net_gen.random_net ~seed:7 ~name:"k" ~n:5 tech in
+  let net' = Net_gen.random_net ~seed:8 ~name:"k" ~n:5 tech in
+  let spec algo = { Flows.tech; buffers; algo } in
+  let s1 = spec (Flows.Lttree_ptree { max_fanout = 10 }) in
+  let s2 = spec (Flows.Ptree_vg { refine_seg = None }) in
+  Alcotest.(check bool) "different nets, different keys" false
+    (String.equal (Wire.request_key s1 net) (Wire.request_key s1 net'));
+  Alcotest.(check bool) "different algos, different keys" false
+    (String.equal (Wire.request_key s1 net) (Wire.request_key s2 net));
+  let reloaded = Net_io.of_string (Net_io.to_string net) in
+  Alcotest.(check string) "reloaded net, same key" (Wire.request_key s1 net)
+    (Wire.request_key s1 reloaded)
+
+let suite =
+  ( "serve",
+    [ Alcotest.test_case "lru basic" `Quick test_lru_basic;
+      Alcotest.test_case "lru eviction order" `Quick test_lru_evicts_least_recent;
+      Alcotest.test_case "lru capacity one" `Quick test_lru_capacity_one;
+      qtest "spec json round trip" arb_spec spec_roundtrip;
+      qtest ~count:60 "route msg round trip" arb_request client_roundtrip;
+      Alcotest.test_case "admin msg round trip" `Quick admin_roundtrip;
+      Alcotest.test_case "server msg round trip" `Quick server_msg_roundtrip;
+      Alcotest.test_case "decoder rejects bad input" `Quick decode_rejects;
+      Alcotest.test_case "fingerprint vs sink order" `Quick
+        test_fingerprint_sink_order;
+      Alcotest.test_case "fingerprint save/load" `Quick
+        test_fingerprint_survives_save_load;
+      Alcotest.test_case "request keys separate" `Quick
+        test_request_key_separates ] )
