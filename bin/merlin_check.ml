@@ -1,19 +1,45 @@
 (* merlin_check: typedtree-based whole-project analyzer.
 
    Usage:
-     merlin_check [--format text|json|sarif] [--sarif]
+     merlin_check [--format text|json|sarif|github] [--sarif]
                   [--baseline FILE] [--write-baseline FILE]
-                  [--src-root DIR]... [ROOT...]
+                  [--prune-baseline] [--strict-baseline]
+                  [--lock-order FILE] [--src-root DIR]... [ROOT...]
 
    ROOTs are files or directories scanned for .cmt/.cmti artifacts
    (default "."), so the tool is normally run from the dune build
    directory after a build.  --src-root trees (default "lib") are
    guarded for artifact coverage: a source there with no loaded cmt is
-   itself a finding.
+   itself a finding.  --lock-order names the committed lock-hierarchy
+   spec for the C4 inversion check (a ./lock-order.spec is picked up
+   automatically); cycles are flagged with or without a spec.
 
-   Exit codes: 0 nothing survives the baseline, 1 any finding survives
-   (warnings included: the baseline, not the severity, is the accepted-
-   findings mechanism), 2 usage/IO failure. *)
+   Baseline hygiene mirrors waiver hygiene: entries the current run no
+   longer needs are reported as [stale-baseline] warnings.
+   --prune-baseline rewrites the --baseline file without them;
+   --strict-baseline makes an unpruned stale entry fail the run, so CI
+   can insist the committed inventory stays exact.
+
+   Exit codes: 0 nothing survives the baseline (and, under
+   --strict-baseline, no stale entries remain), 1 otherwise (warnings
+   included: the baseline, not the severity, is the accepted-findings
+   mechanism), 2 usage/IO failure. *)
+
+module Finding = Merlin_lint.Finding
+
+let default_spec_file = "lock-order.spec"
+
+let stale_baseline_findings stale =
+  List.map
+    (fun (e : Merlin_lint.Baseline.entry) ->
+       Finding.make ~file:e.Merlin_lint.Baseline.file ~line:1 ~col:0
+         ~rule:"stale-baseline" ~severity:Finding.Warning
+         (Printf.sprintf
+            "baseline entry for [%s] no longer matches any finding (%d \
+             unconsumed): %s"
+            e.Merlin_lint.Baseline.rule e.Merlin_lint.Baseline.count
+            e.Merlin_lint.Baseline.message))
+    stale
 
 let () =
   let format = ref Merlin_check.Check_driver.Text in
@@ -21,17 +47,21 @@ let () =
   let src_roots = ref [] in
   let baseline = ref None in
   let write_baseline = ref None in
+  let lock_order = ref None in
+  let prune = ref false in
+  let strict = ref false in
   let set_format s =
     format :=
       match s with
       | "json" -> Merlin_check.Check_driver.Json
       | "sarif" -> Merlin_check.Check_driver.Sarif
+      | "github" -> Merlin_check.Check_driver.Github
       | _ -> Merlin_check.Check_driver.Text
   in
   let spec =
     [ ( "--format",
-        Arg.Symbol ([ "text"; "json"; "sarif" ], set_format),
-        " output format (default text)" );
+        Arg.Symbol ([ "text"; "json"; "sarif"; "github" ], set_format),
+        " output format (default text; github emits Actions annotations)" );
       ( "--sarif",
         Arg.Unit (fun () -> set_format "sarif"),
         " shorthand for --format sarif" );
@@ -43,6 +73,17 @@ let () =
         Arg.String (fun s -> write_baseline := Some s),
         "FILE record the current findings as the accepted baseline and \
          exit" );
+      ( "--prune-baseline",
+        Arg.Set prune,
+        " rewrite the --baseline file without entries this run no \
+         longer needs" );
+      ( "--strict-baseline",
+        Arg.Set strict,
+        " fail (exit 1) when the baseline carries stale entries" );
+      ( "--lock-order",
+        Arg.String (fun s -> lock_order := Some s),
+        "FILE committed lock order, outermost first, for the C4 \
+         inversion check (default ./lock-order.spec when present)" );
       ( "--src-root",
         Arg.String (fun s -> src_roots := s :: !src_roots),
         "DIR source tree guarded for cmt coverage (repeatable; default \
@@ -60,15 +101,36 @@ let () =
         " list the rule set and exit" ) ]
   in
   let usage =
-    "merlin_check [--format text|json|sarif] [--baseline FILE] \
-     [--write-baseline FILE] [--src-root DIR]... [ROOT...]"
+    "merlin_check [--format text|json|sarif|github] [--baseline FILE] \
+     [--write-baseline FILE] [--prune-baseline] [--strict-baseline] \
+     [--lock-order FILE] [--src-root DIR]... [ROOT...]"
   in
   Arg.parse spec (fun p -> roots := p :: !roots) usage;
   let roots = match List.rev !roots with [] -> [ "." ] | ps -> ps in
   let src_roots =
     match List.rev !src_roots with [] -> [ "lib" ] | ps -> ps
   in
-  let baseline =
+  if !prune && Option.is_none !baseline then (
+    prerr_endline "merlin_check: --prune-baseline needs --baseline FILE";
+    exit 2);
+  let lock_spec =
+    let file =
+      match !lock_order with
+      | Some f -> Some f
+      | None ->
+        if Sys.file_exists default_spec_file then Some default_spec_file
+        else None
+    in
+    match file with
+    | None -> []
+    | Some f -> (
+      match Merlin_check.Lock_order.load_spec f with
+      | Ok s -> s
+      | Error msg ->
+        prerr_endline ("merlin_check: --lock-order " ^ f ^ ": " ^ msg);
+        exit 2)
+  in
+  let baseline_entries =
     match !baseline with
     | None -> []
     | Some file -> (
@@ -78,7 +140,7 @@ let () =
         prerr_endline ("merlin_check: --baseline " ^ file ^ ": " ^ msg);
         exit 2)
   in
-  match Merlin_check.Check_driver.run ~roots ~src_roots with
+  match Merlin_check.Check_driver.run ~roots ~src_roots ~lock_spec with
   | findings -> (
     match !write_baseline with
     | Some file ->
@@ -86,9 +148,30 @@ let () =
       Printf.printf "merlin_check: wrote %d finding(s) to %s\n"
         (List.length findings) file
     | None ->
-      let findings = Merlin_lint.Baseline.apply baseline findings in
-      print_string (Merlin_check.Check_driver.render !format findings);
-      (match findings with [] -> () | _ :: _ -> exit 1))
+      let survivors, stale, live =
+        Merlin_lint.Baseline.apply_detailed baseline_entries findings
+      in
+      let stale_rendered, stale_open =
+        if !prune then (
+          (match !baseline with
+           | Some file -> Merlin_lint.Baseline.save file live
+           | None -> ());
+          Printf.eprintf "merlin_check: pruned %d stale entr%s from %s\n"
+            (List.length stale)
+            (match stale with [ _ ] -> "y" | _ -> "ies")
+            (Option.value !baseline ~default:"");
+          ([], []))
+        else (stale_baseline_findings stale, stale)
+      in
+      let shown =
+        List.sort Finding.compare_order (survivors @ stale_rendered)
+      in
+      print_string (Merlin_check.Check_driver.render !format shown);
+      let failed =
+        (match survivors with [] -> false | _ :: _ -> true)
+        || (!strict && (match stale_open with [] -> false | _ :: _ -> true))
+      in
+      if failed then exit 1)
   | exception Sys_error msg ->
     prerr_endline ("merlin_check: " ^ msg);
     exit 2

@@ -1,18 +1,18 @@
 (* merlin_lint: project lint pass over the repository sources.
 
-   Usage: merlin_lint [--format text|json] [--baseline FILE] [PATH...]
-   Default paths: lib bin bench examples test.  Exit codes: 0 clean,
-   1 error-severity findings (after baseline subtraction), 2 usage/IO
-   failure. *)
+   Usage: merlin_lint [--format text|json|github] [--baseline FILE]
+   [PATH...].  Default paths: lib bin bench examples test.  Exit codes:
+   0 clean, 1 error-severity findings (after baseline subtraction),
+   2 usage/IO failure. *)
 
 let () =
-  let json = ref false in
+  let format = ref "text" in
   let paths = ref [] in
   let baseline = ref None in
   let spec =
     [ ( "--format",
-        Arg.Symbol ([ "text"; "json" ], fun s -> json := s = "json"),
-        " output format (default text)" );
+        Arg.Symbol ([ "text"; "json"; "github" ], fun s -> format := s),
+        " output format (default text; github emits Actions annotations)" );
       ( "--baseline",
         Arg.String (fun s -> baseline := Some s),
         "FILE subtract findings recorded in FILE (native or SARIF) \
@@ -33,7 +33,7 @@ let () =
         " list the rule set and exit" ) ]
   in
   let usage =
-    "merlin_lint [--format text|json] [--baseline FILE] [PATH...]"
+    "merlin_lint [--format text|json|github] [--baseline FILE] [PATH...]"
   in
   Arg.parse spec (fun p -> paths := p :: !paths) usage;
   let paths =
@@ -55,8 +55,10 @@ let () =
   | findings ->
     let findings = Merlin_lint.Baseline.apply baseline findings in
     print_string
-      (if !json then Merlin_lint.Driver.render_json findings
-       else Merlin_lint.Driver.render_text findings);
+      (match !format with
+       | "json" -> Merlin_lint.Driver.render_json findings
+       | "github" -> Merlin_lint.Driver.render_github findings
+       | _ -> Merlin_lint.Driver.render_text findings);
     if Merlin_lint.Driver.has_errors findings then exit 1
   | exception Sys_error msg ->
     prerr_endline ("merlin_lint: " ^ msg);

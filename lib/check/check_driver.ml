@@ -1,4 +1,4 @@
-(* Orchestration for the typed tier: load cmt artifacts, run C1-C3,
+(* Orchestration for the typed tier: load cmt artifacts, run C1-C6,
    audit typed-tier waivers, flag library sources with no artifact
    (coverage guard), sort, render.
 
@@ -28,6 +28,22 @@ let rule_docs =
       Finding.Warning,
       ".mli export never referenced from another compilation unit \
        (waive: dead-export)" );
+    ( Lock_order.rule,
+      Finding.Error,
+      "lock acquisition closes a cycle in the project lock graph, or \
+       inverts the committed --lock-order spec (waive: lock-order)" );
+    ( Blocking.rule,
+      Finding.Warning,
+      "known-blocking call inside a held-lock region, or Condition.wait \
+       with a second lock still held (waive: blocking-ok)" );
+    ( Fd_leak.rule,
+      Finding.Error,
+      "Unix descriptor neither reaches Unix.close on every path nor \
+       escapes its binding scope (waive: fd-escape)" );
+    ( "stale-baseline",
+      Finding.Warning,
+      "a baseline entry no longer matched by any finding — prune with \
+       --prune-baseline" );
     ( "stale-waiver",
       Finding.Warning,
       "a check: waiver that suppressed nothing this run" );
@@ -62,7 +78,7 @@ let missing_cmts ~src_roots (units : Cmt_load.t list) =
              "no cmt artifact for this source in the scan roots; run dune \
               build so the typed rules can see it"))
 
-let analyze ?(src_roots = []) (units, load_findings) =
+let analyze ?(src_roots = []) ?(lock_spec = []) (units, load_findings) =
   let waivers = Waivers.create () in
   List.iter
     (fun (u : Cmt_load.t) ->
@@ -73,17 +89,23 @@ let analyze ?(src_roots = []) (units, load_findings) =
   let c1 = Domain_safety.check ~waivers units in
   let c2 = Exn_flow.check ~waivers units in
   let c3 = Dead_export.check ~waivers units in
+  let project = Concur.build units in
+  let c4 = Lock_order.check ~waivers ~spec:lock_spec project in
+  let c5 = Blocking.check ~waivers project in
+  let c6 = Fd_leak.check ~waivers project in
   let missing = missing_cmts ~src_roots units in
   let stale = Waivers.stale waivers in
   List.sort Finding.compare_order
-    (load_findings @ c1 @ c2 @ c3 @ missing @ stale)
+    (load_findings @ c1 @ c2 @ c3 @ c4 @ c5 @ c6 @ missing @ stale)
 
-let run ~roots ~src_roots = analyze ~src_roots (Cmt_load.load_roots roots)
+let run ~roots ~src_roots ~lock_spec =
+  analyze ~src_roots ~lock_spec (Cmt_load.load_roots roots)
 
-type format = Text | Json | Sarif
+type format = Text | Json | Sarif | Github
 
 let render format findings =
   match format with
   | Text -> Merlin_lint.Driver.render_text findings
   | Json -> Merlin_lint.Driver.render_json findings
   | Sarif -> Sarif.render ~tool_name ~tool_version findings
+  | Github -> Merlin_lint.Driver.render_github findings

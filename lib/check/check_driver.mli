@@ -1,4 +1,4 @@
-(** Orchestration for the typed tier: artifact loading, C1-C3, waiver
+(** Orchestration for the typed tier: artifact loading, C1-C6, waiver
     staleness, coverage guard, rendering. *)
 
 val tool_name : string
@@ -8,16 +8,22 @@ val rule_docs : (string * Merlin_lint.Finding.severity * string) list
 
 (** Run all typed rules over pre-loaded units (plus the loader's own
     findings); [src_roots] are source trees guarded for cmt coverage
-    ([missing-cmt]).  Sorted by file and position. *)
+    ([missing-cmt]); [lock_spec] is the committed lock order, outermost
+    first, for C4's inversion check (cycles are flagged regardless).
+    Sorted by file and position. *)
 val analyze :
   ?src_roots:string list ->
+  ?lock_spec:string list ->
   Cmt_load.t list * Merlin_lint.Finding.t list ->
   Merlin_lint.Finding.t list
 
 (** Load every artifact under [roots], then {!analyze}. *)
 val run :
-  roots:string list -> src_roots:string list -> Merlin_lint.Finding.t list
+  roots:string list ->
+  src_roots:string list ->
+  lock_spec:string list ->
+  Merlin_lint.Finding.t list
 
-type format = Text | Json | Sarif
+type format = Text | Json | Sarif | Github
 
 val render : format -> Merlin_lint.Finding.t list -> string

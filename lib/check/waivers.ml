@@ -9,7 +9,9 @@
 
 module Finding = Merlin_lint.Finding
 
-let tokens = [ "domain-safe"; "exn-flow"; "dead-export" ]
+let tokens =
+  [ "domain-safe"; "exn-flow"; "dead-export"; "lock-order"; "blocking-ok";
+    "fd-escape" ]
 
 type t = {
   files : (string, (int * string) list) Hashtbl.t;

@@ -3,7 +3,8 @@
     reported as [stale-waiver] warnings. *)
 
 (** The tokens the typed rules consume: [domain-safe] (C1), [exn-flow]
-    (C2), [dead-export] (C3). *)
+    (C2), [dead-export] (C3), [lock-order] (C4), [blocking-ok] (C5),
+    [fd-escape] (C6). *)
 val tokens : string list
 
 type t

@@ -163,7 +163,7 @@ let save path entries =
 
 (* ---------- application ---------- *)
 
-let apply baseline findings =
+let apply_detailed baseline findings =
   let budget : (string, int) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun e ->
@@ -171,12 +171,33 @@ let apply baseline findings =
        let prev = Option.value (Hashtbl.find_opt budget k) ~default:0 in
        Hashtbl.replace budget k (prev + e.count))
     baseline;
-  List.filter
-    (fun f ->
-       let k = key_of_finding f in
-       match Hashtbl.find_opt budget k with
-       | Some n when n > 0 ->
-         Hashtbl.replace budget k (n - 1);
-         false
-       | Some _ | None -> true)
-    findings
+  let survivors =
+    List.filter
+      (fun f ->
+         let k = key_of_finding f in
+         match Hashtbl.find_opt budget k with
+         | Some n when n > 0 ->
+           Hashtbl.replace budget k (n - 1);
+           false
+         | Some _ | None -> true)
+      findings
+  in
+  (* Whatever budget is left over is stale.  Several entries can share a
+     key (hand-merged baselines); the residue is charged to them in file
+     order so the reported counts add up to the leftover exactly. *)
+  let stale = ref [] in
+  let live = ref [] in
+  List.iter
+    (fun e ->
+       let k = key ~rule:e.rule ~file:e.file ~message:e.message in
+       let leftover = Option.value (Hashtbl.find_opt budget k) ~default:0 in
+       let r = min e.count leftover in
+       Hashtbl.replace budget k (leftover - r);
+       if r > 0 then stale := { e with count = r } :: !stale;
+       if e.count - r > 0 then live := { e with count = e.count - r } :: !live)
+    baseline;
+  (survivors, List.rev !stale, List.rev !live)
+
+let apply baseline findings =
+  let survivors, _, _ = apply_detailed baseline findings in
+  survivors

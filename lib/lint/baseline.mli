@@ -33,3 +33,12 @@ val save : string -> t -> unit
 (** [apply baseline findings] drops findings absorbed by the baseline,
     in order; findings beyond an entry's [count] are kept. *)
 val apply : t -> Finding.t list -> Finding.t list
+
+(** Like {!apply}, but also splits the baseline by what it absorbed:
+    [(survivors, stale, live)] where [stale] holds each entry's
+    unconsumed residue (count = findings it no longer matches — prune
+    these) and [live] the consumed part (count = findings it still
+    absorbs — the pruned baseline to rewrite).  [stale] and [live]
+    partition the budget: an entry can appear in both with its count
+    split. *)
+val apply_detailed : t -> Finding.t list -> Finding.t list * t * t

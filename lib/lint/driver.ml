@@ -41,7 +41,9 @@ let scan_waivers ~opener text =
 (* Tokens merlin_check's typed rules consume; the linter can only vet
    check-waivers for being well-formed, staleness of the valid ones is
    merlin_check's job (it knows which lines its rules would flag). *)
-let check_tokens = [ "domain-safe"; "exn-flow"; "dead-export" ]
+let check_tokens =
+  [ "domain-safe"; "exn-flow"; "dead-export"; "lock-order"; "blocking-ok";
+    "fd-escape" ]
 
 let check_waiver_marks text = scan_waivers ~opener:check_opener text
 
@@ -197,3 +199,32 @@ let render_json findings =
   Printf.sprintf "{\"findings\":[%s],\"errors\":%d,\"total\":%d}\n"
     (String.concat "," (List.map Finding.to_json findings))
     errors (List.length findings)
+
+(* GitHub Actions workflow commands: data after [::] is property-escaped
+   so multi-line or %-bearing messages survive the annotation parser. *)
+let github_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+       match c with
+       | '%' -> Buffer.add_string buf "%25"
+       | '\n' -> Buffer.add_string buf "%0A"
+       | '\r' -> Buffer.add_string buf "%0D"
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_github findings =
+  String.concat ""
+    (List.map
+       (fun (f : Finding.t) ->
+          let kind =
+            match f.Finding.severity with
+            | Finding.Error -> "error"
+            | Finding.Warning -> "warning"
+          in
+          Printf.sprintf "::%s file=%s,line=%d,col=%d::[%s] %s\n" kind
+            (github_escape f.Finding.file)
+            f.Finding.line f.Finding.col f.Finding.rule
+            (github_escape f.Finding.message))
+       findings)

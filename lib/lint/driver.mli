@@ -39,3 +39,8 @@ val render_text : Finding.t list -> string
 
 (** [{"findings":[...],"errors":N,"total":N}] *)
 val render_json : Finding.t list -> string
+
+(** One GitHub Actions workflow command per finding
+    ([::error file=F,line=L,col=C::[rule] message]) so CI runs annotate
+    the diff in place; messages are property-escaped. *)
+val render_github : Finding.t list -> string

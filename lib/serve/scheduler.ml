@@ -8,11 +8,25 @@
    enter the cache, so a timeout or failure is retried from scratch on
    the next identical request.
 
-   The cache does not deduplicate in-flight work: two identical
-   requests racing through a miss both compute.  Routing flows are
-   deterministic, so the loser's [Lru.add] overwrites the winner's
-   with an equal value — wasteful, never wrong — and a found/computed
-   distinction per request stays exact.
+   In-flight work is deduplicated.  Identical requests racing through a
+   miss used to each submit a pool task — harmless for correctness
+   (flows are deterministic) but a stampede: N concurrent copies of the
+   same routing flow occupy N pool slots computing one answer.  Now the
+   first miss becomes the leader for its key; later arrivals find the
+   key in the pending table and block on a condition variable until the
+   leader publishes.  Joiners inherit the leader's outcome — including
+   its timeout or failure, since theirs would have been the same work
+   under (at most) the same remaining budget — except that a joined
+   [Done] reports [Hit]: the value came from this process's memory, not
+   from a pool task of its own, which keeps the found/computed
+   distinction per request exact and the smoke test's
+   one-task-per-unique-key invariant true under concurrency.
+
+   [t.lock] guards the pending table only.  The leader computes with
+   the lock released (the pool blocks for the whole flow), and
+   [Lru.find]/[Lru.add] take the cache's own lock inside [t.lock] on
+   the double-check — that nesting is the Scheduler.lock > Lru.lock
+   edge in lock-order.spec.
 
    Timeouts and failures are already counted by the pool
    ([stats.timed_out], [stats.failed]); cache traffic by {!Lru}.  The
@@ -20,37 +34,88 @@
 
 module Pool = Merlin_exec.Pool
 
-type 'a t = {
-  pool : Pool.t;
-  cache : 'a Lru.t;
-}
-
 type 'a outcome =
   | Done of { value : 'a; cached : Wire.cache_status }
   | Timed_out of float
   | Failed of exn
 
+(* One in-flight computation; joiners wait on [t.cond] until the
+   leader fills [outcome]. *)
+type 'a flight = { mutable outcome : 'a outcome option }
+
+type 'a t = {
+  pool : Pool.t;
+  cache : 'a Lru.t;
+  lock : Mutex.t;
+  cond : Condition.t;
+  pending : (string, 'a flight) Hashtbl.t;
+}
+
 let create ?(cache_capacity = 256) pool =
-  { pool; cache = Lru.create ~capacity:cache_capacity }
+  { pool;
+    cache = Lru.create ~capacity:cache_capacity;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    pending = Hashtbl.create 16 }
 
 let schedule t ~key ?deadline_s job =
   match Lru.find t.cache key with
   | Some value -> Done { value; cached = Wire.Hit }
   | None -> (
-    match deadline_s with
-    | None -> (
-      match Pool.await (Pool.submit t.pool job) with
-      | value ->
-        Lru.add t.cache key value;
-        Done { value; cached = Wire.Miss }
-      | exception e -> Failed e)
-    | Some timeout_s -> (
-      match Pool.run_timeout t.pool ~timeout_s job with
-      | Pool.Done value ->
-        Lru.add t.cache key value;
-        Done { value; cached = Wire.Miss }
-      | Pool.Timed_out -> Timed_out timeout_s
-      | Pool.Failed e -> Failed e))
+    let role =
+      Mutex.protect t.lock (fun () ->
+          match Hashtbl.find_opt t.pending key with
+          | Some fl -> `Join fl
+          | None -> (
+            (* Double-check under the lock: the leader for this key may
+               have published and left between our miss and here. *)
+            match Lru.find t.cache key with
+            | Some value -> `Hit value
+            | None ->
+              let fl = { outcome = None } in
+              Hashtbl.replace t.pending key fl;
+              `Lead fl))
+    in
+    match role with
+    | `Hit value -> Done { value; cached = Wire.Hit }
+    | `Join fl ->
+      let outcome =
+        Mutex.protect t.lock (fun () ->
+            let rec wait () =
+              match fl.outcome with
+              | Some o -> o
+              | None ->
+                Condition.wait t.cond t.lock;
+                wait ()
+            in
+            wait ())
+      in
+      (match outcome with
+       | Done { value; _ } -> Done { value; cached = Wire.Hit }
+       | (Timed_out _ | Failed _) as o -> o)
+    | `Lead fl ->
+      let outcome =
+        match deadline_s with
+        | None -> (
+          match Pool.await (Pool.submit t.pool job) with
+          | value ->
+            Lru.add t.cache key value;
+            Done { value; cached = Wire.Miss }
+          | exception e -> Failed e)
+        | Some timeout_s -> (
+          match Pool.run_timeout t.pool ~timeout_s job with
+          | Pool.Done value ->
+            Lru.add t.cache key value;
+            Done { value; cached = Wire.Miss }
+          | Pool.Timed_out -> Timed_out timeout_s
+          | Pool.Failed e -> Failed e
+          | exception e -> Failed e)
+      in
+      Mutex.protect t.lock (fun () ->
+          fl.outcome <- Some outcome;
+          Hashtbl.remove t.pending key;
+          Condition.broadcast t.cond);
+      outcome)
 
 let cache_stats t = Lru.stats t.cache
 

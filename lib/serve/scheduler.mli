@@ -3,9 +3,13 @@
     {!schedule} answers a known key from the LRU cache without
     submitting a pool task; a miss computes on the pool, bounded by the
     per-request deadline when one is given, and caches only successes.
-    In-flight identical requests are not deduplicated — flows are
-    deterministic, so a racing duplicate wastes work but cannot answer
-    wrongly. *)
+
+    In-flight identical requests are deduplicated: concurrent misses on
+    one key submit exactly one pool task.  The first arrival leads and
+    computes; the rest block until it publishes and then inherit its
+    outcome — a joined success reports [Hit] (the value came from
+    memory, not a pool task of this request's own), and a leader's
+    timeout or failure is every joiner's too. *)
 
 type 'a t
 

@@ -1,0 +1,14 @@
+(* C4 negative: every function nests b inside a, never the reverse —
+   an acyclic lock graph, clean without a spec.  The spec-inversion
+   test re-analyzes this unit with the order [b; a] committed, which
+   turns the same consistent nesting into an inversion finding. *)
+
+type locks = { a : Mutex.t; b : Mutex.t }
+
+let make () = { a = Mutex.create (); b = Mutex.create () }
+
+let ab1 t = Mutex.protect t.a (fun () -> Mutex.protect t.b (fun () -> ()))
+
+let ab2 t =
+  Mutex.protect t.a (fun () ->
+      Mutex.protect t.b (fun () -> Mutex.create ()))

@@ -1,0 +1,11 @@
+(* C4 positive: AB/BA lock inversion.  [ab] nests b inside a, [ba]
+   nests a inside b — the lock graph has a cycle, so some interleaving
+   of the two deadlocks.  Both inner acquisitions must be flagged. *)
+
+type locks = { a : Mutex.t; b : Mutex.t }
+
+let make () = { a = Mutex.create (); b = Mutex.create () }
+
+let ab t = Mutex.protect t.a (fun () -> Mutex.protect t.b (fun () -> ()))
+
+let ba t = Mutex.protect t.b (fun () -> Mutex.protect t.a (fun () -> ()))

@@ -1,0 +1,15 @@
+(* C4 waived: the same AB/BA cycle as c4_pos, with both closing
+   acquisitions waived in place — no lock-order findings, and no stale
+   waivers either (both were consumed). *)
+
+type locks = { a : Mutex.t; b : Mutex.t }
+
+let make () = { a = Mutex.create (); b = Mutex.create () }
+
+let ab t =
+  Mutex.protect t.a (fun () ->
+      Mutex.protect t.b (fun () -> ()) (* check: lock-order *))
+
+let ba t =
+  Mutex.protect t.b (fun () ->
+      Mutex.protect t.a (fun () -> ()) (* check: lock-order *))

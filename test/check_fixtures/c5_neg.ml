@@ -1,0 +1,24 @@
+(* C5 negative: the classic condition-variable wait (only the waited
+   mutex is held — the wait releases exactly it), and a blocking join
+   performed after the critical section ends. *)
+
+module Thread = struct
+  type t = unit
+
+  let join (_ : t) = ()
+end
+
+type s = { m : Mutex.t; cv : Condition.t; mutable ready : bool }
+
+let make () =
+  { m = Mutex.create (); cv = Condition.create (); ready = false }
+
+let wait_ready t =
+  Mutex.protect t.m (fun () ->
+      while not t.ready do
+        Condition.wait t.cv t.m
+      done)
+
+let join_outside t th =
+  Mutex.protect t.m (fun () -> t.ready <- false);
+  Thread.join th

@@ -1,0 +1,31 @@
+(* C6 negative: every shape that legitimately discharges ownership —
+   a Fun.protect whose finally closes, a try whose handler closes
+   before re-raising, and escape by return (the caller owns it now). *)
+
+module Unix = struct
+  type file_descr = int
+
+  let socket (_ : int) (_ : int) (_ : int) : file_descr = 0
+
+  let send (_ : file_descr) (_ : bytes) (_ : int) (_ : int) : int = 0
+
+  let close (_ : file_descr) = ()
+end
+
+let protected () =
+  let fd = Unix.socket 0 0 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () -> ignore (Unix.send fd (Bytes.create 1) 0 1))
+
+let with_handler () =
+  let fd = Unix.socket 0 0 0 in
+  (try ignore (Unix.send fd (Bytes.create 1) 0 1)
+   with e ->
+     Unix.close fd;
+     raise e);
+  Unix.close fd
+
+let make_socket () =
+  let fd = Unix.socket 0 0 0 in
+  fd

@@ -1,0 +1,24 @@
+(* C6 positive: a descriptor that leaks on a raise edge (the send can
+   fail before the close runs, with no handler or finally to clean up)
+   and one that no path ever closes.  The local Unix stub stands in for
+   the real library (the analyzer matches by path suffix). *)
+
+module Unix = struct
+  type file_descr = int
+
+  let socket (_ : int) (_ : int) (_ : int) : file_descr = 0
+
+  let send (_ : file_descr) (_ : bytes) (_ : int) (_ : int) : int = 0
+
+  let close (_ : file_descr) = ()
+end
+
+let leak_on_send () =
+  let fd = Unix.socket 0 0 0 in
+  let n = Unix.send fd (Bytes.create 1) 0 1 in
+  Unix.close fd;
+  n
+
+let never_closed () =
+  let _fd = Unix.socket 0 0 0 in
+  ()

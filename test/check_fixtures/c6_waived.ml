@@ -1,0 +1,13 @@
+(* C6 waived: a descriptor deliberately kept open for the process
+   lifetime (think: a pidfile or a self-pipe installed once at
+   startup), waived at the binding. *)
+
+module Unix = struct
+  type file_descr = int
+
+  let socket (_ : int) (_ : int) (_ : int) : file_descr = 0
+end
+
+let lifetime_fd () =
+  let _fd = Unix.socket 0 0 0 in (* check: fd-escape *)
+  ()

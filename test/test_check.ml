@@ -20,7 +20,9 @@ let qtest ?(count = 50) name arb prop =
 let fixture_files =
   (* exports.mli/.ml must precede user.ml: ocamlc needs the cmi. *)
   [ "exports.mli"; "exports.ml"; "user.ml"; "c1_pos.ml"; "c1_neg.ml";
-    "c1_waived.ml"; "c2_pos.ml"; "c2_neg.ml"; "stale.ml" ]
+    "c1_waived.ml"; "c2_pos.ml"; "c2_neg.ml"; "stale.ml"; "c4_pos.ml";
+    "c4_neg.ml"; "c4_waived.ml"; "c5_pos.ml"; "c5_neg.ml"; "c5_waived.ml";
+    "c6_pos.ml"; "c6_neg.ml"; "c6_waived.ml" ]
 
 let read_file path =
   let ic = open_in_bin path in
@@ -141,6 +143,110 @@ let test_c3 () =
        "Exports.dead is exported by its .mli but never referenced from \
         another compilation unit")
 
+(* ---- C4 ---- *)
+
+let test_c4_positive () =
+  let fs = findings_for "c4_pos.ml" in
+  (* both directions of the AB/BA cycle close it *)
+  Alcotest.(check int) "both inversions flagged" 2 (count_rule "lock-order" fs);
+  Alcotest.(check bool) "message shows the cycle" true
+    (List.exists
+       (fun (f : Finding.t) ->
+          Finding.is_error f && contains f.Finding.message "closes a lock cycle"
+          && contains f.Finding.message "C4_pos.locks.a")
+       fs)
+
+let test_c4_negative () =
+  Alcotest.(check int) "consistent nesting is clean" 0
+    (List.length (findings_for "c4_neg.ml"))
+
+(* Re-analyze with a committed order that ranks b above a: c4_neg's
+   consistent a-then-b nesting becomes a spec inversion. *)
+let test_c4_spec_inversion () =
+  let units, errs, _ = Lazy.force analysis in
+  let fs =
+    Check_driver.analyze
+      ~lock_spec:[ "C4_neg.locks.b"; "C4_neg.locks.a" ]
+      (units, errs)
+    |> List.filter (fun (f : Finding.t) ->
+        String.equal (Filename.basename f.Finding.file) "c4_neg.ml")
+  in
+  Alcotest.(check int) "one inversion per nesting site" 2
+    (count_rule "lock-order" fs);
+  Alcotest.(check bool) "names the committed order" true
+    (List.exists
+       (fun (f : Finding.t) ->
+          contains f.Finding.message "inverts the committed lock order")
+       fs)
+
+let test_spec_parse () =
+  (match
+     Merlin_check.Lock_order.spec_of_string
+       "# outermost first\n\nServer.lock\n  Lru.lock  \n\t\n# tail\n"
+   with
+   | Ok entries ->
+     Alcotest.(check (list string)) "comments and blanks dropped"
+       [ "Server.lock"; "Lru.lock" ] entries
+   | Error msg -> Alcotest.fail msg);
+  match Merlin_check.Lock_order.spec_of_string "A.x\nB.y\nA.x\n" with
+  | Ok _ -> Alcotest.fail "duplicate lock accepted"
+  | Error msg ->
+    Alcotest.(check bool) "duplicate named" true (contains msg "A.x")
+
+let test_c4_waived () =
+  let fs = findings_for "c4_waived.ml" in
+  Alcotest.(check int) "cycle waived" 0 (count_rule "lock-order" fs);
+  Alcotest.(check int) "waivers consumed" 0 (count_rule "stale-waiver" fs)
+
+(* ---- C5 ---- *)
+
+let test_c5_positive () =
+  let fs = findings_for "c5_pos.ml" in
+  Alcotest.(check int) "join under lock + wrong-mutex wait" 2
+    (count_rule "blocking-under-lock" fs);
+  Alcotest.(check bool) "wait finding names the pinned lock" true
+    (List.exists
+       (fun (f : Finding.t) ->
+          contains f.Finding.message "Condition.wait releases only"
+          && contains f.Finding.message "C5_pos.s.m")
+       fs)
+
+let test_c5_negative () =
+  Alcotest.(check int) "classic wait and post-region join are clean" 0
+    (List.length (findings_for "c5_neg.ml"))
+
+let test_c5_waived () =
+  let fs = findings_for "c5_waived.ml" in
+  Alcotest.(check int) "deliberate join waived" 0
+    (count_rule "blocking-under-lock" fs);
+  Alcotest.(check int) "waiver consumed" 0 (count_rule "stale-waiver" fs)
+
+(* ---- C6 ---- *)
+
+let test_c6_positive () =
+  let fs = findings_for "c6_pos.ml" in
+  Alcotest.(check int) "raise-edge leak + never-closed" 2
+    (count_rule "fd-leak" fs);
+  Alcotest.(check bool) "raise edge names the borrow" true
+    (List.exists
+       (fun (f : Finding.t) ->
+          contains f.Finding.message "Unix.send can raise before")
+       fs);
+  Alcotest.(check bool) "never-closed reported at the binding" true
+    (List.exists
+       (fun (f : Finding.t) ->
+          contains f.Finding.message "no path reaches Unix.close")
+       fs)
+
+let test_c6_negative () =
+  Alcotest.(check int) "finally/handler/escape shapes are clean" 0
+    (List.length (findings_for "c6_neg.ml"))
+
+let test_c6_waived () =
+  let fs = findings_for "c6_waived.ml" in
+  Alcotest.(check int) "lifetime fd waived" 0 (count_rule "fd-leak" fs);
+  Alcotest.(check int) "waiver consumed" 0 (count_rule "stale-waiver" fs)
+
 (* ---- waiver staleness ---- *)
 
 let test_stale_waiver () =
@@ -152,7 +258,8 @@ let test_tokens () =
     (fun tok ->
        Alcotest.(check bool) tok true
          (List.exists (String.equal tok) Merlin_check.Waivers.tokens))
-    [ "domain-safe"; "exn-flow"; "dead-export" ]
+    [ "domain-safe"; "exn-flow"; "dead-export"; "lock-order"; "blocking-ok";
+      "fd-escape" ]
 
 (* ---- SARIF round-trip (qcheck) ---- *)
 
@@ -167,13 +274,22 @@ let arb_findings =
     string_size ~gen:(oneof [ printable; return '"'; return '\\' ])
       (int_range 0 40)
   in
+  let rule =
+    (* random idents plus the real rule names, so the new concurrency
+       rules' identifiers demonstrably survive the round trip *)
+    oneof
+      [ ident;
+        oneofl
+          [ "lock-order"; "blocking-under-lock"; "fd-leak";
+            "domain-unsafe-capture"; "stale-baseline" ] ]
+  in
   let finding =
     map
       (fun (rule, file, msg, err) ->
          Finding.make ~file ~line:1 ~col:0 ~rule
            ~severity:(if err then Finding.Error else Finding.Warning)
            msg)
-      (quad ident ident message bool)
+      (quad rule ident message bool)
   in
   QCheck.make
     ~print:(fun fs ->
@@ -206,6 +322,63 @@ let sarif_roundtrip findings =
     | Error msg -> QCheck.Test.fail_reportf "baseline rejected native: %s" msg
     | Ok native -> List.equal entry_equal entries native)
 
+(* ---- GitHub annotations ---- *)
+
+let test_github_render () =
+  let fs =
+    [ Finding.make ~file:"lib/serve/server.ml" ~line:12 ~col:4
+        ~rule:"fd-leak" ~severity:Finding.Error "plain message";
+      Finding.make ~file:"lib/a.ml" ~line:3 ~col:0 ~rule:"lock-order"
+        ~severity:Finding.Warning "50% held\nsecond line" ]
+  in
+  Alcotest.(check string) "annotation lines"
+    "::error file=lib/serve/server.ml,line=12,col=4::[fd-leak] plain \
+     message\n\
+     ::warning file=lib/a.ml,line=3,col=0::[lock-order] 50%25 \
+     held%0Asecond line\n"
+    (Merlin_lint.Driver.render_github fs)
+
+(* ---- baseline staleness ---- *)
+
+let test_baseline_prune () =
+  let f rule file msg =
+    Finding.make ~file ~line:1 ~col:0 ~rule ~severity:Finding.Warning msg
+  in
+  let baseline =
+    Merlin_lint.Baseline.of_findings
+      [ f "dead-export" "a.mli" "A.x is dead";
+        f "dead-export" "a.mli" "A.x is dead";
+        f "fd-leak" "b.ml" "gone" ]
+  in
+  (* one of the two A.x findings remains; "gone" matches nothing *)
+  let current = [ f "dead-export" "a.mli" "A.x is dead" ] in
+  let survivors, stale, live =
+    Merlin_lint.Baseline.apply_detailed baseline current
+  in
+  Alcotest.(check int) "nothing new" 0 (List.length survivors);
+  Alcotest.(check (list (pair string int)))
+    "stale residue: half of A.x, all of gone"
+    [ ("dead-export", 1); ("fd-leak", 1) ]
+    (List.map
+       (fun (e : Merlin_lint.Baseline.entry) ->
+          (e.Merlin_lint.Baseline.rule, e.Merlin_lint.Baseline.count))
+       stale);
+  Alcotest.(check (list (pair string int)))
+    "live part keeps one A.x"
+    [ ("dead-export", 1) ]
+    (List.map
+       (fun (e : Merlin_lint.Baseline.entry) ->
+          (e.Merlin_lint.Baseline.rule, e.Merlin_lint.Baseline.count))
+       live);
+  (* pruning then re-applying the live part absorbs exactly the current
+     findings with nothing stale left *)
+  let survivors', stale', _ =
+    Merlin_lint.Baseline.apply_detailed live current
+  in
+  Alcotest.(check int) "pruned baseline still absorbs" 0
+    (List.length survivors');
+  Alcotest.(check int) "and is exact" 0 (List.length stale')
+
 let suite =
   ( "check",
     [ Alcotest.test_case "loader merges units" `Quick test_loader;
@@ -215,7 +388,24 @@ let suite =
       Alcotest.test_case "C2 flags unhandled raise" `Quick test_c2_positive;
       Alcotest.test_case "C2 accepts handled raise" `Quick test_c2_negative;
       Alcotest.test_case "C3 dead vs used vs waived" `Quick test_c3;
+      Alcotest.test_case "C4 flags lock cycle" `Quick test_c4_positive;
+      Alcotest.test_case "C4 accepts consistent nesting" `Quick
+        test_c4_negative;
+      Alcotest.test_case "C4 spec inversion" `Quick test_c4_spec_inversion;
+      Alcotest.test_case "C4 spec parser" `Quick test_spec_parse;
+      Alcotest.test_case "C4 honors waiver" `Quick test_c4_waived;
+      Alcotest.test_case "C5 flags blocking under lock" `Quick
+        test_c5_positive;
+      Alcotest.test_case "C5 accepts classic wait" `Quick test_c5_negative;
+      Alcotest.test_case "C5 honors waiver" `Quick test_c5_waived;
+      Alcotest.test_case "C6 flags leaking descriptors" `Quick
+        test_c6_positive;
+      Alcotest.test_case "C6 accepts discharged ownership" `Quick
+        test_c6_negative;
+      Alcotest.test_case "C6 honors waiver" `Quick test_c6_waived;
       Alcotest.test_case "stale waiver reported" `Quick test_stale_waiver;
       Alcotest.test_case "waiver tokens" `Quick test_tokens;
+      Alcotest.test_case "github annotations" `Quick test_github_render;
+      Alcotest.test_case "baseline prune split" `Quick test_baseline_prune;
       qtest ~count:100 "SARIF round-trips through baseline" arb_findings
         sarif_roundtrip ])

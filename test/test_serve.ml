@@ -7,6 +7,8 @@ module Flows = Merlin_flows.Flows
 module Json = Merlin_report.Json
 module Wire = Merlin_serve.Wire
 module Lru = Merlin_serve.Lru
+module Scheduler = Merlin_serve.Scheduler
+module Pool = Merlin_exec.Pool
 
 let tech = Tech.default
 let buffers = Buffer_lib.default
@@ -52,6 +54,46 @@ let test_lru_capacity_one () =
   Alcotest.check_raises "capacity 0 rejected"
     (Invalid_argument "Lru.create: capacity must be >= 1") (fun () ->
       ignore (Lru.create ~capacity:0))
+
+(* ---------------- scheduler dedup ---------------- *)
+
+(* Simultaneous identical submits must put exactly one task on the
+   pool: the first miss leads, everyone else joins (or, arriving after
+   the leader published, hits the cache).  Both late-arrival shapes
+   report [Hit], so the assertions hold under every interleaving —
+   while the pre-dedup scheduler fails them deterministically (each
+   thread submitted its own task).  The job sleeps so the threads pile
+   up on the pending entry and the join path actually runs. *)
+let test_schedule_dedup () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let sched = Scheduler.create ~cache_capacity:8 pool in
+      let n = 8 in
+      let job () =
+        Thread.delay 0.05;
+        42
+      in
+      let results = Array.make n None in
+      let threads =
+        List.init n (fun i ->
+            Thread.create
+              (fun () ->
+                 results.(i) <- Some (Scheduler.schedule sched ~key:"k" job))
+              ())
+      in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "one pool task for n identical submits" 1
+        (Pool.stats pool).Pool.submitted;
+      let misses = ref 0 in
+      Array.iter
+        (fun r ->
+           match r with
+           | Some (Scheduler.Done { value; cached }) ->
+             Alcotest.(check int) "every thread got the value" 42 value;
+             (match cached with Wire.Miss -> incr misses | Wire.Hit -> ())
+           | Some _ -> Alcotest.fail "non-Done outcome from schedule"
+           | None -> Alcotest.fail "thread finished without an outcome")
+        results;
+      Alcotest.(check int) "exactly the leader reports a miss" 1 !misses)
 
 (* ---------------- generators ---------------- *)
 
@@ -266,6 +308,8 @@ let suite =
     [ Alcotest.test_case "lru basic" `Quick test_lru_basic;
       Alcotest.test_case "lru eviction order" `Quick test_lru_evicts_least_recent;
       Alcotest.test_case "lru capacity one" `Quick test_lru_capacity_one;
+      Alcotest.test_case "scheduler dedups in-flight keys" `Quick
+        test_schedule_dedup;
       qtest "spec json round trip" arb_spec spec_roundtrip;
       qtest ~count:60 "route msg round trip" arb_request client_roundtrip;
       Alcotest.test_case "admin msg round trip" `Quick admin_roundtrip;
