@@ -2,7 +2,7 @@
    ablations documented in DESIGN.md, and provides Bechamel micro
    benchmarks ("speed").
 
-     dune exec bench/main.exe -- [table1|table2|ablations|speed|all]
+     dune exec bench/main.exe -- [table1|table2|hier|ablations|speed|all]
                                  [--full|--smoke] [--seconds N]
                                  [-j N] [--stats] [--json FILE]
 
@@ -313,6 +313,127 @@ let table2 ~opts pool () =
   write_json ~opts ~table:"table2" ~wall_s json_rows
 
 (* ------------------------------------------------------------------ *)
+(* Flow IV: hierarchical routing on large nets                          *)
+(* ------------------------------------------------------------------ *)
+
+let hier_table ~opts pool () =
+  let hier_algo =
+    match Flows.default_algo "hier" with
+    | Some algo -> algo
+    | None -> assert false
+  in
+  (* The flat reference runs MERLIN under the same tight knobs the hier
+     flow uses per cluster, so the comparison rows isolate what the
+     decomposition itself costs/buys — not a config difference. *)
+  let flat_algo =
+    Flows.Merlin
+      { cfg = Some Flows.hier_merlin_cfg;
+        objective = Merlin_core.Objective.Best_req }
+  in
+  let run ?pool algo net = Flows.run ?pool { Flows.tech; buffers; algo } net in
+
+  (* Part 1: hier vs flat on nets where flat is still feasible. *)
+  let cmp_sizes = if opts.smoke then [ 12 ] else [ 12; 16; 20 ] in
+  let cmp_row n =
+    progress "[hier] flat-vs-hier n=%d..." n;
+    let net =
+      Net_gen.large_net ~seed:42 ~name:(Printf.sprintf "cmp%d" n)
+        ~shape:Net_gen.Clustered ~n tech
+    in
+    let flat = run flat_algo net in
+    let h = run hier_algo net in
+    (n, flat, h)
+  in
+  (* Part 2: hier alone where the flat DP flows are infeasible. *)
+  let shapes =
+    if opts.smoke then [ Net_gen.Clustered ]
+    else [ Net_gen.Clock_grid; Net_gen.High_fanout; Net_gen.Clustered ]
+  in
+  let sizes =
+    if opts.smoke then [ 60 ]
+    else if opts.full then [ 100; 300; 1000; 2000 ]
+    else [ 100; 300; 1000 ]
+  in
+  let scale_row (shape, n) =
+    progress "[hier] %s n=%d..." (Net_gen.shape_name shape) n;
+    let net =
+      Net_gen.large_net ~seed:42
+        ~name:(Printf.sprintf "%s%d" (Net_gen.shape_name shape) n)
+        ~shape ~n tech
+    in
+    (* Sequential per row: rows are farmed across the pool instead
+       (nested pool use would deadlock-free help, but row-level
+       parallelism keeps the per-row runtime column honest). *)
+    (shape, n, run hier_algo net)
+  in
+  let scale_inputs = List.concat_map (fun s -> List.map (fun n -> (s, n)) sizes) shapes in
+  let (cmp_rows, scale_rows), wall_s =
+    Clock.timed (fun () ->
+        (pmap pool cmp_row cmp_sizes, pmap pool scale_row scale_inputs))
+  in
+  progress "[hier] wall %.2fs (jobs=%d)" wall_s opts.jobs;
+  let cmp_cells =
+    List.map
+      (fun (n, flat, h) ->
+         [ I n;
+           F flat.Flows.area; F flat.Flows.delay; F flat.Flows.runtime;
+           R (ratio h.Flows.area flat.Flows.area);
+           R (ratio h.Flows.delay flat.Flows.delay);
+           R (ratio h.Flows.runtime flat.Flows.runtime);
+           I h.Flows.clusters ])
+      cmp_rows
+  in
+  print
+    ~title:
+      "Flow IV vs flat MERLIN, same per-cluster knobs (flat absolute; \
+       hier as ratios over flat)"
+    ~header:
+      [ "sinks"; "flat:area"; "flat:delay"; "flat:rt(s)";
+        "IV:a/flat"; "IV:d/flat"; "IV:rt/flat"; "clusters" ]
+    cmp_cells;
+  let scale_cells =
+    List.map
+      (fun (shape, n, h) ->
+         [ S (Net_gen.shape_name shape); I n; I h.Flows.clusters;
+           F h.Flows.runtime; I h.Flows.wirelength; F h.Flows.delay;
+           F h.Flows.area; I h.Flows.n_buffers ])
+      scale_rows
+  in
+  print
+    ~title:
+      "Flow IV scaling: two-level hierarchical routing on generated \
+       large nets (flat *PTREE is infeasible at these sizes)"
+    ~header:
+      [ "shape"; "sinks"; "clusters"; "rt(s)"; "wirelen"; "delay";
+        "area"; "buffers" ]
+    scale_cells;
+  let json_rows =
+    List.map
+      (fun (n, flat, h) ->
+         Json.Obj
+           [ ("kind", js "cmp"); ("sinks", ji n);
+             ("flat_area", jf flat.Flows.area);
+             ("flat_delay", jf flat.Flows.delay);
+             ("flat_runtime", jf flat.Flows.runtime);
+             ("area", jf h.Flows.area); ("delay", jf h.Flows.delay);
+             ("runtime", jf h.Flows.runtime);
+             ("clusters", ji h.Flows.clusters) ])
+      cmp_rows
+    @ List.map
+        (fun (shape, n, h) ->
+           Json.Obj
+             [ ("kind", js "scale");
+               ("shape", js (Net_gen.shape_name shape)); ("sinks", ji n);
+               ("clusters", ji h.Flows.clusters);
+               ("runtime", jf h.Flows.runtime);
+               ("wirelength", ji h.Flows.wirelength);
+               ("delay", jf h.Flows.delay); ("area", jf h.Flows.area);
+               ("n_buffers", ji h.Flows.n_buffers) ])
+        scale_rows
+  in
+  write_json ~opts ~table:"hier" ~wall_s json_rows
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -600,12 +721,14 @@ let () =
   let pool = if jobs > 1 then Some (Pool.create ~domains:jobs ()) else None in
   let what =
     List.find_opt
-      (fun a -> List.mem a [ "table1"; "table2"; "ablations"; "speed"; "all" ])
+      (fun a ->
+         List.mem a [ "table1"; "table2"; "hier"; "ablations"; "speed"; "all" ])
       args
   in
   (match what with
    | Some "table1" -> table1 ~opts pool ()
    | Some "table2" -> table2 ~opts pool ()
+   | Some "hier" -> hier_table ~opts pool ()
    | Some "ablations" -> ablations ~opts pool ()
    | Some "speed" -> speed ~seconds ()
    | Some "all" | None ->
@@ -613,6 +736,7 @@ let () =
      let opts = { opts with json = None } in
      table1 ~opts pool ();
      table2 ~opts pool ();
+     hier_table ~opts pool ();
      ablations ~opts pool ();
      speed ~seconds ()
    | Some _ -> assert false);

@@ -29,14 +29,28 @@ let buffers = Buffer_lib.default
 
 let ( let* ) = Result.bind
 
-let load_net file random seed =
+let parse_shape = function
+  | None -> Ok None
+  | Some s -> (
+    match Net_gen.shape_of_string s with
+    | Some shape -> Ok (Some shape)
+    | None ->
+      Error
+        (Printf.sprintf "unknown shape %s (clock-grid|high-fanout|clustered)" s))
+
+let load_net ?shape file random seed =
   match (file, random) with
   | Some path, _ -> (
     match Net_io.load path with
     | net -> Ok net
     | exception Sys_error msg -> Error msg
     | exception Failure msg -> Error msg)
-  | None, Some n -> Ok (Net_gen.random_net ~seed ~name:"random" ~n tech)
+  | None, Some n -> (
+    let* shape = parse_shape shape in
+    match shape with
+    | None -> Ok (Net_gen.random_net ~seed ~name:"random" ~n tech)
+    | Some shape ->
+      Ok (Net_gen.large_net ~seed ~name:"random" ~shape ~n tech))
   | None, None -> Error "either a net file or --random N is required"
 
 let parse_objective = function
@@ -54,9 +68,19 @@ let parse_objective = function
       | None -> Error (Printf.sprintf "invalid req floor %S" v))
     | _ -> Error "objective must be best, area:<budget> or req:<floor>")
 
+(* The hierarchical flow's clustering knobs, from the CLI options. *)
+let make_cluster ~cluster_size ~clusters =
+  let d = Merlin_hier.Cluster.default in
+  { d with
+    Merlin_hier.Cluster.target_size =
+      Option.value cluster_size ~default:d.Merlin_hier.Cluster.target_size;
+    n_clusters = clusters }
+
 (* The knobs shared by `route` and `submit`: one flow name plus the
-   optional alpha/objective overrides, resolved against the net. *)
-let make_algo ~flow ~alpha ~objective net =
+   optional alpha/objective/clustering overrides, resolved against the
+   net. *)
+let make_algo ~flow ~alpha ~objective ?(cluster_size = None) ?(clusters = None)
+    net =
   let* objective = parse_objective objective in
   match Flows.default_algo flow with
   | Some (Flows.Merlin _) ->
@@ -67,13 +91,20 @@ let make_algo ~flow ~alpha ~objective net =
       | Some alpha -> { base with Merlin_core.Config.alpha }
     in
     Ok (Flows.Merlin { cfg = Some cfg; objective })
+  | Some (Flows.Hier _) ->
+    Ok
+      (Flows.Hier
+         { cluster = make_cluster ~cluster_size ~clusters;
+           inner = Flows.Merlin { cfg = Some Flows.hier_merlin_cfg; objective }
+         })
   | Some algo -> Ok algo
   | None ->
     Error
-      (Printf.sprintf "unknown flow %s (merlin|lttree-ptree|ptree-vg)" flow)
+      (Printf.sprintf "unknown flow %s (merlin|lttree-ptree|ptree-vg|hier)"
+         flow)
 
-let run_spec spec net =
-  match Flows.run spec net with
+let run_spec ?pool spec net =
+  match Flows.run ?pool spec net with
   | m -> Ok m
   | exception Flows.Infeasible msg -> Error msg
 
@@ -101,12 +132,12 @@ let setup_verbose verbose =
 
 (* ---- route ---- *)
 
-let route file random seed flow alpha objective json show_tree verbose jobs
-    stats =
+let route file random seed shape flow alpha objective cluster_size clusters
+    json show_tree verbose jobs stats =
   (* May re-exec the process; must run before any domain is spawned. *)
   if jobs > 1 then Merlin_exec.Runparam.ensure_minor_heap ();
   setup_verbose verbose;
-  let* net = load_net file random seed in
+  let* net = load_net ?shape file random seed in
   if not json then Format.printf "%a@." Net.pp net;
   let cfg =
     let base = Merlin_core.Config.scaled (Net.n_sinks net) in
@@ -146,6 +177,25 @@ let route file random seed flow alpha objective json show_tree verbose jobs
   | "merlin" -> single (Flows.Merlin { cfg = Some cfg; objective })
   | "lttree-ptree" -> single (Flows.Lttree_ptree { max_fanout = 10 })
   | "ptree-vg" -> single (Flows.Ptree_vg { refine_seg = None })
+  | "hier" ->
+    (* Two-level decomposition; with -j the clusters route in parallel
+       on the pool (bit-identical to sequential). *)
+    let algo =
+      Flows.Hier
+        { cluster = make_cluster ~cluster_size ~clusters;
+          inner = Flows.Merlin { cfg = Some Flows.hier_merlin_cfg; objective } }
+    in
+    let spec = { Flows.tech; buffers; algo } in
+    if jobs > 1 then
+      Pool.with_pool ~domains:jobs (fun pool ->
+          let* m = run_spec ~pool spec net in
+          emit m;
+          if stats then dump_stats pool;
+          Ok 0)
+    else
+      let* m = run_spec spec net in
+      emit m;
+      Ok 0
   | "all" when jobs > 1 ->
     (* The three flows are independent; run them as pool tasks.  The
        deterministic map keeps the output order I, II, III. *)
@@ -168,8 +218,8 @@ let route file random seed flow alpha objective json show_tree verbose jobs
     Ok 0
   | other ->
     Error
-      (Printf.sprintf "unknown flow %s (merlin|lttree-ptree|ptree-vg|all)"
-         other)
+      (Printf.sprintf
+         "unknown flow %s (merlin|lttree-ptree|ptree-vg|hier|all)" other)
 
 (* ---- circuit ---- *)
 
@@ -196,11 +246,12 @@ let circuit name scale_down flow min_sinks jobs net_timeout stats =
     | "merlin" -> Ok [ FR.Flow3 ]
     | "lttree-ptree" -> Ok [ FR.Flow1 ]
     | "ptree-vg" -> Ok [ FR.Flow2 ]
+    | "hier" -> Ok [ FR.Flow4 ]
     | "all" -> Ok [ FR.Flow1; FR.Flow2; FR.Flow3 ]
     | other ->
       Error
-        (Printf.sprintf "unknown flow %s (merlin|lttree-ptree|ptree-vg|all)"
-           other)
+        (Printf.sprintf
+           "unknown flow %s (merlin|lttree-ptree|ptree-vg|hier|all)" other)
   in
   Format.printf "%s: %d gates, %d nodes@." name
     (Array.length netlist.Merlin_circuit.Netlist.gates)
@@ -222,14 +273,20 @@ let circuit name scale_down flow min_sinks jobs net_timeout stats =
 
 (* ---- gen ---- *)
 
-let gen sinks seed output =
-  let net = Net_gen.random_net ~seed ~name:"generated" ~n:sinks tech in
+let gen sinks seed shape output =
+  let* shape = parse_shape shape in
+  let net =
+    match shape with
+    | None -> Net_gen.random_net ~seed ~name:"generated" ~n:sinks tech
+    | Some shape ->
+      Net_gen.large_net ~seed ~name:"generated" ~shape ~n:sinks tech
+  in
   (match output with
    | Some path ->
      Net_io.save path net;
      Printf.printf "wrote %s (%d sinks)\n" path sinks
    | None -> print_string (Net_io.to_string net));
-  0
+  Ok 0
 
 (* ---- serve ---- *)
 
@@ -356,7 +413,29 @@ let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed")
 
 let flow_arg =
-  Arg.(value & opt string "merlin" & info [ "flow" ] ~doc:"merlin | lttree-ptree | ptree-vg | all")
+  Arg.(
+    value & opt string "merlin"
+    & info [ "flow"; "algo" ]
+        ~doc:"merlin | lttree-ptree | ptree-vg | hier | all")
+
+let shape_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "shape" ] ~docv:"SHAPE"
+        ~doc:"Large-net shape for generated nets: clock-grid | high-fanout \
+              | clustered (default: the paper's small-net recipe)")
+
+let cluster_size_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "cluster-size" ] ~docv:"N"
+        ~doc:"Hier flow: target sinks per cluster (default 10)")
+
+let clusters_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "clusters" ] ~docv:"K"
+        ~doc:"Hier flow: force the cluster count")
 
 let alpha_arg =
   Arg.(value & opt (some int) None & info [ "alpha" ] ~doc:"Max branching factor of the C-alpha tree")
@@ -396,9 +475,9 @@ let route_cmd =
     (Cmd.info "route" ~doc:"Build a buffered routing tree for a net")
     (Term.term_result'
        Term.(
-         const route $ file_arg $ random_arg $ seed_arg $ flow_arg $ alpha_arg
-         $ objective_arg $ json_arg $ tree_arg $ verbose_arg $ jobs_arg
-         $ stats_arg))
+         const route $ file_arg $ random_arg $ seed_arg $ shape_arg $ flow_arg
+         $ alpha_arg $ objective_arg $ cluster_size_arg $ clusters_arg
+         $ json_arg $ tree_arg $ verbose_arg $ jobs_arg $ stats_arg))
 
 let circuit_cmd =
   let name_arg =
@@ -438,8 +517,10 @@ let gen_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file")
   in
   Cmd.v
-    (Cmd.info "gen" ~doc:"Generate a random net (paper Section IV recipe)")
-    Term.(const gen $ sinks $ seed_arg $ output)
+    (Cmd.info "gen"
+       ~doc:"Generate a random net (paper Section IV recipe, or a large-net \
+             shape with --shape)")
+    (Term.term_result' Term.(const gen $ sinks $ seed_arg $ shape_arg $ output))
 
 let serve_cmd =
   let tcp_arg =

@@ -1,0 +1,47 @@
+(* Large nets: generate a 300-sink clustered net and route it with
+   Flow IV, the two-level hierarchical decomposition (lib/hier).  The
+   flat DP flows are infeasible at this size; hier clusters the sinks,
+   routes every cluster with tight MERLIN knobs, then routes the
+   cluster roots as pseudo-sinks — recursively, until the top net fits
+   a flat run. *)
+open Merlin_tech
+open Merlin_net
+open Merlin_rtree
+module Flows = Merlin_flows.Flows
+
+let () =
+  let tech = Tech.default in
+  let buffers = Buffer_lib.default in
+  let net =
+    Net_gen.large_net ~seed:42 ~name:"blobs" ~shape:Net_gen.Clustered ~n:300
+      tech
+  in
+  Format.printf "net %s: %d sinks@." net.Net.name (Net.n_sinks net);
+  let algo =
+    match Flows.default_algo "hier" with
+    | Some algo -> algo
+    | None -> assert false
+  in
+  let m = Flows.run { Flows.tech; buffers; algo } net in
+  Format.printf
+    "hier: clusters=%d buffers=%d wirelen=%d delay=%.0fps area=%.1f \
+     time=%.2fs@."
+    m.Flows.clusters m.Flows.n_buffers m.Flows.wirelength m.Flows.delay
+    m.Flows.area m.Flows.runtime;
+  Format.printf "valid=%b@." (Check.is_valid net m.Flows.tree);
+  (* The same decomposition with the cluster size forced down: more,
+     smaller clusters — faster per cluster, more stitching. *)
+  let small =
+    Flows.Hier
+      { cluster = { Merlin_hier.Cluster.default with target_size = 5 };
+        inner =
+          Flows.Merlin
+            { cfg = Some Flows.hier_merlin_cfg;
+              objective = Merlin_core.Objective.Best_req } }
+  in
+  let ms = Flows.run { Flows.tech; buffers; algo = small } net in
+  Format.printf
+    "hier(target=5): clusters=%d buffers=%d wirelen=%d delay=%.0fps \
+     time=%.2fs@."
+    ms.Flows.clusters ms.Flows.n_buffers ms.Flows.wirelength ms.Flows.delay
+    ms.Flows.runtime

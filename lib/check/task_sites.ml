@@ -19,7 +19,11 @@ let sinks =
     (* The serving layer's cache-or-compute entry point forwards its
        closure to Pool.submit/run_timeout; the closure built at the
        call site is the one that escapes to a worker domain. *)
-    ([ "Scheduler"; "schedule" ], "Scheduler.schedule") ]
+    ([ "Scheduler"; "schedule" ], "Scheduler.schedule");
+    (* The hierarchical flow farms its [route] callback over the pool
+       ([Pool.map ~chunk:1] per cluster); the closure handed to
+       [Hier.route] is the one that escapes to worker domains. *)
+    ([ "Hier"; "route" ], "Hier.route") ]
 
 type site = {
   sink : string;  (** display name, e.g. ["Pool.map"] *)

@@ -2,12 +2,13 @@ open Merlin_net
 module Pool = Merlin_exec.Pool
 module Clock = Merlin_exec.Clock
 
-type flow = Flow1 | Flow2 | Flow3
+type flow = Flow1 | Flow2 | Flow3 | Flow4
 
 let flow_name = function
   | Flow1 -> "I:LTTREE+PTREE"
   | Flow2 -> "II:PTREE+VG"
   | Flow3 -> "III:MERLIN"
+  | Flow4 -> "IV:HIER"
 
 type result = {
   circuit : string;
@@ -37,6 +38,16 @@ let optimize_net ~tech ~buffers ~flow ~merlin_cfg net =
       Merlin_flows.Flows.Merlin
         { cfg = Some (merlin_cfg (Net.n_sinks net));
           objective = Merlin_core.Objective.Best_req }
+    | Flow4 ->
+      (* Two-level decomposition with tight MERLIN knobs per cluster.
+         Small nets cluster to k = 1 and reduce to a fast flat MERLIN
+         run; the knobs are per-cluster, not per-net. *)
+      Merlin_flows.Flows.Hier
+        { cluster = Merlin_hier.Cluster.default;
+          inner =
+            Merlin_flows.Flows.Merlin
+              { cfg = Some Merlin_flows.Flows.hier_merlin_cfg;
+                objective = Merlin_core.Objective.Best_req } }
   in
   let m =
     Merlin_flows.Flows.run { Merlin_flows.Flows.tech; buffers; algo } net

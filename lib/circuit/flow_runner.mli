@@ -15,7 +15,11 @@
 
 open Merlin_tech
 
-type flow = Flow1 | Flow2 | Flow3
+type flow = Flow1 | Flow2 | Flow3 | Flow4
+(** [Flow4] is the two-level hierarchical flow (MERLIN per cluster, a
+    buffered tree over cluster roots; see {!Merlin_hier.Hier}) — nets
+    small enough for one cluster reduce to [Flow3].  Its results are
+    verified against the same STA refresh loop as the flat flows. *)
 
 val flow_name : flow -> string
 

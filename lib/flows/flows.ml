@@ -12,6 +12,7 @@ type metrics = {
   n_buffers : int;
   wirelength : int;
   loops : int;
+  clusters : int;
   tree : Rtree.t;
 }
 
@@ -19,7 +20,8 @@ type metrics = {
    NTP-step sensitive and would corrupt the runtime/speedup columns. *)
 let timed f = Merlin_exec.Clock.timed f
 
-let metrics_of_tree ~flow ~tech ~loops ~runtime (net : Net.t) tree =
+let metrics_of_tree ~flow ~tech ~loops ?(clusters = 0) ~runtime (net : Net.t)
+    tree =
   let ev = Eval.net tech net tree in
   { flow;
     area = ev.Eval.area;
@@ -29,6 +31,7 @@ let metrics_of_tree ~flow ~tech ~loops ~runtime (net : Net.t) tree =
     n_buffers = Rtree.n_buffers tree;
     wirelength = ev.Eval.wirelength;
     loops;
+    clusters;
     tree }
 
 (* ---------- Flow I: LTTREE + PTREE ---------- *)
@@ -191,6 +194,10 @@ type algo =
       cfg : Merlin_core.Config.t option;
       objective : Merlin_core.Objective.t;
     }
+  | Hier of {
+      cluster : Merlin_hier.Cluster.config;
+      inner : algo;
+    }
 
 type spec = {
   tech : Tech.t;
@@ -198,18 +205,67 @@ type spec = {
   algo : algo;
 }
 
+(* Per-cluster MERLIN knobs for the hierarchical flow.  A hier run pays
+   the inner flow once per cluster (dozens of times on a 1000-sink
+   net), so the default leans hard toward speed: small frontier, few
+   candidates, coarse quantisation, two loops.  The cluster trees only
+   need to be locally good — the top level re-optimizes over their
+   roots. *)
+let hier_merlin_cfg =
+  { Merlin_core.Config.default with
+    Merlin_core.Config.alpha = 4;
+    max_curve = 3;
+    candidate_limit = 4;
+    buffer_trials = 2;
+    quant_req = 50.0;
+    quant_load = 30.0;
+    quant_area = 20.0;
+    max_iters = 1 }
+
 let default_algo = function
   | "lttree-ptree" -> Some (Lttree_ptree { max_fanout = 10 })
   | "ptree-vg" -> Some (Ptree_vg { refine_seg = None })
   | "merlin" ->
     Some (Merlin { cfg = None; objective = Merlin_core.Objective.Best_req })
+  | "hier" ->
+    Some
+      (Hier
+         { cluster = Merlin_hier.Cluster.default;
+           inner =
+             Merlin
+               { cfg = Some hier_merlin_cfg;
+                 objective = Merlin_core.Objective.Best_req } })
   | _ -> None
 
-let run { tech; buffers; algo } net =
+(* ---------- Flow IV: two-level hierarchical ---------- *)
+
+let rec run ?pool ({ tech; buffers; algo } as spec) net =
   match algo with
   | Lttree_ptree { max_fanout } -> run_flow1 ~tech ~buffers ~max_fanout net
   | Ptree_vg { refine_seg } -> run_flow2 ~tech ~buffers ~refine_seg net
   | Merlin { cfg; objective } -> run_flow3 ~tech ~buffers ~cfg ~objective net
+  | Hier { cluster; inner } ->
+    (match inner with
+     | Hier _ -> invalid_arg "Flows.run: hier inner flow must be flat"
+     | Lttree_ptree _ | Ptree_vg _ | Merlin _ -> ());
+    let inner_spec = { spec with algo = inner } in
+    let h, runtime =
+      timed (fun () ->
+          Merlin_hier.Hier.route ~tech ~cluster ?pool
+            ~route:(fun _part sub -> run inner_spec sub)
+            ~tree_of:(fun (m : metrics) -> m.tree)
+            net)
+    in
+    (* [parts] already contains every level's routes including the
+       root-most one — sum once. *)
+    let loops =
+      Array.fold_left
+        (fun acc (m : metrics) -> acc + m.loops)
+        0 h.Merlin_hier.Hier.parts
+    in
+    metrics_of_tree ~flow:"IV:HIER" ~tech ~loops
+      ~clusters:h.Merlin_hier.Hier.n_clusters ~runtime net
+      h.Merlin_hier.Hier.tree
 
 let wire_metrics ?(with_tree = false) (m : metrics) =
   { Merlin_report.Metrics.flow = m.flow;
@@ -220,24 +276,11 @@ let wire_metrics ?(with_tree = false) (m : metrics) =
     n_buffers = m.n_buffers;
     wirelength = m.wirelength;
     loops = m.loops;
+    clusters = m.clusters;
     tree = (if with_tree then Some m.tree else None) }
 
-(* ---------- Deprecated per-flow wrappers ---------- *)
-
-let flow1 ~tech ~buffers ?(max_fanout = 10) net =
-  run { tech; buffers; algo = Lttree_ptree { max_fanout } } net
-
-let flow2 ~tech ~buffers ?refine_seg net =
-  run { tech; buffers; algo = Ptree_vg { refine_seg } } net
-
-let flow3 ~tech ~buffers ?cfg net =
-  run
-    { tech;
-      buffers;
-      algo = Merlin { cfg; objective = Merlin_core.Objective.Best_req } }
-    net
-
 let all ~tech ~buffers ?cfg3 net =
-  [ flow1 ~tech ~buffers net;
-    flow2 ~tech ~buffers net;
-    flow3 ~tech ~buffers ?cfg:cfg3 net ]
+  let on algo = run { tech; buffers; algo } net in
+  [ on (Lttree_ptree { max_fanout = 10 });
+    on (Ptree_vg { refine_seg = None });
+    on (Merlin { cfg = cfg3; objective = Merlin_core.Objective.Best_req }) ]

@@ -9,6 +9,11 @@
       followed by van Ginneken buffer insertion on the fixed tree.
     - Flow III ([Merlin]): MERLIN hierarchical buffered routing
       generation under a {!Merlin_core.Objective.t}.
+    - Flow IV ([Hier]): two-level hierarchical decomposition for
+      100–2000-sink nets ({!Merlin_hier.Hier}) — cluster the sinks,
+      route every cluster with a flat [inner] flow (farmed across the
+      {!Merlin_exec.Pool} when one is given), route the cluster roots
+      as pseudo-sinks with the same flow, stitch and re-verify.
 
     All flows report the same figures of merit, measured with the same
     Elmore/4-parameter evaluator. *)
@@ -25,7 +30,9 @@ type metrics = {
   runtime : float;     (** wall-clock seconds *)
   n_buffers : int;
   wirelength : int;    (** grid units *)
-  loops : int;         (** MERLIN iterations (1 for flows I and II) *)
+  loops : int;         (** MERLIN iterations (1 for flows I and II;
+                           summed over all parts for flow IV) *)
+  clusters : int;      (** flow IV cluster count; 0 for the flat flows *)
   tree : Rtree.t;
 }
 
@@ -38,6 +45,11 @@ type algo =
       cfg : Merlin_core.Config.t option;
       objective : Merlin_core.Objective.t;
     }
+  | Hier of {
+      cluster : Merlin_hier.Cluster.config;
+      inner : algo;  (** the flat flow run per cluster and at the top
+                         level; must not itself be [Hier] *)
+    }
 
 (** A complete, self-contained routing request: the algorithm plus the
     technology and buffer library it runs against.  This is the unit
@@ -48,48 +60,35 @@ type spec = {
   algo : algo;
 }
 
+(** Tight MERLIN knobs used as the hierarchical flow's default [inner]
+    configuration: a hier run pays the inner flow once per cluster, so
+    the default trades per-cluster quality for speed (the top level
+    re-optimizes over cluster roots). *)
+val hier_merlin_cfg : Merlin_core.Config.t
+
 (** [default_algo name] maps the CLI/wire flow names ["lttree-ptree"],
-    ["ptree-vg"] and ["merlin"] to an {!algo} with default knobs. *)
+    ["ptree-vg"], ["merlin"] and ["hier"] to an {!algo} with default
+    knobs. *)
 val default_algo : string -> algo option
 
 (** Raised by {!run} when a constrained MERLIN objective is infeasible
     on the final solution curve. *)
 exception Infeasible of string
 
-(** [run spec net] — the single entry point all front ends
-    (CLI, bench, circuit driver, serving daemon) go through. *)
-val run : spec -> Net.t -> metrics
+(** [run ?pool spec net] — the single entry point all front ends
+    (CLI, bench, circuit driver, serving daemon) go through.  [?pool]
+    only affects where flow IV routes its clusters (never the result:
+    hier output is bit-identical with and without a pool); the flat
+    flows ignore it.  Raises [Invalid_argument] on a [Hier] spec whose
+    [inner] is itself [Hier]. *)
+val run : ?pool:Merlin_exec.Pool.t -> spec -> Net.t -> metrics
 
 (** [wire_metrics ?with_tree m] converts to the shared wire schema
     ({!Merlin_report.Metrics}); the routing tree is omitted unless
     [with_tree]. *)
 val wire_metrics : ?with_tree:bool -> metrics -> Merlin_report.Metrics.t
 
-(** [flow1 ~tech ~buffers net] — LTTREE + PTREE. [max_fanout] bounds the
-    LT-tree level width (default 10).
-    @deprecated Use {!run} with [Lttree_ptree]. *)
-val flow1 :
-  tech:Tech.t -> buffers:Buffer_lib.t -> ?max_fanout:int -> Net.t -> metrics
-
-(** [flow2 ~tech ~buffers net] — PTREE + van Ginneken.  As in the paper,
-    buffer sites are the fixed routing's own Steiner points; [refine_seg]
-    optionally splits long edges (a stronger flow than the paper's
-    Setup II).
-    @deprecated Use {!run} with [Ptree_vg]. *)
-val flow2 :
-  tech:Tech.t -> buffers:Buffer_lib.t -> ?refine_seg:int -> Net.t -> metrics
-
-(** [flow3 ~tech ~buffers net] — MERLIN, with {!Merlin_core.Config.scaled}
-    knobs by default and the [Best_req] objective.
-    @deprecated Use {!run} with [Merlin]. *)
-val flow3 :
-  tech:Tech.t ->
-  buffers:Buffer_lib.t ->
-  ?cfg:Merlin_core.Config.t ->
-  Net.t ->
-  metrics
-
-(** All three flows on one net, in order I, II, III. *)
+(** The three flat flows on one net, in order I, II, III. *)
 val all :
   tech:Tech.t ->
   buffers:Buffer_lib.t ->

@@ -1,0 +1,157 @@
+open Merlin_geometry
+open Merlin_net
+
+type strategy = Kmeans | Sweep
+
+type config = {
+  target_size : int;
+  n_clusters : int option;
+  strategy : strategy;
+  max_iters : int;
+}
+
+let default =
+  { target_size = 10; n_clusters = None; strategy = Kmeans; max_iters = 16 }
+
+let k_for cfg ~n_sinks =
+  if cfg.target_size < 1 then invalid_arg "Cluster.k_for: target_size < 1";
+  let k =
+    match cfg.n_clusters with
+    | Some k -> k
+    | None -> (n_sinks + cfg.target_size - 1) / cfg.target_size
+  in
+  max 1 (min k n_sinks)
+
+(* Contiguous runs of the x-sweep order: cluster j gets [n/k] sinks plus
+   one of the [n mod k] leftovers, left to right. *)
+let sweep_groups ~k (net : Net.t) =
+  let order = Merlin_order.Heuristics.by_x_sweep net in
+  let n = Array.length order in
+  let base = n / k and extra = n mod k in
+  let pos = ref 0 in
+  Array.init k (fun j ->
+      let size = base + if j < extra then 1 else 0 in
+      let g = Array.sub order !pos size in
+      pos := !pos + size;
+      Array.sort Int.compare g;
+      g)
+
+(* Lloyd's algorithm with deterministic tie-breaking.  Seeds are the
+   midpoints of k equal strides through the x-sweep order, so they span
+   the layout without any randomness; assignment ties go to the lower
+   center index; a cluster emptied by an update is reseeded with the
+   sink farthest from its current center (lowest id on ties), at most
+   once per sink per round. *)
+let kmeans_groups ~k ~max_iters (net : Net.t) =
+  let n = Net.n_sinks net in
+  let pts = Array.map (fun s -> s.Sink.pt) net.Net.sinks in
+  let order = Merlin_order.Heuristics.by_x_sweep net in
+  let centers =
+    Array.init k (fun j -> pts.(order.((((2 * j) + 1) * n) / (2 * k))))
+  in
+  let assign = Array.make n 0 in
+  let assign_pass () =
+    let changed = ref false in
+    for i = 0 to n - 1 do
+      let best = ref 0 and best_d = ref max_int in
+      for j = 0 to k - 1 do
+        let d = Point.manhattan pts.(i) centers.(j) in
+        if d < !best_d then (
+          best_d := d;
+          best := j)
+      done;
+      if !best <> assign.(i) then (
+        changed := true;
+        assign.(i) <- !best)
+    done;
+    !changed
+  in
+  ignore (assign_pass ());
+  let iter = ref 0 and moving = ref true in
+  while !moving && !iter < max_iters do
+    incr iter;
+    let members = Array.make k [] in
+    for i = n - 1 downto 0 do
+      members.(assign.(i)) <- pts.(i) :: members.(assign.(i))
+    done;
+    let reseeded = Array.make n false in
+    for j = 0 to k - 1 do
+      match members.(j) with
+      | [] ->
+        let far = ref (-1) and far_d = ref (-1) in
+        for i = 0 to n - 1 do
+          if not reseeded.(i) then begin
+            let d = Point.manhattan pts.(i) centers.(assign.(i)) in
+            if d > !far_d then (
+              far_d := d;
+              far := i)
+          end
+        done;
+        if !far >= 0 then (
+          reseeded.(!far) <- true;
+          centers.(j) <- pts.(!far))
+      | ms -> centers.(j) <- Point.center_of_mass ms
+    done;
+    moving := assign_pass ()
+  done;
+  let groups = Array.make k [] in
+  for i = n - 1 downto 0 do
+    groups.(assign.(i)) <- i :: groups.(assign.(i))
+  done;
+  (* Duplicate centers can leave a group empty (ties go to the lower
+     index); drop those rather than emit empty clusters. *)
+  Array.of_list
+    (List.filter_map
+       (function [] -> None | g -> Some (Array.of_list g))
+       (Array.to_list groups))
+
+(* Geometry can hand k-means a group far above [target_size] (a dense
+   blob attracts one center), and the flat DP cost per cluster is
+   superlinear in its size — one oversized cluster dominates the whole
+   run.  Split any such group into equal chunks along its local x-sweep
+   (x, then y, then id), capping every routed cluster at [target].
+   Chunks keep the ascending-id invariant.  Only applied when the
+   cluster count is derived from [target_size]; a forced [n_clusters]
+   is exact and left alone. *)
+let split_oversized ~target (net : Net.t) groups =
+  let sweep_cmp a b =
+    let pa = (Net.sink net a).Sink.pt and pb = (Net.sink net b).Sink.pt in
+    let c = Int.compare pa.Point.x pb.Point.x in
+    if c <> 0 then c
+    else
+      let c = Int.compare pa.Point.y pb.Point.y in
+      if c <> 0 then c else Int.compare a b
+  in
+  let split g =
+    let len = Array.length g in
+    if len <= target then [ g ]
+    else begin
+      let by_sweep = Array.copy g in
+      Array.sort sweep_cmp by_sweep;
+      let parts = (len + target - 1) / target in
+      let base = len / parts and extra = len mod parts in
+      let pos = ref 0 in
+      List.init parts (fun j ->
+          let size = base + if j < extra then 1 else 0 in
+          let chunk = Array.sub by_sweep !pos size in
+          pos := !pos + size;
+          Array.sort Int.compare chunk;
+          chunk)
+    end
+  in
+  Array.of_list (List.concat_map split (Array.to_list groups))
+
+let partition cfg (net : Net.t) =
+  if cfg.target_size < 1 then invalid_arg "Cluster.partition: target_size < 1";
+  if cfg.max_iters < 0 then invalid_arg "Cluster.partition: max_iters < 0";
+  let n = Net.n_sinks net in
+  let k = k_for cfg ~n_sinks:n in
+  if k = 1 then [| Array.init n Fun.id |]
+  else
+    match cfg.strategy with
+    | Sweep -> sweep_groups ~k net
+    | Kmeans ->
+      let groups = kmeans_groups ~k ~max_iters:cfg.max_iters net in
+      (match cfg.n_clusters with
+       | Some _ -> groups
+       | None -> split_oversized ~target:cfg.target_size net groups)

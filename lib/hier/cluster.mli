@@ -1,0 +1,46 @@
+(** Deterministic sink clustering for the two-level hierarchical flow
+    (Held & Kämmerling style): partition a net's sinks into geometric
+    groups small enough for the DP-based flat flows to route.
+
+    Both strategies are fully deterministic: geometric k-means is seeded
+    by striding the {!Merlin_order.Heuristics.by_x_sweep} order (no
+    randomness), nearest-center assignment breaks distance ties toward
+    the lower center index, and empty clusters are reseeded with the
+    farthest-from-center sink (ties toward the lower sink id). *)
+
+open Merlin_net
+
+(** [Kmeans] — Lloyd iterations on the Manhattan plane with
+    center-of-mass centroids.  [Sweep] — split the x-sweep sink order
+    into near-equal contiguous runs; cheaper, and the fallback shape the
+    k-means seeding starts from. *)
+type strategy = Kmeans | Sweep
+
+type config = {
+  target_size : int;       (** desired sinks per cluster (when
+                               [n_clusters] is [None]) *)
+  n_clusters : int option; (** force the cluster count, clamped to
+                               [1 .. n_sinks] *)
+  strategy : strategy;
+  max_iters : int;         (** Lloyd iteration cap ([Kmeans] only) *)
+}
+
+(** [target_size = 10], [n_clusters = None], [Kmeans], [max_iters = 16]. *)
+val default : config
+
+(** The cluster count [partition] aims for, before empty-cluster
+    pruning and oversize splitting: [n_clusters] clamped to
+    [1 .. n_sinks], or [ceil (n_sinks / target_size)].  Also the
+    hierarchical flow's recursion guard: a config under which
+    [k_for ~n_sinks:k < k] fails cannot shrink a k-sink net further. *)
+val k_for : config -> n_sinks:int -> int
+
+(** [partition cfg net] splits the sink ids [0 .. n-1] into disjoint,
+    nonempty groups covering every sink.  Each group is sorted by sink
+    id; the groups themselves are in deterministic (seed-index) order.
+    When the count is derived from [target_size] (and the strategy is
+    [Kmeans]), groups larger than [target_size] are split into equal
+    chunks along their local x-sweep, so no group exceeds
+    [target_size]; a forced [n_clusters] is honored exactly instead.
+    Raises [Invalid_argument] if [target_size < 1] or [max_iters < 0]. *)
+val partition : config -> Net.t -> int array array

@@ -1,0 +1,156 @@
+open Merlin_geometry
+open Merlin_net
+open Merlin_rtree
+
+type part = Flat | Cluster_part of int | Top
+
+type 'r t = {
+  tree : Rtree.t;
+  parts : 'r array;
+  top : 'r option;
+  sizes : int array;
+  n_clusters : int;
+  levels : int;
+  root_req : float;
+}
+
+let clamp v lo hi = min (max v lo) hi
+
+(* The cluster's virtual source: the net source pulled into the cluster
+   bounding box, so the flat router builds the group facing its driver
+   (the top level decides the real attachment afterwards). *)
+let cluster_source (net : Net.t) pts =
+  let box = Rect.bounding_box pts in
+  Point.make
+    (clamp net.Net.source.Point.x box.Rect.lo.Point.x box.Rect.hi.Point.x)
+    (clamp net.Net.source.Point.y box.Rect.lo.Point.y box.Rect.hi.Point.y)
+
+let sub_net (net : Net.t) ~index ids =
+  let pts = Array.to_list (Array.map (fun id -> (Net.sink net id).Sink.pt) ids) in
+  let sinks =
+    Array.to_list
+      (Array.mapi
+         (fun j id ->
+           let s = Net.sink net id in
+           Sink.make ~id:j ~pt:s.Sink.pt ~cap:s.Sink.cap ~req:s.Sink.req)
+         ids)
+  in
+  Net.make
+    ~name:(Printf.sprintf "%s#c%d" net.Net.name index)
+    ~source:(cluster_source net pts) ~driver:net.Net.driver sinks
+
+(* Map a routed cluster tree's local leaves back to the original sinks. *)
+let restore (net : Net.t) ids tree =
+  let rec go = function
+    | Rtree.Leaf s -> Rtree.Leaf (Net.sink net ids.(s.Sink.id))
+    | Rtree.Node n ->
+      Rtree.Node { n with Rtree.children = List.map go n.Rtree.children }
+  in
+  go tree
+
+(* Substitute cluster subtrees for the top-level pseudo-sink leaves. *)
+let stitch top_tree restored =
+  let rec go = function
+    | Rtree.Leaf s -> restored.(s.Sink.id)
+    | Rtree.Node n ->
+      Rtree.Node { n with Rtree.children = List.map go n.Rtree.children }
+  in
+  go top_tree
+
+let verify (net : Net.t) tree =
+  match Check.covers net tree with
+  | Ok () -> ()
+  | Error errs ->
+    failwith
+      (Format.asprintf "Hier.route: stitched tree invalid: %a"
+         (Format.pp_print_list ~pp_sep:Format.pp_print_space Check.pp_error)
+         errs)
+
+let pmap pool f xs =
+  match pool with
+  | None -> List.map f xs
+  | Some p -> Merlin_exec.Pool.map ~chunk:1 p f xs
+
+let route ~tech ~cluster ?pool ~route ~tree_of (net : Net.t) =
+  let rec go (net : Net.t) =
+    let clusters = Cluster.partition cluster net in
+    let k = Array.length clusters in
+    let sizes = Array.map Array.length clusters in
+    if k <= 1 then begin
+      let r = route Flat net in
+      let tree = tree_of r in
+      verify net tree;
+      let ev = Eval.net tech net tree in
+      { tree;
+        parts = [| r |];
+        top = None;
+        sizes;
+        n_clusters = 1;
+        levels = 1;
+        root_req = ev.Eval.root_req }
+    end
+    else begin
+      let subs =
+        List.init k (fun i -> (i, sub_net net ~index:i clusters.(i)))
+      in
+      let cluster_parts =
+        Array.of_list
+          (pmap pool (fun (i, sub) -> route (Cluster_part i) sub) subs)
+      in
+      let restored =
+        Array.mapi
+          (fun i r -> restore net clusters.(i) (tree_of r))
+          cluster_parts
+      in
+      let pseudo =
+        Array.to_list
+          (Array.mapi
+             (fun i sub ->
+               let ev = Eval.subtree tech sub in
+               Sink.make ~id:i ~pt:(Rtree.attach_point sub) ~cap:ev.Eval.load
+                 ~req:ev.Eval.req)
+             restored)
+      in
+      let top_net =
+        Net.make ~name:(net.Net.name ^ "#top") ~source:net.Net.source
+          ~driver:net.Net.driver pseudo
+      in
+      (* The net over cluster roots can itself be too big for a flat
+         flow (63 pseudo-sinks on a 1000-sink net): decompose it again
+         whenever clustering would strictly shrink it.  The guard makes
+         termination structural — [k_for] is monotone, so a forced
+         [n_clusters = k] (no progress) falls through to a flat top
+         route instead of recursing forever. *)
+      let top_tree, top, tail_parts, levels =
+        if Cluster.k_for cluster ~n_sinks:k < k then begin
+          let sub = go top_net in
+          (* The recursion bottoms out in a flat route ([sub.top = None],
+             [sub.parts] a singleton): that innermost result is the
+             root-most route of the whole hierarchy. *)
+          let root_route =
+            match sub.top with
+            | Some r -> r
+            | None -> sub.parts.(0)
+          in
+          (sub.tree, Some root_route, sub.parts, sub.levels + 1)
+        end
+        else begin
+          let r = route Top top_net in
+          let tree = tree_of r in
+          verify top_net tree;
+          (tree, Some r, [| r |], 2)
+        end
+      in
+      let tree = stitch top_tree restored in
+      verify net tree;
+      let ev = Eval.net tech net tree in
+      { tree;
+        parts = Array.append cluster_parts tail_parts;
+        top;
+        sizes;
+        n_clusters = k;
+        levels;
+        root_req = ev.Eval.root_req }
+    end
+  in
+  go net

@@ -1,0 +1,75 @@
+(** Hierarchical buffered routing by two-level decomposition (Flow IV's
+    engine).
+
+    The flat DP flows blow up combinatorially beyond ~20 sinks.  This
+    module scales them to 100–2000-sink nets with the Held & Kämmerling
+    two-level recipe: {!Cluster.partition} the sinks, route every
+    cluster independently with a caller-supplied flat router (farmed
+    across the {!Merlin_exec.Pool} — clusters are independent), then
+    model each routed cluster as a {e pseudo-sink} (position = the
+    cluster tree's attachment point, cap = the load seen there, required
+    time = the required time achieved there, both from
+    {!Merlin_rtree.Eval.subtree}) and route the top-level net over the
+    pseudo-sinks with the same machinery.  When the pseudo-sink net is
+    itself too big for a flat flow (a 1000-sink net yields ~63 cluster
+    roots), the two-level step is applied to it recursively — the
+    decomposition depth is reported in [levels].  The cluster trees are
+    stitched back under the top-level leaves and the result re-verified
+    structurally ({!Merlin_rtree.Check.covers}) and electrically
+    ({!Merlin_rtree.Eval.net}).
+
+    The module is parametric in the router callback, so it sits below
+    [lib/flows] in the dependency order and never constrains which flat
+    algorithm runs per part.  Determinism: clustering is deterministic,
+    [Pool.map] is deterministic for every pool size, and stitching is
+    order-preserving — so the output is bit-identical with and without a
+    pool, at any [-j]. *)
+
+open Merlin_tech
+open Merlin_net
+open Merlin_rtree
+
+(** Which part of the hierarchy a [route] callback invocation is
+    solving: the whole (sub-)net when clustering yields a single
+    cluster, cluster [i] of the current level, or a top-level net over
+    pseudo-sinks.  Informational — deeper recursion levels reuse
+    [Cluster_part] for their pseudo-sink groups and bottom out in a
+    [Flat] call. *)
+type part = Flat | Cluster_part of int | Top
+
+type 'r t = {
+  tree : Rtree.t;        (** the stitched full tree over the real sinks *)
+  parts : 'r array;      (** every router-callback result, in invocation
+                             order: first-level clusters first, then the
+                             deeper levels down to the root-most route *)
+  top : 'r option;       (** the root-most route; [None] iff the whole
+                             net was routed flat ([levels = 1]) *)
+  sizes : int array;     (** sinks per first-level cluster *)
+  n_clusters : int;      (** first-level cluster count *)
+  levels : int;          (** decomposition depth: 1 = flat, 2 = clusters
+                             plus a flat top, 3+ = the top net was
+                             decomposed again *)
+  root_req : float;      (** required time at the driver input of the
+                             stitched tree, ps (re-verification) *)
+}
+
+(** [route ~tech ~cluster ?pool ~route ~tree_of net] — the callback
+    [route part subnet] must return a routed result for [subnet] whose
+    tree [tree_of result] covers exactly [subnet]'s sinks.  Cluster
+    sub-nets keep the original sink positions/caps/reqs but re-index ids
+    to [0 .. m-1] (ascending original id); their source is the net
+    source clamped into the cluster's bounding box, their driver is the
+    net's driver.  With [?pool] the cluster calls of each level run on
+    the pool ([Pool.map ~chunk:1]); without, sequentially — same result
+    either way.
+
+    Raises [Failure] if a stitched tree fails [Check.covers] (a router
+    callback returned a tree not covering its sub-net). *)
+val route :
+  tech:Tech.t ->
+  cluster:Cluster.config ->
+  ?pool:Merlin_exec.Pool.t ->
+  route:(part -> Net.t -> 'r) ->
+  tree_of:('r -> Rtree.t) ->
+  Net.t ->
+  'r t

@@ -11,10 +11,31 @@ let box_side tech ~target_delay =
 
 let uniform st lo hi = lo +. (Random.State.float st (hi -. lo))
 
+(* Word-size-independent seed folding.  [Random.State.make] hashes the
+   seed array with a word-size-independent mix, but only for values that
+   fit every word size: a seed >= 2^30 (or negative) is representable on
+   64-bit and not on 32-bit, so the same "seed" would name different
+   nets.  Fold those through splitmix64 on Int64 (identical arithmetic
+   everywhere) into [0, 2^30).  Seeds already in [0, 2^30) — every
+   in-repo call site, including [Hashtbl.hash] results — pass through
+   unchanged, keeping historical nets (and the golden route) intact. *)
+let splitmix64 z =
+  let open Int64 in
+  let z = add z 0x9e3779b97f4a7c15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let normalize_seed seed =
+  if seed >= 0 && seed < 0x4000_0000 then seed
+  else Int64.to_int (Int64.logand (splitmix64 (Int64.of_int seed)) 0x3fff_ffffL)
+
 let random_net ~seed ~name ~n ?(driver = Net.default_driver)
     ?(wire_gate_ratio = 0.25) tech =
   if n < 1 then invalid_arg "Net_gen.random_net: n < 1";
-  let st = Random.State.make [| seed; n; 0x4d45524c (* "MERL" *) |] in
+  let st =
+    Random.State.make [| normalize_seed seed; n; 0x4d45524c (* "MERL" *) |]
+  in
   let gate_delay = Delay_model.delay driver ~load:30.0 in
   let side = box_side tech ~target_delay:(wire_gate_ratio *. gate_delay) in
   let point () =
@@ -31,6 +52,87 @@ let random_net ~seed ~name ~n ?(driver = Net.default_driver)
       ~req:(base_req +. uniform st 0.0 req_window)
   in
   let sinks = List.init n sink in
+  let source = Point.make 0 (Random.State.int st (side + 1)) in
+  Net.make ~name ~source ~driver sinks
+
+(* ---------- large-net shapes (the hierarchical-flow workload) ---------- *)
+
+type shape = Clock_grid | High_fanout | Clustered
+
+let shape_name = function
+  | Clock_grid -> "clock-grid"
+  | High_fanout -> "high-fanout"
+  | Clustered -> "clustered"
+
+let shape_of_string = function
+  | "clock-grid" -> Some Clock_grid
+  | "high-fanout" -> Some High_fanout
+  | "clustered" -> Some Clustered
+  | _ -> None
+
+let shape_tag = function Clock_grid -> 1 | High_fanout -> 2 | Clustered -> 3
+
+let clamp v lo hi = min (max v lo) hi
+
+let large_net ~seed ~name ~shape ~n ?(driver = Net.default_driver) tech =
+  if n < 1 then invalid_arg "Net_gen.large_net: n < 1";
+  let st =
+    Random.State.make
+      [| normalize_seed seed; n; shape_tag shape; 0x4d45524c (* "MERL" *) |]
+  in
+  let gate_delay = Delay_model.delay driver ~load:30.0 in
+  (* A big net spans many gate delays of wire — that is exactly why it
+     needs buffering and decomposition. *)
+  let side = box_side tech ~target_delay:(4.0 *. gate_delay) in
+  let base_req = 20.0 *. gate_delay in
+  let sinks =
+    match shape with
+    | Clock_grid ->
+      (* Clock pins on a jittered ceil(sqrt n) grid: near-uniform light
+         loads, one common required time. *)
+      let g = int_of_float (ceil (sqrt (float_of_int n))) in
+      let cell = max 1 (side / g) in
+      let jitter () = Random.State.int st (max 1 (cell / 4)) in
+      List.init n (fun i ->
+          let col = i mod g and row = i / g in
+          let x = clamp ((col * cell) + jitter ()) 0 side
+          and y = clamp ((row * cell) + jitter ()) 0 side in
+          Sink.make ~id:i ~pt:(Point.make x y)
+            ~cap:(uniform st 8.0 12.0) ~req:base_req)
+    | High_fanout ->
+      (* A scan-enable / reset style signal: uniform spray of light gate
+         input pins, mildly spread required times. *)
+      List.init n (fun i ->
+          let pt =
+            Point.make
+              (Random.State.int st (side + 1))
+              (Random.State.int st (side + 1))
+          in
+          Sink.make ~id:i ~pt ~cap:(uniform st 5.0 20.0)
+            ~req:(base_req +. uniform st 0.0 (2.0 *. gate_delay)))
+    | Clustered ->
+      (* Placement blobs: a few dense groups, mapped-netlist loads.  The
+         natural best case for the clustering front end. *)
+      let blobs = max 3 (n / 40) in
+      let centers =
+        Array.init blobs (fun _ ->
+            Point.make
+              (Random.State.int st (side + 1))
+              (Random.State.int st (side + 1)))
+      in
+      let spread = max 1 (side / 12) in
+      List.init n (fun i ->
+          let c = centers.(Random.State.int st blobs) in
+          let dx = Random.State.int st ((2 * spread) + 1) - spread
+          and dy = Random.State.int st ((2 * spread) + 1) - spread in
+          let pt =
+            Point.make
+              (clamp (c.Point.x + dx) 0 side)
+              (clamp (c.Point.y + dy) 0 side)
+          in
+          Sink.make ~id:i ~pt ~cap:(uniform st 15.0 50.0)
+            ~req:(base_req +. uniform st 0.0 (4.0 *. gate_delay)))
+  in
   let source = Point.make 0 (Random.State.int st (side + 1)) in
   Net.make ~name ~source ~driver sinks
 

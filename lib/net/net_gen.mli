@@ -30,6 +30,41 @@ val random_net :
   Tech.t ->
   Net.t
 
+(** [normalize_seed seed] folds any [int] seed into [0, 2^30) with
+    word-size-independent (Int64) arithmetic, so the same seed names the
+    same net on 32- and 64-bit builds.  Identity on [0, 2^30) — all
+    historical seeds, so existing nets (and the golden route) are
+    unchanged. *)
+val normalize_seed : int -> int
+
+(** Large-net shapes for the hierarchical flow (100–2000 sinks):
+    - [Clock_grid]: clock pins on a jittered square grid, light uniform
+      loads, one common required time;
+    - [High_fanout]: a scan/reset-style signal, uniform spray of light
+      input pins;
+    - [Clustered]: a few dense placement blobs — the natural best case
+      for sink clustering. *)
+type shape = Clock_grid | High_fanout | Clustered
+
+(** ["clock-grid"], ["high-fanout"], ["clustered"] — the CLI/bench
+    names. *)
+val shape_name : shape -> string
+
+val shape_of_string : string -> shape option
+
+(** [large_net ~seed ~name ~shape ~n tech] builds an [n]-sink net of the
+    given shape in a box spanning several gate delays of wire (which is
+    what makes buffering and decomposition necessary).  Deterministic in
+    ([seed], [shape], [n]) across word sizes. *)
+val large_net :
+  seed:int ->
+  name:string ->
+  shape:shape ->
+  n:int ->
+  ?driver:Delay_model.t ->
+  Tech.t ->
+  Net.t
+
 (** The 18 Table-1 nets: (circuit, net name, sink count) exactly as the
     paper lists them. *)
 val table1_specs : (string * string * int) list

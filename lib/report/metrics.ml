@@ -27,6 +27,7 @@ type t = {
   n_buffers : int;
   wirelength : int;
   loops : int;
+  clusters : int;
   tree : Rtree.t option;
 }
 
@@ -75,6 +76,10 @@ let to_json (m : t) =
   let tree =
     match m.tree with None -> [] | Some t -> [ ("tree", tree_to_json t) ]
   in
+  (* [clusters] appears only for the hierarchical flow, so flat-flow
+     documents stay byte-identical to schema-v1 emitters that predate
+     the field (old decoders also read the new flat documents). *)
+  let clusters = if m.clusters > 0 then [ ("clusters", int m.clusters) ] else [] in
   Json.Obj
     ([ ("v", int version);
        ("flow", Json.Str m.flow);
@@ -85,7 +90,7 @@ let to_json (m : t) =
        ("n_buffers", int m.n_buffers);
        ("wirelength", int m.wirelength);
        ("loops", int m.loops) ]
-    @ tree)
+    @ clusters @ tree)
 
 (* ---------- decoding ---------- *)
 
@@ -177,9 +182,16 @@ let of_json j =
     let* n_buffers = fint "n_buffers" j in
     let* wirelength = fint "wirelength" j in
     let* loops = fint "loops" j in
+    let* clusters =
+      match Json.member "clusters" j with
+      | None -> Ok 0
+      | Some _ -> fint "clusters" j
+    in
     let* tree =
       match Json.member "tree" j with
       | None -> Ok None
       | Some t -> Result.map Option.some (tree_of_json t)
     in
-    Ok { flow; area; delay; root_req; runtime; n_buffers; wirelength; loops; tree }
+    Ok
+      { flow; area; delay; root_req; runtime; n_buffers; wirelength; loops;
+        clusters; tree }

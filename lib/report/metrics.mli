@@ -22,6 +22,8 @@ type t = {
   n_buffers : int;
   wirelength : int;    (** grid units *)
   loops : int;         (** MERLIN iterations (1 for flows I and II) *)
+  clusters : int;      (** hierarchical-flow cluster count; 0 for flat
+                           flows, and then omitted from the document *)
   tree : Rtree.t option;  (** routing tree, omitted from compact replies *)
 }
 

@@ -127,10 +127,14 @@ let route t (r : Wire.request) =
       | None -> t.cfg.default_deadline_s
     in
     let spec = r.Wire.spec and net = r.Wire.net in
+    (* Hand the job the scheduler's own pool: the hierarchical flow
+       farms its clusters as nested pool tasks (helping [Pool.await]
+       makes nested submit deadlock-free); flat flows ignore it. *)
+    let pool = Scheduler.pool t.sched in
     let outcome =
       match
         Scheduler.schedule t.sched ~key ?deadline_s (fun () ->
-            Flows.run spec net)
+            Flows.run ~pool spec net)
       with
       | o -> finish (); o
       | exception e -> finish (); raise e

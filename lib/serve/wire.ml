@@ -246,7 +246,56 @@ let cfg_of_json j =
   | () -> Ok cfg
   | exception Invalid_argument msg -> Error msg
 
-let algo_to_json (a : Flows.algo) =
+let strategy_to_string = function
+  | Merlin_hier.Cluster.Kmeans -> "kmeans"
+  | Merlin_hier.Cluster.Sweep -> "sweep"
+
+let cluster_to_json (c : Merlin_hier.Cluster.config) =
+  Json.Obj
+    ([ ("target_size", int c.Merlin_hier.Cluster.target_size) ]
+    @ (match c.Merlin_hier.Cluster.n_clusters with
+       | None -> []
+       | Some k -> [ ("n_clusters", int k) ])
+    @ [ ("strategy", Json.Str (strategy_to_string c.Merlin_hier.Cluster.strategy));
+        ("max_iters", int c.Merlin_hier.Cluster.max_iters) ])
+
+(* Missing clustering knobs default from [Cluster.default], like the
+   MERLIN cfg above. *)
+let cluster_of_json j =
+  let open Merlin_hier.Cluster in
+  let d = default in
+  let* target_size =
+    match Json.member "target_size" j with
+    | None -> Ok d.target_size
+    | Some _ -> fint "target_size" j
+  in
+  let* n_clusters =
+    match Json.member "n_clusters" j with
+    | None -> Ok None
+    | Some _ -> Result.map Option.some (fint "n_clusters" j)
+  in
+  let* max_iters =
+    match Json.member "max_iters" j with
+    | None -> Ok d.max_iters
+    | Some _ -> fint "max_iters" j
+  in
+  let* strategy =
+    match Json.member "strategy" j with
+    | None -> Ok d.strategy
+    | Some v -> (
+      match Json.to_str v with
+      | Some "kmeans" -> Ok Kmeans
+      | Some "sweep" -> Ok Sweep
+      | Some other -> Error (Printf.sprintf "strategy %S (kmeans|sweep)" other)
+      | None -> Error "field \"strategy\": expected a string")
+  in
+  if target_size < 1 then Error "cluster: target_size must be >= 1"
+  else if max_iters < 0 then Error "cluster: max_iters must be >= 0"
+  else if (match n_clusters with Some k -> k < 1 | None -> false) then
+    Error "cluster: n_clusters must be >= 1"
+  else Ok { target_size; n_clusters; strategy; max_iters }
+
+let rec algo_to_json (a : Flows.algo) =
   match a with
   | Flows.Lttree_ptree { max_fanout } ->
     Json.Obj
@@ -261,8 +310,13 @@ let algo_to_json (a : Flows.algo) =
     Json.Obj
       ([ ("flow", Json.Str "merlin"); ("objective", objective_to_json objective) ]
       @ (match cfg with None -> [] | Some c -> [ ("cfg", cfg_to_json c) ]))
+  | Flows.Hier { cluster; inner } ->
+    Json.Obj
+      [ ("flow", Json.Str "hier");
+        ("cluster", cluster_to_json cluster);
+        ("inner", algo_to_json inner) ]
 
-let algo_of_json j =
+let rec algo_of_json j =
   let* flow = fstr "flow" j in
   match flow with
   | "lttree-ptree" ->
@@ -291,8 +345,24 @@ let algo_of_json j =
       | Some c -> Result.map Option.some (cfg_of_json c)
     in
     Ok (Flows.Merlin { cfg; objective })
+  | "hier" ->
+    let* cluster =
+      match Json.member "cluster" j with
+      | None -> Ok Merlin_hier.Cluster.default
+      | Some c -> cluster_of_json c
+    in
+    let* inner =
+      match Json.member "inner" j with
+      | None ->
+        Ok (Flows.Merlin { cfg = None; objective = Merlin_core.Objective.Best_req })
+      | Some i -> algo_of_json i
+    in
+    (match inner with
+     | Flows.Hier _ -> Error "hier: inner flow must be flat"
+     | Flows.Lttree_ptree _ | Flows.Ptree_vg _ | Flows.Merlin _ ->
+       Ok (Flows.Hier { cluster; inner }))
   | other ->
-    Error (Printf.sprintf "flow %S (lttree-ptree|ptree-vg|merlin)" other)
+    Error (Printf.sprintf "flow %S (lttree-ptree|ptree-vg|merlin|hier)" other)
 
 let spec_to_json (s : Flows.spec) =
   Json.Obj

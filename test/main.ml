@@ -16,6 +16,7 @@ let () =
       Test_report.suite;
       Test_serve.suite;
       Test_flows.suite;
+      Test_hier.suite;
       Test_circuit.suite;
       Test_exec.suite;
       Test_lint.suite;

@@ -42,7 +42,11 @@ let fast_merlin =
             max_iters = 1 };
       objective = Merlin_core.Objective.Best_req }
 
-(* The three concurrent requests: distinct nets, one per flow. *)
+(* The four concurrent requests: distinct nets, one per flow.  The hier
+   request exercises the daemon's nested pool use: the scheduled job
+   farms its clusters as pool tasks from inside a pool task (helping
+   await keeps that deadlock-free), and the reply must still be
+   byte-identical to a poolless in-process run. *)
 let requests =
   [| ( "r-flow1",
        spec (Flows.Lttree_ptree { max_fanout = 10 }),
@@ -52,7 +56,14 @@ let requests =
        Net_gen.random_net ~seed:12 ~name:"smoke2" ~n:6 tech );
      ( "r-flow3",
        spec fast_merlin,
-       Net_gen.random_net ~seed:13 ~name:"smoke3" ~n:5 tech ) |]
+       Net_gen.random_net ~seed:13 ~name:"smoke3" ~n:5 tech );
+     ( "r-flow4",
+       spec
+         (Flows.Hier
+            { cluster = { Merlin_hier.Cluster.default with target_size = 6 };
+              inner = fast_merlin }),
+       Net_gen.large_net ~seed:14 ~name:"smoke4" ~shape:Net_gen.Clustered
+         ~n:18 tech ) |]
 
 let metrics_fingerprint (m : Metrics.t) =
   Json.to_string (Metrics.to_json { m with Metrics.runtime = 0.0 })
@@ -134,6 +145,10 @@ let () =
              (metrics_fingerprint metrics)
              (metrics_fingerprint direct))
     requests;
+  (match replies.(3) with
+   | Some (_, _, m) ->
+     check "hier reply carries a cluster count" (m.Metrics.clusters > 1)
+   | None -> fail "r-flow4: no reply");
   print_endline "smoke: concurrent submits byte-identical to direct runs";
 
   (* --- repeated request answered from the cache, no new pool task --- *)

@@ -133,7 +133,13 @@ let test_better_routing_reduces_delay () =
   | None -> () (* no multi-sink nets in this synthetic instance *)
   | Some node ->
     let net = Option.get (Sta.net_for_optimization sta r node) in
-    let m = Merlin_flows.Flows.flow2 ~tech ~buffers net in
+    let m =
+      Merlin_flows.Flows.run
+        { Merlin_flows.Flows.tech;
+          buffers;
+          algo = Merlin_flows.Flows.Ptree_vg { refine_seg = None } }
+        net
+    in
     let sta' = Sta.with_routing sta ~node m.Merlin_flows.Flows.tree in
     let r' = Sta.analyse ~tech ~clock:r.Sta.clock sta' in
     Alcotest.(check bool) "critical did not explode" true

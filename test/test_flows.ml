@@ -14,6 +14,12 @@ let fast_cfg3 =
     max_iters = 2 }
 
 let mk_net n seed = Net_gen.random_net ~seed ~name:"fl" ~n tech
+let run algo net = Flows.run { Flows.tech; buffers; algo } net
+let flow1 = Flows.Lttree_ptree { max_fanout = 10 }
+let flow2 = Flows.Ptree_vg { refine_seg = None }
+
+let flow3 =
+  Flows.Merlin { cfg = Some fast_cfg3; objective = Merlin_core.Objective.Best_req }
 
 let check_metrics net (m : Flows.metrics) =
   Alcotest.(check bool) (m.Flows.flow ^ " tree valid") true
@@ -37,19 +43,19 @@ let test_all_flows_valid () =
 
 let test_flow_metrics_consistent_with_eval () =
   let net = mk_net 4 9 in
-  let m = Flows.flow2 ~tech ~buffers net in
+  let m = run flow2 net in
   let ev = Eval.net tech net m.Flows.tree in
   Alcotest.(check (float 1e-6)) "delay" ev.Eval.net_delay m.Flows.delay;
   Alcotest.(check (float 1e-6)) "req" ev.Eval.root_req m.Flows.root_req
 
 let test_flow1_single_sink () =
   let net = mk_net 1 3 in
-  let m = Flows.flow1 ~tech ~buffers net in
+  let m = run flow1 net in
   check_metrics net m
 
 let test_flow3_reports_loops () =
   let net = mk_net 3 5 in
-  let m = Flows.flow3 ~tech ~buffers ~cfg:fast_cfg3 net in
+  let m = run flow3 net in
   Alcotest.(check bool) "at least one loop" true (m.Flows.loops >= 1);
   Alcotest.(check bool) "bounded loops" true
     (m.Flows.loops <= fast_cfg3.Merlin_core.Config.max_iters)
@@ -60,8 +66,8 @@ let test_merlin_beats_or_matches_flow1 () =
   List.iter
     (fun seed ->
        let net = mk_net 6 seed in
-       let m1 = Flows.flow1 ~tech ~buffers net in
-       let m3 = Flows.flow3 ~tech ~buffers ~cfg:fast_cfg3 net in
+       let m1 = run flow1 net in
+       let m3 = run flow3 net in
        Alcotest.(check bool)
          (Printf.sprintf "seed %d: MERLIN req >= Flow I req" seed)
          true

@@ -1,0 +1,244 @@
+open Merlin_tech
+open Merlin_net
+open Merlin_rtree
+module Flows = Merlin_flows.Flows
+module Cluster = Merlin_hier.Cluster
+module Hier = Merlin_hier.Hier
+module Pool = Merlin_exec.Pool
+module Json = Merlin_report.Json
+
+let tech = Tech.default
+let buffers = Buffer_lib.default
+
+let qtest name ?(count = 50) arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+(* ---------------- Cluster.partition invariants ---------------- *)
+
+let mk_net n seed =
+  Net_gen.large_net ~seed ~name:"hier" ~shape:Net_gen.Clustered ~n tech
+
+let gen_cfg =
+  QCheck.Gen.(
+    map
+      (fun (target_size, n_clusters, strategy, max_iters) ->
+         { Cluster.target_size; n_clusters; strategy; max_iters })
+      (quad (int_range 1 32)
+         (opt (int_range 1 12))
+         (oneofl [ Cluster.Kmeans; Cluster.Sweep ])
+         (int_range 0 24)))
+
+let arb_partition_input =
+  QCheck.make
+    ~print:(fun (n, seed, cfg) ->
+      Printf.sprintf "n=%d seed=%d target=%d k=%s strat=%s iters=%d" n seed
+        cfg.Cluster.target_size
+        (match cfg.Cluster.n_clusters with
+         | None -> "auto"
+         | Some k -> string_of_int k)
+        (match cfg.Cluster.strategy with
+         | Cluster.Kmeans -> "kmeans"
+         | Cluster.Sweep -> "sweep")
+        cfg.Cluster.max_iters)
+    QCheck.Gen.(triple (int_range 1 200) (int_range 0 500) gen_cfg)
+
+let partition_invariants (n, seed, cfg) =
+  let net = mk_net n seed in
+  let groups = Cluster.partition cfg net in
+  let seen = Array.make n 0 in
+  Array.iter (Array.iter (fun id -> seen.(id) <- seen.(id) + 1)) groups;
+  let covers = Array.for_all (fun c -> c = 1) seen in
+  let nonempty = Array.for_all (fun g -> Array.length g > 0) groups in
+  let sorted =
+    Array.for_all
+      (fun g ->
+         let ok = ref true in
+         Array.iteri (fun i id -> if i > 0 && g.(i - 1) >= id then ok := false) g;
+         !ok)
+      groups
+  in
+  let forced_exact =
+    match cfg.Cluster.n_clusters with
+    | Some k -> Array.length groups = max 1 (min k n)
+    | None -> true
+  in
+  (* Derived counts split oversized k-means groups down to target_size. *)
+  let capped =
+    match (cfg.Cluster.n_clusters, cfg.Cluster.strategy) with
+    | None, Cluster.Kmeans ->
+      Array.for_all (fun g -> Array.length g <= cfg.Cluster.target_size) groups
+    | (Some _ | None), _ -> true
+  in
+  let groups' = Cluster.partition cfg net in
+  let deterministic =
+    Array.length groups = Array.length groups'
+    && Array.for_all2
+         (fun a b ->
+            Array.length a = Array.length b && Array.for_all2 Int.equal a b)
+         groups groups'
+  in
+  covers && nonempty && sorted && forced_exact && capped && deterministic
+
+let test_partition_single () =
+  let net = mk_net 17 3 in
+  let cfg = { Cluster.default with n_clusters = Some 1 } in
+  let groups = Cluster.partition cfg net in
+  Alcotest.(check int) "one group" 1 (Array.length groups);
+  Alcotest.(check int) "whole net" 17 (Array.length groups.(0))
+
+let test_partition_errors () =
+  let net = mk_net 5 1 in
+  Alcotest.check_raises "target_size"
+    (Invalid_argument "Cluster.partition: target_size < 1") (fun () ->
+      ignore (Cluster.partition { Cluster.default with target_size = 0 } net));
+  Alcotest.check_raises "max_iters"
+    (Invalid_argument "Cluster.partition: max_iters < 0") (fun () ->
+      ignore (Cluster.partition { Cluster.default with max_iters = -1 } net))
+
+(* ---------------- Hier.route mechanics (cheap star router) ----------- *)
+
+(* A star router is enough to exercise clustering, pseudo-sink
+   construction, recursion and stitching without any DP cost. *)
+let star (net : Net.t) =
+  Rtree.node net.Net.source
+    (Array.to_list (Array.map Rtree.leaf net.Net.sinks))
+
+let star_route ~cluster ?pool net =
+  Hier.route ~tech ~cluster ?pool
+    ~route:(fun _part sub -> star sub)
+    ~tree_of:Fun.id net
+
+let hier_star_props (n, seed, cfg) =
+  let net = mk_net n seed in
+  let h = star_route ~cluster:cfg net in
+  let valid = match Check.covers net h.Hier.tree with Ok () -> true | Error _ -> false in
+  let sizes_cover = Array.fold_left ( + ) 0 h.Hier.sizes = n in
+  let counts =
+    h.Hier.n_clusters = Array.length h.Hier.sizes
+    && Array.length h.Hier.parts >= h.Hier.n_clusters
+    && h.Hier.levels >= 1
+    && (h.Hier.levels = 1) = (match h.Hier.top with None -> true | Some _ -> false)
+  in
+  valid && sizes_cover && counts
+
+let test_star_recursion_depth () =
+  (* 120 sinks at target 5 -> 24+ first-level clusters; k_for(24) = 5 <
+     24, so the top net must be decomposed again. *)
+  let net = mk_net 120 11 in
+  let cluster = { Cluster.default with target_size = 5 } in
+  let h = star_route ~cluster net in
+  Alcotest.(check bool) "three or more levels" true (h.Hier.levels >= 3);
+  Alcotest.(check bool) "covers" true
+    (match Check.covers net h.Hier.tree with Ok () -> true | Error _ -> false)
+
+let test_star_pool_identical () =
+  let net = mk_net 90 5 in
+  let cluster = { Cluster.default with target_size = 7 } in
+  let seq = star_route ~cluster net in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let par = star_route ~cluster ~pool net in
+      Alcotest.(check string) "same stitched tree at -j 4"
+        (Format.asprintf "%a" Rtree.pp seq.Hier.tree)
+        (Format.asprintf "%a" Rtree.pp par.Hier.tree))
+
+(* ---------------- Flow IV equivalence and determinism ---------------- *)
+
+let flat_algo =
+  Flows.Merlin
+    { cfg = Some Flows.hier_merlin_cfg;
+      objective = Merlin_core.Objective.Best_req }
+
+let run ?pool algo net = Flows.run ?pool { Flows.tech; buffers; algo } net
+
+(* Canonical byte form of a metrics record with the fields that
+   legitimately differ between a hier run and its flat equivalent
+   (flow label, cluster count, wall time) normalized away. *)
+let canon (m : Flows.metrics) =
+  Json.to_string
+    (Merlin_report.Metrics.to_json
+       (Flows.wire_metrics ~with_tree:true
+          { m with Flows.flow = "X"; clusters = 0; runtime = 0.0 }))
+
+let single_cluster_equiv (n, seed) =
+  let net = mk_net n seed in
+  let hier1 =
+    Flows.Hier
+      { cluster = { Cluster.default with n_clusters = Some 1 };
+        inner = flat_algo }
+  in
+  String.equal (canon (run hier1 net)) (canon (run flat_algo net))
+
+let test_single_cluster_equiv_larger () =
+  (* One representative net near the flat feasibility edge. *)
+  let net = mk_net 14 42 in
+  let hier1 =
+    Flows.Hier
+      { cluster = { Cluster.default with n_clusters = Some 1 };
+        inner = flat_algo }
+  in
+  Alcotest.(check string) "k=1 is byte-identical to flat at n=14"
+    (canon (run flat_algo net))
+    (canon (run hier1 net))
+
+let test_flow_pool_identical () =
+  let net = mk_net 40 42 in
+  let algo =
+    match Flows.default_algo "hier" with Some a -> a | None -> assert false
+  in
+  let seq = run algo net in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let par = run ~pool algo net in
+      Alcotest.(check string) "flow IV metrics identical at -j 4" (canon seq)
+        (canon par);
+      Alcotest.(check int) "same cluster count" seq.Flows.clusters
+        par.Flows.clusters)
+
+let test_hier_large_net_valid () =
+  let net =
+    Net_gen.large_net ~seed:9 ~name:"grid" ~shape:Net_gen.Clock_grid ~n:100
+      tech
+  in
+  let algo =
+    match Flows.default_algo "hier" with Some a -> a | None -> assert false
+  in
+  let m = run algo net in
+  Alcotest.(check bool) "valid" true (Check.is_valid net m.Flows.tree);
+  Alcotest.(check bool) "clustered" true (m.Flows.clusters > 1);
+  Alcotest.(check bool) "delay positive" true (m.Flows.delay > 0.0)
+
+let test_nested_hier_rejected () =
+  let net = mk_net 4 1 in
+  let nested =
+    Flows.Hier
+      { cluster = Cluster.default;
+        inner = Flows.Hier { cluster = Cluster.default; inner = flat_algo } }
+  in
+  Alcotest.check_raises "nested hier"
+    (Invalid_argument "Flows.run: hier inner flow must be flat") (fun () ->
+      ignore (run nested net))
+
+let suite =
+  ( "hier",
+    [ qtest "partition invariants" ~count:60 arb_partition_input
+        partition_invariants;
+      Alcotest.test_case "partition k=1" `Quick test_partition_single;
+      Alcotest.test_case "partition errors" `Quick test_partition_errors;
+      qtest "star route invariants" ~count:40 arb_partition_input
+        hier_star_props;
+      Alcotest.test_case "star recursion depth" `Quick
+        test_star_recursion_depth;
+      Alcotest.test_case "star pool -j4 = sequential" `Quick
+        test_star_pool_identical;
+      qtest "k=1 hier = flat (byte-identical)" ~count:6
+        (QCheck.make
+           ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+           QCheck.Gen.(pair (int_range 1 8) (int_range 0 200)))
+        single_cluster_equiv;
+      Alcotest.test_case "k=1 hier = flat at n=14" `Slow
+        test_single_cluster_equiv_larger;
+      Alcotest.test_case "flow IV pool -j4 = sequential" `Slow
+        test_flow_pool_identical;
+      Alcotest.test_case "flow IV routes a 100-sink net" `Slow
+        test_hier_large_net_valid;
+      Alcotest.test_case "nested hier rejected" `Quick
+        test_nested_hier_rejected ] )

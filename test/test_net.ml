@@ -76,7 +76,51 @@ let props =
          Net_io.to_string back = Net_io.to_string net);
     qtest "sink ids consecutive" QCheck.(int_range 1 30) (fun n ->
         let net = Net_gen.random_net ~seed:3 ~name:"p" ~n tech in
-        Array.for_all (fun s -> s.Sink.id >= 0 && s.Sink.id < n) net.Net.sinks) ]
+        Array.for_all (fun s -> s.Sink.id >= 0 && s.Sink.id < n) net.Net.sinks);
+    (* Seeds are folded into [0, 2^30) before reaching Random.State, so
+       net streams are identical across word sizes; small seeds map to
+       themselves, keeping every historical stream (and the golden
+       route) byte-identical. *)
+    qtest "normalize_seed is the identity on small seeds"
+      QCheck.(int_bound 0x3FFF_FFFF)
+      (fun s -> Net_gen.normalize_seed s = s);
+    qtest "normalize_seed lands in [0, 2^30)" QCheck.int (fun s ->
+        let v = Net_gen.normalize_seed s in
+        0 <= v && v < 0x4000_0000);
+    qtest "large nets are seed-deterministic" ~count:20
+      QCheck.(pair (int_range 50 200) (int_range 0 1000))
+      (fun (n, seed) ->
+         List.for_all
+           (fun shape ->
+              let gen () =
+                Net_gen.large_net ~seed ~name:"L" ~shape ~n tech
+              in
+              Net.n_sinks (gen ()) = n
+              && String.equal
+                   (Net_io.to_string (gen ()))
+                   (Net_io.to_string (gen ())))
+           [ Net_gen.Clock_grid; Net_gen.High_fanout; Net_gen.Clustered ]);
+    qtest "large nets roundtrip through Net_io" ~count:10
+      QCheck.(int_range 100 400)
+      (fun n ->
+         let net =
+           Net_gen.large_net ~seed:7 ~name:"L" ~shape:Net_gen.Clustered ~n
+             tech
+         in
+         let back = Net_io.of_string (Net_io.to_string net) in
+         String.equal (Net_io.to_string back) (Net_io.to_string net)) ]
+
+let test_shape_names () =
+  List.iter
+    (fun shape ->
+       match Net_gen.shape_of_string (Net_gen.shape_name shape) with
+       | Some s ->
+         Alcotest.(check string) "roundtrip" (Net_gen.shape_name shape)
+           (Net_gen.shape_name s)
+       | None -> Alcotest.fail "shape name did not parse back")
+    [ Net_gen.Clock_grid; Net_gen.High_fanout; Net_gen.Clustered ];
+  Alcotest.(check bool) "unknown shape rejected" true
+    (match Net_gen.shape_of_string "torus" with None -> true | Some _ -> false)
 
 let suite =
   ( "net",
@@ -86,5 +130,6 @@ let suite =
       Alcotest.test_case "box side recipe" `Quick test_box_side_recipe;
       Alcotest.test_case "table1 specs" `Quick test_table1_specs;
       Alcotest.test_case "io roundtrip" `Quick test_io_roundtrip;
-      Alcotest.test_case "io errors" `Quick test_io_errors ]
+      Alcotest.test_case "io errors" `Quick test_io_errors;
+      Alcotest.test_case "shape names" `Quick test_shape_names ]
     @ props )

@@ -47,6 +47,7 @@ let sample_metrics tree =
     n_buffers = 1;
     wirelength = 8393;
     loops = 2;
+    clusters = 0;
     tree }
 
 let roundtrip name m =
@@ -64,7 +65,25 @@ let roundtrip name m =
 
 let test_metrics_roundtrip () =
   roundtrip "without tree" (sample_metrics None);
-  roundtrip "with tree" (sample_metrics (Some (sample_tree ())))
+  roundtrip "with tree" (sample_metrics (Some (sample_tree ())));
+  (* Flow IV documents carry a cluster count; flat documents omit the
+     field entirely (schema v1 compatibility), and the decoder defaults
+     it to 0. *)
+  roundtrip "with clusters" { (sample_metrics None) with Metrics.clusters = 7 }
+
+let test_metrics_clusters_field () =
+  let flat = Metrics.to_json (sample_metrics None) in
+  Alcotest.(check bool) "flat document has no clusters field" true
+    (match Json.member "clusters" flat with None -> true | Some _ -> false);
+  let hier =
+    Metrics.to_json { (sample_metrics None) with Metrics.clusters = 7 }
+  in
+  (match Json.member "clusters" hier with
+   | Some (Json.Num v) -> Alcotest.(check int) "clusters encoded" 7 (int_of_float v)
+   | Some _ | None -> Alcotest.fail "hier document lacks clusters field");
+  match Metrics.of_json flat with
+  | Ok m -> Alcotest.(check int) "decoder defaults clusters" 0 m.Metrics.clusters
+  | Error msg -> Alcotest.fail msg
 
 let test_metrics_versioning () =
   let j = Metrics.to_json (sample_metrics None) in
@@ -93,5 +112,7 @@ let suite =
       Alcotest.test_case "print smoke" `Quick test_print_does_not_raise;
       Alcotest.test_case "metrics json round trip" `Quick
         test_metrics_roundtrip;
+      Alcotest.test_case "metrics clusters field" `Quick
+        test_metrics_clusters_field;
       Alcotest.test_case "metrics schema version" `Quick
         test_metrics_versioning ] )

@@ -152,7 +152,7 @@ let gen_cfg =
            max_iters })
       (quad (int_range 2 20) bool bool (int_range 1 8)))
 
-let gen_algo =
+let gen_flat_algo =
   QCheck.Gen.(
     oneof
       [ map (fun max_fanout -> Flows.Lttree_ptree { max_fanout }) (int_range 2 20);
@@ -162,6 +162,26 @@ let gen_algo =
         map2
           (fun cfg objective -> Flows.Merlin { cfg; objective })
           (opt gen_cfg) gen_objective ])
+
+let gen_cluster =
+  QCheck.Gen.(
+    map
+      (fun (target_size, n_clusters, strategy, max_iters) ->
+         { Merlin_hier.Cluster.target_size; n_clusters; strategy; max_iters })
+      (quad (int_range 1 32)
+         (opt (int_range 1 8))
+         (oneofl [ Merlin_hier.Cluster.Kmeans; Merlin_hier.Cluster.Sweep ])
+         (int_range 0 32)))
+
+(* The wire protocol rejects nested hier, so the generator only nests a
+   flat inner flow. *)
+let gen_algo =
+  QCheck.Gen.(
+    oneof
+      [ gen_flat_algo;
+        map2
+          (fun cluster inner -> Flows.Hier { cluster; inner })
+          gen_cluster gen_flat_algo ])
 
 let gen_spec =
   QCheck.Gen.(
@@ -227,6 +247,7 @@ let server_msg_roundtrip () =
       n_buffers = 4;
       wirelength = 8393;
       loops = 2;
+      clusters = 3;
       tree = None }
   in
   List.iter
