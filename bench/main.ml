@@ -671,6 +671,9 @@ let speed ~seconds () =
            Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
          in
          let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+         (* Bechamel hands results back in a Hashtbl; fold to pairs and
+            sort by benchmark name so the table order is a function of
+            the test set, not of bucket layout (rule C9). *)
          Hashtbl.fold
            (fun name result acc ->
               let estimate =
@@ -684,8 +687,10 @@ let speed ~seconds () =
                 else if estimate > 1e6 then Printf.sprintf "%.2f ms" (estimate /. 1e6)
                 else Printf.sprintf "%.1f us" (estimate /. 1e3)
               in
-              [ S name; S pretty ] :: acc)
-           results [])
+              (name, pretty) :: acc)
+           results []
+         |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+         |> List.map (fun (name, pretty) -> [ S name; S pretty ]))
       tests
     |> List.concat
   in

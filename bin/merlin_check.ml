@@ -2,6 +2,7 @@
 
    Usage:
      merlin_check [--format text|json|sarif|github] [--sarif]
+                  [--rules C1,C7,...] [--list-rules]
                   [--baseline FILE] [--write-baseline FILE]
                   [--prune-baseline] [--strict-baseline]
                   [--lock-order FILE] [--src-root DIR]... [ROOT...]
@@ -13,6 +14,10 @@
    itself a finding.  --lock-order names the committed lock-hierarchy
    spec for the C4 inversion check (a ./lock-order.spec is picked up
    automatically); cycles are flagged with or without a spec.
+   --rules restricts the run to a comma-separated subset of the
+   analysis rules, by code (C1-C9) or by name (nondet-in-task); the
+   driver diagnostics (missing-cmt, cmt-error, stale-baseline) always
+   run.
 
    Baseline hygiene mirrors waiver hygiene: entries the current run no
    longer needs are reported as [stale-baseline] warnings.
@@ -23,7 +28,10 @@
    Exit codes: 0 nothing survives the baseline (and, under
    --strict-baseline, no stale entries remain), 1 otherwise (warnings
    included: the baseline, not the severity, is the accepted-findings
-   mechanism), 2 usage/IO failure. *)
+   mechanism), 2 usage/IO failure — including an unknown --rules
+   selector.  A --rules filter does not change the semantics of exit 1:
+   whatever the selected rules report past the baseline fails the
+   run. *)
 
 module Finding = Merlin_lint.Finding
 
@@ -50,6 +58,7 @@ let () =
   let lock_order = ref None in
   let prune = ref false in
   let strict = ref false in
+  let rules = ref None in
   let set_format s =
     format :=
       match s with
@@ -89,11 +98,19 @@ let () =
         "DIR source tree guarded for cmt coverage (repeatable; default \
          lib)" );
       ( "--rules",
+        Arg.String (fun s -> rules := Some s),
+        "C1,C7,... run only these analysis rules (codes or names); \
+         driver diagnostics always run" );
+      ( "--list-rules",
         Arg.Unit
           (fun () ->
              List.iter
                (fun (name, sev, doc) ->
-                  Printf.printf "%-22s %-7s %s\n" name
+                  Printf.printf "%-4s %-22s %-7s %s\n"
+                    (Option.value
+                       (Merlin_check.Check_driver.rule_code name)
+                       ~default:"-")
+                    name
                     (Merlin_lint.Finding.severity_to_string sev)
                     doc)
                Merlin_check.Check_driver.rule_docs;
@@ -101,11 +118,26 @@ let () =
         " list the rule set and exit" ) ]
   in
   let usage =
-    "merlin_check [--format text|json|sarif|github] [--baseline FILE] \
-     [--write-baseline FILE] [--prune-baseline] [--strict-baseline] \
-     [--lock-order FILE] [--src-root DIR]... [ROOT...]"
+    "merlin_check [--format text|json|sarif|github] [--rules C1,C7,...] \
+     [--baseline FILE] [--write-baseline FILE] [--prune-baseline] \
+     [--strict-baseline] [--lock-order FILE] [--src-root DIR]... [ROOT...]"
   in
   Arg.parse spec (fun p -> roots := p :: !roots) usage;
+  let rules =
+    match !rules with
+    | None -> None
+    | Some s ->
+      Some
+        (String.split_on_char ',' s
+         |> List.map String.trim
+         |> List.filter (fun s -> String.length s > 0)
+         |> List.map (fun sel ->
+             match Merlin_check.Check_driver.resolve_selector sel with
+             | Ok rule -> rule
+             | Error msg ->
+               prerr_endline ("merlin_check: --rules: " ^ msg);
+               exit 2))
+  in
   let roots = match List.rev !roots with [] -> [ "." ] | ps -> ps in
   let src_roots =
     match List.rev !src_roots with [] -> [ "lib" ] | ps -> ps
@@ -140,7 +172,7 @@ let () =
         prerr_endline ("merlin_check: --baseline " ^ file ^ ": " ^ msg);
         exit 2)
   in
-  match Merlin_check.Check_driver.run ~roots ~src_roots ~lock_spec with
+  match Merlin_check.Check_driver.run ?rules ~roots ~src_roots ~lock_spec () with
   | findings -> (
     match !write_baseline with
     | Some file ->

@@ -186,15 +186,25 @@ let route file random seed shape flow alpha objective cluster_size clusters
           inner = Flows.Merlin { cfg = Some Flows.hier_merlin_cfg; objective } }
     in
     let spec = { Flows.tech; buffers; algo } in
+    (* Decomposition telemetry goes to stderr with the pool stats so
+       --json stdout stays a clean metrics document. *)
+    let dump_hier (m : Flows.metrics) =
+      if stats then
+        Format.eprintf "hier: levels=%d clusters=%d sizes=[%s]@." m.Flows.levels
+          m.Flows.clusters
+          (String.concat ";" (List.map string_of_int m.Flows.cluster_sizes))
+    in
     if jobs > 1 then
       Pool.with_pool ~domains:jobs (fun pool ->
           let* m = run_spec ~pool spec net in
           emit m;
+          dump_hier m;
           if stats then dump_stats pool;
           Ok 0)
     else
       let* m = run_spec spec net in
       emit m;
+      dump_hier m;
       Ok 0
   | "all" when jobs > 1 ->
     (* The three flows are independent; run them as pool tasks.  The
@@ -207,7 +217,9 @@ let route file random seed shape flow alpha objective cluster_size clusters
     Pool.with_pool ~domains:jobs (fun pool ->
         let ms =
           Pool.map ~chunk:1 pool
-            (fun algo -> Flows.run { Flows.tech; buffers; algo } net)
+            (* Flows.run's only nondeterminism is its runtime telemetry
+               (Clock.timed); trees and metrics are replay-identical. *)
+            (fun algo -> Flows.run { Flows.tech; buffers; algo } net) (* check: nondet-ok *)
             specs
         in
         List.iter emit ms;

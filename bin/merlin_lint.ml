@@ -1,14 +1,41 @@
 (* merlin_lint: project lint pass over the repository sources.
 
    Usage: merlin_lint [--format text|json|github] [--baseline FILE]
-   [PATH...].  Default paths: lib bin bench examples test.  Exit codes:
-   0 clean, 1 error-severity findings (after baseline subtraction),
-   2 usage/IO failure. *)
+   [--rules R1,R3,...] [--list-rules] [PATH...].  Default paths:
+   lib bin bench examples test.  --rules restricts the run to a
+   comma-separated subset of the rules, by code (R1-R7) or by name
+   (poly-compare); the stale-waiver post-pass always runs, narrowed to
+   the active rules.  Exit codes: 0 clean, 1 error-severity findings
+   (after baseline subtraction), 2 usage/IO failure — including an
+   unknown --rules selector. *)
+
+let rule_code i = Printf.sprintf "R%d" (i + 1)
+
+(* A --rules selector: a code ("R3", case-insensitive) or a rule name
+   ("physical-eq"). *)
+let resolve_selector s =
+  let up = String.uppercase_ascii s in
+  let indexed = List.mapi (fun i r -> (i, r)) Merlin_lint.Rules.all in
+  match
+    List.find_opt
+      (fun (i, (module R : Merlin_lint.Rule.S)) ->
+         String.equal (rule_code i) up || String.equal R.name s)
+      indexed
+  with
+  | Some (_, r) -> Ok r
+  | None ->
+    Error
+      (Printf.sprintf
+         "unknown rule %S (codes R1-R%d or rule names; --list-rules shows \
+          the set)"
+         s
+         (List.length Merlin_lint.Rules.all))
 
 let () =
   let format = ref "text" in
   let paths = ref [] in
   let baseline = ref None in
+  let rules = ref None in
   let spec =
     [ ( "--format",
         Arg.Symbol ([ "text"; "json"; "github" ], fun s -> format := s),
@@ -18,28 +45,46 @@ let () =
         "FILE subtract findings recorded in FILE (native or SARIF) \
          before reporting" );
       ( "--rules",
+        Arg.String (fun s -> rules := Some s),
+        "R1,R3,... run only these rules (codes or names)" );
+      ( "--list-rules",
         Arg.Unit
           (fun () ->
-             List.iter
-               (fun (module R : Merlin_lint.Rule.S) ->
-                  Printf.printf "%-18s %-7s %s\n" R.name
+             List.iteri
+               (fun i (module R : Merlin_lint.Rule.S) ->
+                  Printf.printf "%-4s %-18s %-7s %s\n" (rule_code i) R.name
                     (Merlin_lint.Finding.severity_to_string R.severity)
                     R.doc)
                Merlin_lint.Rules.all;
-             Printf.printf "%-18s %-7s %s\n" "stale-waiver" "warning"
+             Printf.printf "%-4s %-18s %-7s %s\n" "-" "stale-waiver" "warning"
                "a lint:/check: waiver that suppresses nothing (driver \
                 post-pass)";
              exit 0),
         " list the rule set and exit" ) ]
   in
   let usage =
-    "merlin_lint [--format text|json|github] [--baseline FILE] [PATH...]"
+    "merlin_lint [--format text|json|github] [--baseline FILE] \
+     [--rules R1,R3,...] [PATH...]"
   in
   Arg.parse spec (fun p -> paths := p :: !paths) usage;
   let paths =
     match List.rev !paths with
     | [] -> [ "lib"; "bin"; "bench"; "examples"; "test" ]
     | ps -> ps
+  in
+  let rules =
+    match !rules with
+    | None -> Merlin_lint.Rules.all
+    | Some s ->
+      String.split_on_char ',' s
+      |> List.map String.trim
+      |> List.filter (fun s -> String.length s > 0)
+      |> List.map (fun sel ->
+          match resolve_selector sel with
+          | Ok r -> r
+          | Error msg ->
+            prerr_endline ("merlin_lint: --rules: " ^ msg);
+            exit 2)
   in
   let baseline =
     match !baseline with
@@ -51,7 +96,7 @@ let () =
         prerr_endline ("merlin_lint: --baseline " ^ file ^ ": " ^ msg);
         exit 2)
   in
-  match Merlin_lint.Driver.lint_paths paths with
+  match Merlin_lint.Driver.lint_paths ~rules paths with
   | findings ->
     let findings = Merlin_lint.Baseline.apply baseline findings in
     print_string

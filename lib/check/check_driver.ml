@@ -1,11 +1,19 @@
-(* Orchestration for the typed tier: load cmt artifacts, run C1-C6,
+(* Orchestration for the typed tier: load cmt artifacts, run C1-C9,
    audit typed-tier waivers, flag library sources with no artifact
    (coverage guard), sort, render.
 
    The coverage guard matters because a cmt-based analyzer silently
    passes whatever was never compiled: a library source with no loaded
    artifact yields a [missing-cmt] warning, so the scan either sees a
-   unit's typedtree or says that it did not. *)
+   unit's typedtree or says that it did not.
+
+   Rule selection.  [analyze ~rules] restricts the run to a subset of
+   the analysis rules (C1-C9 by code or by name); the driver-level
+   diagnostics (missing-cmt, cmt-error, stale-baseline) always run —
+   they are statements about the scan, not about the code.  The
+   stale-waiver audit narrows itself to the active rules' tokens: a
+   waiver for a deselected rule suppressed nothing *this run*, which
+   proves nothing. *)
 
 module Finding = Merlin_lint.Finding
 
@@ -13,34 +21,66 @@ let tool_name = "merlin_check"
 
 let tool_version = "0.1.0"
 
-(* (rule, severity, one-line doc) for --rules; the analysis rules are
-   defined in their modules, the driver-level diagnostics here. *)
-let rule_docs =
-  [ ( Domain_safety.rule,
+(* (code, rule, waiver token, severity, one-line doc) for the analysis
+   rules; driver-level diagnostics carry no code or token. *)
+let analysis_rules =
+  [ ( "C1",
+      Domain_safety.rule,
+      "domain-safe",
       Finding.Error,
       "task closure mutates shared mutable state without Mutex.protect \
        (waive: domain-safe)" );
-    ( Exn_flow.rule,
+    ( "C2",
+      Exn_flow.rule,
+      "exn-flow",
       Finding.Warning,
       "unhandled raise inside a task closure surfaces only at await \
        (waive: exn-flow)" );
-    ( Dead_export.rule,
+    ( "C3",
+      Dead_export.rule,
+      "dead-export",
       Finding.Warning,
       ".mli export never referenced from another compilation unit \
        (waive: dead-export)" );
-    ( Lock_order.rule,
+    ( "C4",
+      Lock_order.rule,
+      "lock-order",
       Finding.Error,
       "lock acquisition closes a cycle in the project lock graph, or \
        inverts the committed --lock-order spec (waive: lock-order)" );
-    ( Blocking.rule,
+    ( "C5",
+      Blocking.rule,
+      "blocking-ok",
       Finding.Warning,
       "known-blocking call inside a held-lock region, or Condition.wait \
        with a second lock still held (waive: blocking-ok)" );
-    ( Fd_leak.rule,
+    ( "C6",
+      Fd_leak.rule,
+      "fd-escape",
       Finding.Error,
       "Unix descriptor neither reaches Unix.close on every path nor \
        escapes its binding scope (waive: fd-escape)" );
-    ( "stale-baseline",
+    ( "C7",
+      Nondet_task.rule,
+      "nondet-ok",
+      Finding.Warning,
+      "nondeterministic source reachable from a task closure; task \
+       results must replay order-independently (waive: nondet-ok)" );
+    ( "C8",
+      Cache_key.rule,
+      "nondet-ok",
+      Finding.Error,
+      "nondeterministic value flows into a cache/request key \
+       (waive: nondet-ok)" );
+    ( "C9",
+      Order_fold.rule,
+      "nondet-ok",
+      Finding.Warning,
+      "Hashtbl iteration order escapes without an intervening sort \
+       (waive: nondet-ok)" ) ]
+
+let driver_rules =
+  [ ( "stale-baseline",
       Finding.Warning,
       "a baseline entry no longer matched by any finding — prune with \
        --prune-baseline" );
@@ -51,6 +91,36 @@ let rule_docs =
     ( "missing-cmt",
       Finding.Warning,
       "a library source has no cmt artifact in the scan — build first" ) ]
+
+(* (rule, severity, doc) across both groups, for --list-rules. *)
+let rule_docs =
+  List.map (fun (_, rule, _, sev, doc) -> (rule, sev, doc)) analysis_rules
+  @ driver_rules
+
+let rule_code rule =
+  List.find_map
+    (fun (code, r, _, _, _) ->
+       if String.equal r rule then Some code else None)
+    analysis_rules
+
+(* A --rules selector: a code ("C7", case-insensitive) or a rule name
+   ("nondet-in-task").  Resolves to the rule name. *)
+let resolve_selector s =
+  let up = String.uppercase_ascii s in
+  match
+    List.find_opt
+      (fun (code, rule, _, _, _) ->
+         String.equal code up || String.equal rule s)
+      analysis_rules
+  with
+  | Some (_, rule, _, _, _) -> Ok rule
+  | None ->
+    Error
+      (Printf.sprintf
+         "unknown rule %S (codes C1-C%d or rule names; --list-rules shows \
+          the set)"
+         s
+         (List.length analysis_rules))
 
 let strip_dot_slash path =
   if String.length path > 2 && String.equal (String.sub path 0 2) "./" then
@@ -78,7 +148,13 @@ let missing_cmts ~src_roots (units : Cmt_load.t list) =
              "no cmt artifact for this source in the scan roots; run dune \
               build so the typed rules can see it"))
 
-let analyze ?(src_roots = []) ?(lock_spec = []) (units, load_findings) =
+let analyze ?rules ?(src_roots = []) ?(lock_spec = [])
+    (units, load_findings) =
+  let active rule =
+    match rules with
+    | None -> true
+    | Some rs -> List.exists (String.equal rule) rs
+  in
   let waivers = Waivers.create () in
   List.iter
     (fun (u : Cmt_load.t) ->
@@ -86,20 +162,57 @@ let analyze ?(src_roots = []) ?(lock_spec = []) (units, load_findings) =
          Option.iter (Waivers.register_file waivers) u.Cmt_load.source;
          Option.iter (Waivers.register_file waivers) u.Cmt_load.intf_source))
     units;
-  let c1 = Domain_safety.check ~waivers units in
-  let c2 = Exn_flow.check ~waivers units in
-  let c3 = Dead_export.check ~waivers units in
-  let project = Concur.build units in
-  let c4 = Lock_order.check ~waivers ~spec:lock_spec project in
-  let c5 = Blocking.check ~waivers project in
-  let c6 = Fd_leak.check ~waivers project in
+  (* The call-graph project feeds C4-C6 and, through Purity, C7-C8;
+     build each layer only when an active rule needs it. *)
+  let project = lazy (Concur.build units) in
+  let purity =
+    lazy
+      (let exempt_units =
+         List.filter_map
+           (fun (u : Cmt_load.t) ->
+              if Cmt_load.is_pool_internal u then Some u.Cmt_load.name
+              else None)
+           units
+       in
+       Purity.build ~exempt_units (Lazy.force project))
+  in
+  let gated rule f = if active rule then f () else [] in
+  let c1 = gated Domain_safety.rule (fun () -> Domain_safety.check ~waivers units) in
+  let c2 = gated Exn_flow.rule (fun () -> Exn_flow.check ~waivers units) in
+  let c3 = gated Dead_export.rule (fun () -> Dead_export.check ~waivers units) in
+  let c4 =
+    gated Lock_order.rule (fun () ->
+        Lock_order.check ~waivers ~spec:lock_spec (Lazy.force project))
+  in
+  let c5 =
+    gated Blocking.rule (fun () -> Blocking.check ~waivers (Lazy.force project))
+  in
+  let c6 =
+    gated Fd_leak.rule (fun () -> Fd_leak.check ~waivers (Lazy.force project))
+  in
+  let c7 =
+    gated Nondet_task.rule (fun () ->
+        Nondet_task.check ~waivers ~purity:(Lazy.force purity) units)
+  in
+  let c8 =
+    gated Cache_key.rule (fun () ->
+        Cache_key.check ~waivers ~purity:(Lazy.force purity) units)
+  in
+  let c9 = gated Order_fold.rule (fun () -> Order_fold.check ~waivers units) in
   let missing = missing_cmts ~src_roots units in
-  let stale = Waivers.stale waivers in
+  let tokens =
+    List.filter_map
+      (fun (_, rule, tok, _, _) -> if active rule then Some tok else None)
+      analysis_rules
+    |> List.sort_uniq String.compare
+  in
+  let stale = Waivers.stale ~tokens waivers in
   List.sort Finding.compare_order
-    (load_findings @ c1 @ c2 @ c3 @ c4 @ c5 @ c6 @ missing @ stale)
+    (load_findings @ c1 @ c2 @ c3 @ c4 @ c5 @ c6 @ c7 @ c8 @ c9 @ missing
+     @ stale)
 
-let run ~roots ~src_roots ~lock_spec =
-  analyze ~src_roots ~lock_spec (Cmt_load.load_roots roots)
+let run ?rules ~roots ~src_roots ~lock_spec () =
+  analyze ?rules ~src_roots ~lock_spec (Cmt_load.load_roots roots)
 
 type format = Text | Json | Sarif | Github
 

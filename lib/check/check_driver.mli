@@ -1,17 +1,30 @@
-(** Orchestration for the typed tier: artifact loading, C1-C6, waiver
+(** Orchestration for the typed tier: artifact loading, C1-C9, waiver
     staleness, coverage guard, rendering. *)
 
 val tool_name : string
 
-(** (rule, severity, one-line doc) for every rule the tool can emit. *)
+(** (rule, severity, one-line doc) for every rule the tool can emit,
+    analysis rules first. *)
 val rule_docs : (string * Merlin_lint.Finding.severity * string) list
 
-(** Run all typed rules over pre-loaded units (plus the loader's own
+(** The short code ("C1".."C9") of an analysis rule; [None] for the
+    driver-level diagnostics. *)
+val rule_code : string -> string option
+
+(** Resolve one --rules selector — a code ([C7], case-insensitive) or
+    a rule name ([nondet-in-task]) — to the rule name. *)
+val resolve_selector : string -> (string, string) result
+
+(** Run the typed rules over pre-loaded units (plus the loader's own
     findings); [src_roots] are source trees guarded for cmt coverage
     ([missing-cmt]); [lock_spec] is the committed lock order, outermost
     first, for C4's inversion check (cycles are flagged regardless).
-    Sorted by file and position. *)
+    [rules] restricts the run to those analysis rule names (resolve
+    selectors first); the driver diagnostics always run, and the
+    stale-waiver audit narrows to the active rules' tokens.  Sorted by
+    file and position. *)
 val analyze :
+  ?rules:string list ->
   ?src_roots:string list ->
   ?lock_spec:string list ->
   Cmt_load.t list * Merlin_lint.Finding.t list ->
@@ -19,9 +32,11 @@ val analyze :
 
 (** Load every artifact under [roots], then {!analyze}. *)
 val run :
+  ?rules:string list ->
   roots:string list ->
   src_roots:string list ->
   lock_spec:string list ->
+  unit ->
   Merlin_lint.Finding.t list
 
 type format = Text | Json | Sarif | Github

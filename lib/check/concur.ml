@@ -558,19 +558,22 @@ let held_at fn (loc : Location.t) =
 
 let ident_key unit_name id = unit_name ^ "/" ^ Ident.unique_name id
 
-let resolve_call project fn p =
+let resolve_ref project ~unit_name env p =
   let by_local () =
     match p with
     | Path.Pident id when not (Ident.global id) ->
-      Hashtbl.find_opt project.by_ident (ident_key fn.fn_unit_name id)
+      Hashtbl.find_opt project.by_ident (ident_key unit_name id)
     | _ -> None
   in
   match by_local () with
   | Some _ as hit -> hit
   | None -> (
-    match Pathx.resolve fn.fn_env p with
+    match Pathx.resolve env p with
     | Some comps -> Hashtbl.find_opt project.by_key (Pathx.to_string comps)
     | None -> None)
+
+let resolve_call project fn p =
+  resolve_ref project ~unit_name:fn.fn_unit_name fn.fn_env p
 
 let acquires_fixpoint fns =
   let direct fn =

@@ -83,3 +83,12 @@ val close_suffix : string list
 val comps_of : Pathx.alias_env -> Path.t -> string list option
 
 val suffixed : Pathx.alias_env -> Path.t -> string list -> bool
+
+(** Resolve a reference made from [unit_name] under a module-alias
+    environment to a project function: plain local idents through the
+    per-unit ident table, global or aliased paths through the key
+    table.  The purity layer (C7-C9) resolves references from inside
+    arbitrary closures with this, where no enclosing inventory function
+    is at hand. *)
+val resolve_ref :
+  project -> unit_name:string -> Pathx.alias_env -> Path.t -> fn option

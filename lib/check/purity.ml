@@ -1,0 +1,271 @@
+(* Determinism & purity summaries for the C7-C9 rules.
+
+   MERLIN's order-independence contracts ([Pool.map] byte-identical to
+   [List.map], hier routing bit-identical at any -j, [request_key] a
+   function of spec+net only) all reduce to one property: the code
+   under them is a *deterministic* function of its inputs.  This
+   module proves the property statically, per function, over the same
+   resolved call graph Concur builds for C4-C6.
+
+   Classification.  Every inventoried function is one of
+
+   - *nondeterministic*: its body (any closure level) references a
+     seeded-source-table entry — [Random.*] (unseeded; [Random.State]
+     deliberately passes, a carried state is the caller's seed),
+     wall-clock and CPU-clock reads, [Gc] statistics, [Domain.self],
+     environment reads, temp-file creation, the monotonic [Clock] —
+     or calls a function already classified nondeterministic;
+   - *deterministic-effectful*: not nondeterministic, but it mutates
+     state or performs I/O (effect table below, [Texp_setfield],
+     [Texp_while]-free mutation is still mutation) directly or through
+     a callee.  Same inputs, same outputs — but not replayable for
+     free;
+   - *pure*: neither.
+
+   Both classifications are interprocedural fixpoints in the style of
+   [Concur.acquires_fixpoint]: direct evidence first, then propagation
+   over [fn_calls] until stable.  Nondeterminism carries a *trace* —
+   the call chain from the classified function down to the source
+   ([Flows.run > Flows.timed > Clock.timed]) — so a C7 finding three
+   calls away from the [Random.int] still names it.
+
+   Call-site expansion through higher-order helpers comes for free:
+   [fn_calls] is built from every closure level, so a helper like
+   [Pool.locked m (fun () -> Random.int 10)] charges the *caller*
+   (whose closure level contains the [Random.int]), and a call to a
+   nondet-summarized helper charges the call site.
+
+   Known false negatives (DESIGN.md §7.4): calls through
+   function-typed variables or functors (unresolvable, summarized
+   optimistically as pure), [Hashtbl.hash] on mutable values (its
+   result is deterministic for immutable arguments, which is how this
+   repo uses it — distinguishing the two needs mutability tracking the
+   typedtree does not give), and nondeterminism reached through
+   first-class modules. *)
+
+(* (path suffix, display name): references whose result differs run to
+   run with identical inputs.  Suffix-matched like every other table,
+   so a fixture's stub [Clock] and the real [Merlin_exec.Clock] both
+   match — and [Random.State.int] does *not* match [Random.int] (its
+   last two components are [State.int]). *)
+let sources =
+  [ ([ "Random"; "bits" ], "Random.bits");
+    ([ "Random"; "int" ], "Random.int");
+    ([ "Random"; "full_int" ], "Random.full_int");
+    ([ "Random"; "int32" ], "Random.int32");
+    ([ "Random"; "int64" ], "Random.int64");
+    ([ "Random"; "nativeint" ], "Random.nativeint");
+    ([ "Random"; "float" ], "Random.float");
+    ([ "Random"; "bool" ], "Random.bool");
+    ([ "Random"; "self_init" ], "Random.self_init");
+    ([ "Unix"; "gettimeofday" ], "Unix.gettimeofday");
+    ([ "Unix"; "time" ], "Unix.time");
+    ([ "Sys"; "time" ], "Sys.time");
+    ([ "Gc"; "stat" ], "Gc.stat");
+    ([ "Gc"; "quick_stat" ], "Gc.quick_stat");
+    ([ "Gc"; "allocated_bytes" ], "Gc.allocated_bytes");
+    ([ "Gc"; "counters" ], "Gc.counters");
+    ([ "Gc"; "minor_words" ], "Gc.minor_words");
+    ([ "Domain"; "self" ], "Domain.self");
+    ([ "Sys"; "getenv" ], "Sys.getenv");
+    ([ "Sys"; "getenv_opt" ], "Sys.getenv_opt");
+    ([ "Filename"; "temp_file" ], "Filename.temp_file");
+    ([ "Filename"; "temp_dir" ], "Filename.temp_dir");
+    ([ "Filename"; "open_temp_file" ], "Filename.open_temp_file");
+    ([ "Clock"; "monotonic_s" ], "Clock.monotonic_s");
+    ([ "Clock"; "elapsed_s" ], "Clock.elapsed_s");
+    ([ "Clock"; "timed" ], "Clock.timed") ]
+
+(* Path suffixes that make a function *effectful* without making it
+   nondeterministic: mutation primitives and ordinary I/O.  Kept
+   coarse — the classification feeds reporting granularity, not a
+   rule's fire/no-fire decision. *)
+let effect_suffixes =
+  [ [ "Stdlib"; ":=" ]; [ "Stdlib"; "incr" ]; [ "Stdlib"; "decr" ];
+    [ "Array"; "set" ]; [ "Array"; "unsafe_set" ]; [ "Array"; "fill" ];
+    [ "Array"; "blit" ]; [ "Bytes"; "set" ]; [ "Bytes"; "fill" ];
+    [ "Hashtbl"; "add" ]; [ "Hashtbl"; "replace" ]; [ "Hashtbl"; "remove" ];
+    [ "Hashtbl"; "reset" ]; [ "Hashtbl"; "clear" ];
+    [ "Queue"; "add" ]; [ "Queue"; "push" ]; [ "Queue"; "pop" ];
+    [ "Queue"; "take" ]; [ "Queue"; "clear" ]; [ "Queue"; "transfer" ];
+    [ "Stack"; "push" ]; [ "Stack"; "pop" ]; [ "Stack"; "clear" ];
+    [ "Buffer"; "add_string" ]; [ "Buffer"; "add_char" ];
+    [ "Buffer"; "add_bytes" ]; [ "Buffer"; "add_buffer" ];
+    [ "Buffer"; "clear" ]; [ "Buffer"; "reset" ];
+    [ "Mutex"; "lock" ]; [ "Mutex"; "unlock" ]; [ "Mutex"; "protect" ];
+    [ "Condition"; "wait" ]; [ "Condition"; "signal" ];
+    [ "Condition"; "broadcast" ];
+    [ "Printf"; "printf" ]; [ "Printf"; "eprintf" ];
+    [ "Printf"; "fprintf" ]; [ "Format"; "printf" ];
+    [ "Format"; "eprintf" ]; [ "Format"; "fprintf" ];
+    [ "Stdlib"; "print_string" ]; [ "Stdlib"; "print_endline" ];
+    [ "Stdlib"; "prerr_endline" ]; [ "Stdlib"; "output_string" ];
+    [ "Unix"; "read" ]; [ "Unix"; "write" ]; [ "Unix"; "close" ] ]
+
+type klass = Pure | Det_effectful | Nondet of string list
+
+type t = {
+  project : Concur.project;
+  nondet : (string, string list) Hashtbl.t;  (** fn_key -> trace *)
+  effectful : (string, unit) Hashtbl.t;  (** fn_key present = effectful *)
+}
+
+let display (fn : Concur.fn) = fn.Concur.fn_unit ^ "." ^ fn.Concur.fn_name
+
+(* Prepending a call-chain hop, keeping traces readable: the hop, at
+   most two intermediates, always the ultimate source last. *)
+let extend hop trace =
+  let t = hop :: trace in
+  if List.length t <= 4 then t
+  else
+    match (t, List.rev t) with
+    | hd :: _, src :: _ -> [ hd; "..."; src ]
+    | _ -> t
+
+let source_of env p =
+  Option.bind (Concur.comps_of env p) (fun comps ->
+      List.find_map
+        (fun (suffix, name) ->
+           if Pathx.has_suffix ~suffix comps then Some name else None)
+        sources)
+
+(* All source-table references in a subtree, innermost levels
+   included, as [(start cnum, loc, display)].  Also the building block
+   of {!nondet_use}. *)
+let iter_idents f root =
+  let iter =
+    { Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+           (match e.Typedtree.exp_desc with
+            | Typedtree.Texp_ident (p, _, _) -> f p e.Typedtree.exp_loc
+            | _ -> ());
+           Tast_iterator.default_iterator.expr sub e) }
+  in
+  iter.Tast_iterator.expr iter root
+
+let start_cnum (loc : Location.t) = loc.Location.loc_start.Lexing.pos_cnum
+
+let direct_source env root =
+  let best = ref None in
+  iter_idents
+    (fun p loc ->
+       match source_of env p with
+       | None -> ()
+       | Some name -> (
+         let c = start_cnum loc in
+         match !best with
+         | Some (c', _, _) when c' <= c -> ()
+         | _ -> best := Some (c, loc, name)))
+    root;
+  !best
+
+let direct_effect env root =
+  let found = ref false in
+  let iter =
+    { Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+           (match e.Typedtree.exp_desc with
+            | Typedtree.Texp_setfield _ -> found := true
+            | Typedtree.Texp_ident (p, _, _) ->
+              if
+                List.exists
+                  (fun suffix -> Concur.suffixed env p suffix)
+                  effect_suffixes
+              then found := true
+            | _ -> ());
+           Tast_iterator.default_iterator.expr sub e) }
+  in
+  iter.Tast_iterator.expr iter root;
+  !found
+
+let build ?(exempt_units = []) project =
+  let fns = Concur.fns project in
+  let nondet = Hashtbl.create 256 in
+  let effectful = Hashtbl.create 256 in
+  (* The pool implementation's clock reads are the *implementation* of
+     the engine's telemetry, not nondeterminism that can reach a task
+     result — the same reason C1/C2 exempt lib/exec.  Functions from
+     exempt units are never classified nondeterministic, so a chain
+     like [Pool.submit > Clock.monotonic_s] cannot taint every nested
+     submit; their effectful classification stands
+     (deterministic-effectful is exactly the pool's contract). *)
+  let exempt (fn : Concur.fn) =
+    List.exists (String.equal fn.Concur.fn_unit_name) exempt_units
+  in
+  (* Direct evidence once per function, then propagate over the call
+     graph until stable (same shape as Concur.acquires_fixpoint). *)
+  List.iter
+    (fun (fn : Concur.fn) ->
+       (if not (exempt fn) then
+          match direct_source fn.Concur.fn_env fn.Concur.fn_expr with
+          | Some (_, _, name) ->
+            Hashtbl.replace nondet fn.Concur.fn_key [ name ]
+          | None -> ());
+       if direct_effect fn.Concur.fn_env fn.Concur.fn_expr then
+         Hashtbl.replace effectful fn.Concur.fn_key ())
+    fns;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (fn : Concur.fn) ->
+         List.iter
+           (fun ((callee : Concur.fn), _) ->
+              (if
+                 (not (Hashtbl.mem nondet fn.Concur.fn_key))
+                 && not (exempt fn)
+               then
+                 match Hashtbl.find_opt nondet callee.Concur.fn_key with
+                 | Some trace ->
+                   Hashtbl.replace nondet fn.Concur.fn_key
+                     (extend (display callee) trace);
+                   changed := true
+                 | None -> ());
+              if
+                Hashtbl.mem effectful callee.Concur.fn_key
+                && not (Hashtbl.mem effectful fn.Concur.fn_key)
+              then begin
+                Hashtbl.replace effectful fn.Concur.fn_key ();
+                changed := true
+              end)
+           fn.Concur.fn_calls)
+      fns
+  done;
+  { project; nondet; effectful }
+
+let classify t (fn : Concur.fn) =
+  match Hashtbl.find_opt t.nondet fn.Concur.fn_key with
+  | Some trace -> Nondet trace
+  | None ->
+    if Hashtbl.mem t.effectful fn.Concur.fn_key then Det_effectful else Pure
+
+(* The first (source-order) nondeterministic reference in a subtree:
+   a direct source-table hit, or a reference to a project function the
+   fixpoint classified nondeterministic.  References count even
+   unapplied — a nondet function passed as a value runs later with the
+   same nondeterminism. *)
+let nondet_use t ~unit_name env root =
+  let best = ref None in
+  let consider c loc trace =
+    match !best with
+    | Some (c', _, _) when c' <= c -> ()
+    | _ -> best := Some (c, loc, trace)
+  in
+  iter_idents
+    (fun p loc ->
+       match source_of env p with
+       | Some name -> consider (start_cnum loc) loc [ name ]
+       | None -> (
+         match Concur.resolve_ref t.project ~unit_name env p with
+         | None -> ()
+         | Some fn -> (
+           match Hashtbl.find_opt t.nondet fn.Concur.fn_key with
+           | Some trace ->
+             consider (start_cnum loc) loc (extend (display fn) trace)
+           | None -> ())))
+    root;
+  Option.map (fun (_, loc, trace) -> (loc, trace)) !best
+
+let render_trace trace = String.concat " > " trace

@@ -1,0 +1,41 @@
+(** Determinism & purity summaries for the C7-C9 rules: a
+    seeded-source table and two interprocedural fixpoints over
+    {!Concur}'s resolved call graph, classifying every inventoried
+    function as pure, deterministic-effectful, or nondeterministic
+    (with the call chain down to the source). *)
+
+(** (path suffix, display name) of the nondeterministic sources:
+    unseeded [Random.*] ([Random.State] passes), wall/CPU clocks, [Gc]
+    statistics, [Domain.self], environment reads, temp-file creation,
+    the monotonic [Clock]. *)
+val sources : (string list * string) list
+
+(** [Nondet trace]: the call chain to the source, source last, e.g.
+    [["Flows.run"; "Flows.timed"; "Clock.timed"]]. *)
+type klass = Pure | Det_effectful | Nondet of string list
+
+type t
+
+(** Direct-evidence scan per function, then propagation over the call
+    graph until stable.  Functions from [exempt_units] (raw unit
+    names; the pool implementation) are never classified
+    nondeterministic — their clock reads implement the engine's
+    telemetry and cannot reach a task result. *)
+val build : ?exempt_units:string list -> Concur.project -> t
+
+val classify : t -> Concur.fn -> klass
+
+(** First (source-order) nondeterministic reference in a subtree: a
+    source-table hit or a reference to a nondet-classified project
+    function, with its location and trace.  [unit_name] and the alias
+    environment drive call resolution, so this works inside arbitrary
+    closures. *)
+val nondet_use :
+  t ->
+  unit_name:string ->
+  Pathx.alias_env ->
+  Typedtree.expression ->
+  (Location.t * string list) option
+
+(** ["Flows.run > Flows.timed > Clock.timed"]. *)
+val render_trace : string list -> string

@@ -3,6 +3,13 @@
     argument.  These closures run on worker domains; C1 and C2 analyze
     exactly them. *)
 
+(** The (path suffix, display name) table of functions whose closure
+    arguments escape to worker domains.  Exposed so the test suite can
+    assert that every site the byte-identity suites exercise
+    ([Pool.map], the hier pmap, speculative waves) is audited by the
+    task-closure rules (C1/C2/C7). *)
+val sinks : (string list * string) list
+
 type site = {
   sink : string;  (** display name, e.g. ["Pool.map"] *)
   closure : Typedtree.expression;  (** the literal [fun ...] argument *)

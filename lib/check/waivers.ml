@@ -3,15 +3,13 @@
    audited — a waiver that suppressed nothing is itself reported, so
    waivers cannot rot when the code under them is fixed or moves.
 
-   The scanner is shared with merlin_lint (Driver.check_waiver_marks),
-   which owns the complementary well-formedness check (unknown
-   tokens). *)
+   The comment grammar and the token list live in
+   Merlin_lint.Waiver_mark (one definition for both tiers); the linter
+   owns the complementary well-formedness check (unknown tokens). *)
 
 module Finding = Merlin_lint.Finding
 
-let tokens =
-  [ "domain-safe"; "exn-flow"; "dead-export"; "lock-order"; "blocking-ok";
-    "fd-escape" ]
+let tokens = Merlin_lint.Waiver_mark.check_tokens
 
 type t = {
   files : (string, (int * string) list) Hashtbl.t;
@@ -32,7 +30,7 @@ let register_file t path =
     let marks =
       if Sys.file_exists path then
         match read_file path with
-        | text -> Merlin_lint.Driver.check_waiver_marks text
+        | text -> Merlin_lint.Waiver_mark.check_marks text
         | exception Sys_error _ -> []
       else []
     in
@@ -50,21 +48,27 @@ let waived t ~file ~line ~token =
     true)
   else false
 
-let stale t =
-  Hashtbl.fold
-    (fun file marks acc ->
-       List.fold_left
-         (fun acc (line, token) ->
-            if
-              List.exists (String.equal token) tokens
-              && not (Hashtbl.mem t.used (file, line, token))
-            then
-              Finding.make ~file ~line ~col:0 ~rule:"stale-waiver"
-                ~severity:Finding.Warning
-                (Printf.sprintf
-                   "stale waiver: no %s finding on this line to suppress"
-                   token)
-              :: acc
-            else acc)
-         acc marks)
-    t.files []
+(* Under a --rules filter only the active rules' tokens are auditable:
+   a waiver for a deselected rule suppressed nothing *this run*, which
+   says nothing about the full scan.  The fold iterates in bucket
+   order; the sort below makes the result source-ordered — the
+   in-check proof that rule C9's required shape composes. *)
+let stale ?(tokens = tokens) t =
+  List.sort Finding.compare_order
+    (Hashtbl.fold
+       (fun file marks acc ->
+          List.fold_left
+            (fun acc (line, token) ->
+               if
+                 List.exists (String.equal token) tokens
+                 && not (Hashtbl.mem t.used (file, line, token))
+               then
+                 Finding.make ~file ~line ~col:0 ~rule:"stale-waiver"
+                   ~severity:Finding.Warning
+                   (Printf.sprintf
+                      "stale waiver: no %s finding on this line to suppress"
+                      token)
+                 :: acc
+               else acc)
+            acc marks)
+       t.files [])

@@ -4,7 +4,8 @@
 
 (** The tokens the typed rules consume: [domain-safe] (C1), [exn-flow]
     (C2), [dead-export] (C3), [lock-order] (C4), [blocking-ok] (C5),
-    [fd-escape] (C6). *)
+    [fd-escape] (C6), [nondet-ok] (C7-C9).  One definition, re-exported
+    from {!Merlin_lint.Waiver_mark}. *)
 val tokens : string list
 
 type t
@@ -20,5 +21,7 @@ val register_file : t -> string -> unit
 val waived : t -> file:string -> line:int -> token:string -> bool
 
 (** Warning findings for every known-token waiver never consumed by a
-    rule.  Call after all rules ran. *)
-val stale : t -> Merlin_lint.Finding.t list
+    rule, source-ordered.  Call after all rules ran.  [tokens] restricts
+    the audit to the active rules' tokens (a waiver for a rule this run
+    did not execute is not auditable); defaults to the full list. *)
+val stale : ?tokens:string list -> t -> Merlin_lint.Finding.t list

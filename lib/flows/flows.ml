@@ -13,6 +13,8 @@ type metrics = {
   wirelength : int;
   loops : int;
   clusters : int;
+  levels : int;
+  cluster_sizes : int list;
   tree : Rtree.t;
 }
 
@@ -20,8 +22,8 @@ type metrics = {
    NTP-step sensitive and would corrupt the runtime/speedup columns. *)
 let timed f = Merlin_exec.Clock.timed f
 
-let metrics_of_tree ~flow ~tech ~loops ?(clusters = 0) ~runtime (net : Net.t)
-    tree =
+let metrics_of_tree ~flow ~tech ~loops ?(clusters = 0) ?(levels = 0)
+    ?(cluster_sizes = []) ~runtime (net : Net.t) tree =
   let ev = Eval.net tech net tree in
   { flow;
     area = ev.Eval.area;
@@ -32,6 +34,8 @@ let metrics_of_tree ~flow ~tech ~loops ?(clusters = 0) ~runtime (net : Net.t)
     wirelength = ev.Eval.wirelength;
     loops;
     clusters;
+    levels;
+    cluster_sizes;
     tree }
 
 (* ---------- Flow I: LTTREE + PTREE ---------- *)
@@ -252,7 +256,11 @@ let rec run ?pool ({ tech; buffers; algo } as spec) net =
     let h, runtime =
       timed (fun () ->
           Merlin_hier.Hier.route ~tech ~cluster ?pool
-            ~route:(fun _part sub -> run inner_spec sub)
+            (* The inner run's only nondeterminism is its runtime
+               telemetry (Clock.timed); the routed tree and every other
+               metric are bit-identical at any -j, which is what the
+               hier determinism qcheck suite pins down. *)
+            ~route:(fun _part sub -> run inner_spec sub) (* check: nondet-ok *)
             ~tree_of:(fun (m : metrics) -> m.tree)
             net)
     in
@@ -264,8 +272,10 @@ let rec run ?pool ({ tech; buffers; algo } as spec) net =
         0 h.Merlin_hier.Hier.parts
     in
     metrics_of_tree ~flow:"IV:HIER" ~tech ~loops
-      ~clusters:h.Merlin_hier.Hier.n_clusters ~runtime net
-      h.Merlin_hier.Hier.tree
+      ~clusters:h.Merlin_hier.Hier.n_clusters
+      ~levels:h.Merlin_hier.Hier.levels
+      ~cluster_sizes:(Array.to_list h.Merlin_hier.Hier.sizes)
+      ~runtime net h.Merlin_hier.Hier.tree
 
 let wire_metrics ?(with_tree = false) (m : metrics) =
   { Merlin_report.Metrics.flow = m.flow;
@@ -277,6 +287,8 @@ let wire_metrics ?(with_tree = false) (m : metrics) =
     wirelength = m.wirelength;
     loops = m.loops;
     clusters = m.clusters;
+    levels = m.levels;
+    cluster_sizes = m.cluster_sizes;
     tree = (if with_tree then Some m.tree else None) }
 
 let all ~tech ~buffers ?cfg3 net =

@@ -33,6 +33,13 @@ type metrics = {
   loops : int;         (** MERLIN iterations (1 for flows I and II;
                            summed over all parts for flow IV) *)
   clusters : int;      (** flow IV cluster count; 0 for the flat flows *)
+  levels : int;        (** flow IV decomposition depth ({!Merlin_hier.Hier}:
+                           1 = flat, 2 = clusters + flat top, 3+ = the
+                           top net was decomposed again); 0 for the
+                           flat flows *)
+  cluster_sizes : int list;  (** flow IV sinks per first-level cluster,
+                                 in cluster order; [] for the flat
+                                 flows *)
   tree : Rtree.t;
 }
 

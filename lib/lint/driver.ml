@@ -1,51 +1,8 @@
 (* ---------- waivers ---------- *)
 
-(* A waiver is a same-line comment carrying [lint: <token>] (or, for
-   the typed tier, [check: <token>]) inside comment syntax.  The opener
-   strings are assembled from pieces so this very file can never be
-   mistaken for carrying a waiver. *)
-let lint_opener = "(* " ^ "lint: "
-
-let check_opener = "(* " ^ "check: "
-
-let is_token_char c =
-  match c with 'a' .. 'z' | '0' .. '9' | '-' -> true | _ -> false
-
-let token_at line i =
-  let n = String.length line in
-  let rec stop j = if j < n && is_token_char line.[j] then stop (j + 1) else j in
-  let j = stop i in
-  if j > i then Some (String.sub line i (j - i)) else None
-
-(* All [(line, token)] waiver marks in [text] for a given opener.  A
-   line can carry several waivers (several rules waived at once). *)
-let scan_waivers ~opener text =
-  let on = String.length opener in
-  let marks = ref [] in
-  List.iteri
-    (fun i line ->
-       let n = String.length line in
-       let rec from pos =
-         if pos + on > n then ()
-         else if String.sub line pos on = opener then (
-           (match token_at line (pos + on) with
-            | Some token -> marks := (i + 1, token) :: !marks
-            | None -> ());
-           from (pos + on))
-         else from (pos + 1)
-       in
-       from 0)
-    (String.split_on_char '\n' text);
-  List.rev !marks
-
-(* Tokens merlin_check's typed rules consume; the linter can only vet
-   check-waivers for being well-formed, staleness of the valid ones is
-   merlin_check's job (it knows which lines its rules would flag). *)
-let check_tokens =
-  [ "domain-safe"; "exn-flow"; "dead-export"; "lock-order"; "blocking-ok";
-    "fd-escape" ]
-
-let check_waiver_marks text = scan_waivers ~opener:check_opener text
+(* The waiver comment grammar and the typed-tier token list live in
+   Waiver_mark (shared with merlin_check); the driver owns staleness of
+   the lint-tier marks only. *)
 
 let stale_waiver_rule = "stale-waiver"
 
@@ -54,13 +11,21 @@ let rule_names rules =
 
 (* Stale-waiver findings for one file: every [lint:] waiver that no rule
    consumed (either the rule never fired on that line, or the token is
-   not a rule name at all), plus [check:] waivers with unknown tokens. *)
+   not a rule name at all), plus [check:] waivers with unknown tokens.
+   Knownness is judged against the full rule registry, not the active
+   subset: under a --rules filter a waiver for a deselected rule is
+   neither stale nor unknown — this run cannot tell. *)
 let stale_findings ~filename ~rules ~lint_marks ~check_marks ~used =
-  let known = rule_names rules in
+  let known = rule_names Rules.all in
+  let active = rule_names rules in
   let stale_lint =
     List.filter_map
       (fun (line, token) ->
          if Hashtbl.mem used (line, token) then None
+         else if
+           List.exists (String.equal token) known
+           && not (List.exists (String.equal token) active)
+         then None
          else
            let message =
              if List.exists (String.equal token) known then
@@ -76,7 +41,8 @@ let stale_findings ~filename ~rules ~lint_marks ~check_marks ~used =
   let stale_check =
     List.filter_map
       (fun (line, token) ->
-         if List.exists (String.equal token) check_tokens then None
+         if List.exists (String.equal token) Waiver_mark.check_tokens then
+           None
          else
            Some
              (Finding.make ~file:filename ~line ~col:0
@@ -103,8 +69,8 @@ let parse_error_finding exn =
 
 let lint_string ?(rules = Rules.all) ~filename text =
   let findings = ref [] in
-  let lint_marks = scan_waivers ~opener:lint_opener text in
-  let check_marks = scan_waivers ~opener:check_opener text in
+  let lint_marks = Waiver_mark.lint_marks text in
+  let check_marks = Waiver_mark.check_marks text in
   let used : (int * string, unit) Hashtbl.t = Hashtbl.create 8 in
   let line_waived ~token ~line =
     if

@@ -17,11 +17,6 @@
 val lint_string :
   ?rules:(module Rule.S) list -> filename:string -> string -> Finding.t list
 
-(** All same-line [check: <token>] waiver marks in a source text, as
-    [(line, token)] pairs — shared with merlin_check, which owns
-    staleness of the typed-tier waivers. *)
-val check_waiver_marks : string -> (int * string) list
-
 (** All [.ml]/[.mli] files under the given files/directories, sorted;
     directories starting with ['.'] or ['_'] (e.g. [_build]) and
     fixture trees ([*_fixtures]) are skipped. *)

@@ -1,0 +1,54 @@
+(* Same-line waiver comment scanning, shared by the syntactic tier
+   (Driver) and the typed tier (merlin_check's Waivers): a comment
+   carrying [lint: <token>] (or, for the typed tier, [check: <token>])
+   waives one rule on its line.  This module is the single definition
+   of the comment grammar and of the typed-tier token list, so a token
+   like [nondet-ok] exists exactly once.
+
+   The opener strings are assembled from pieces so this very file can
+   never be mistaken for carrying a waiver. *)
+
+let lint_opener = "(* " ^ "lint: "
+
+let check_opener = "(* " ^ "check: "
+
+let is_token_char c =
+  match c with 'a' .. 'z' | '0' .. '9' | '-' -> true | _ -> false
+
+let token_at line i =
+  let n = String.length line in
+  let rec stop j = if j < n && is_token_char line.[j] then stop (j + 1) else j in
+  let j = stop i in
+  if j > i then Some (String.sub line i (j - i)) else None
+
+(* All [(line, token)] waiver marks in [text] for a given opener.  A
+   line can carry several waivers (several rules waived at once). *)
+let scan ~opener text =
+  let on = String.length opener in
+  let marks = ref [] in
+  List.iteri
+    (fun i line ->
+       let n = String.length line in
+       let rec from pos =
+         if pos + on > n then ()
+         else if String.sub line pos on = opener then (
+           (match token_at line (pos + on) with
+            | Some token -> marks := (i + 1, token) :: !marks
+            | None -> ());
+           from (pos + on))
+         else from (pos + 1)
+       in
+       from 0)
+    (String.split_on_char '\n' text);
+  List.rev !marks
+
+let lint_marks text = scan ~opener:lint_opener text
+
+let check_marks text = scan ~opener:check_opener text
+
+(* Tokens merlin_check's typed rules consume; the linter can only vet
+   check-waivers for being well-formed, staleness of the valid ones is
+   merlin_check's job (it knows which lines its rules would flag). *)
+let check_tokens =
+  [ "domain-safe"; "exn-flow"; "dead-export"; "lock-order"; "blocking-ok";
+    "fd-escape"; "nondet-ok" ]

@@ -1,0 +1,15 @@
+(** Same-line waiver comment scanning, shared by the syntactic tier
+    and merlin_check's typed tier.  One definition of the waiver
+    comment grammar and of the typed-tier token list. *)
+
+(** All same-line [lint: <token>] marks in a source text as
+    [(line, token)] pairs; a line can carry several. *)
+val lint_marks : string -> (int * string) list
+
+(** All same-line [check: <token>] marks in a source text. *)
+val check_marks : string -> (int * string) list
+
+(** The tokens the typed rules consume: [domain-safe] (C1), [exn-flow]
+    (C2), [dead-export] (C3), [lock-order] (C4), [blocking-ok] (C5),
+    [fd-escape] (C6), [nondet-ok] (C7-C9). *)
+val check_tokens : string list

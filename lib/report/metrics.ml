@@ -28,6 +28,8 @@ type t = {
   wirelength : int;
   loops : int;
   clusters : int;
+  levels : int;
+  cluster_sizes : int list;
   tree : Rtree.t option;
 }
 
@@ -76,10 +78,17 @@ let to_json (m : t) =
   let tree =
     match m.tree with None -> [] | Some t -> [ ("tree", tree_to_json t) ]
   in
-  (* [clusters] appears only for the hierarchical flow, so flat-flow
-     documents stay byte-identical to schema-v1 emitters that predate
-     the field (old decoders also read the new flat documents). *)
+  (* [clusters]/[levels]/[cluster_sizes] appear only for the
+     hierarchical flow, so flat-flow documents stay byte-identical to
+     schema-v1 emitters that predate the fields (old decoders also read
+     the new flat documents). *)
   let clusters = if m.clusters > 0 then [ ("clusters", int m.clusters) ] else [] in
+  let levels = if m.levels > 0 then [ ("levels", int m.levels) ] else [] in
+  let cluster_sizes =
+    match m.cluster_sizes with
+    | [] -> []
+    | sizes -> [ ("cluster_sizes", Json.List (List.map int sizes)) ]
+  in
   Json.Obj
     ([ ("v", int version);
        ("flow", Json.Str m.flow);
@@ -90,7 +99,7 @@ let to_json (m : t) =
        ("n_buffers", int m.n_buffers);
        ("wirelength", int m.wirelength);
        ("loops", int m.loops) ]
-    @ clusters @ tree)
+    @ clusters @ levels @ cluster_sizes @ tree)
 
 (* ---------- decoding ---------- *)
 
@@ -187,6 +196,29 @@ let of_json j =
       | None -> Ok 0
       | Some _ -> fint "clusters" j
     in
+    let* levels =
+      match Json.member "levels" j with
+      | None -> Ok 0
+      | Some _ -> fint "levels" j
+    in
+    let* cluster_sizes =
+      match Json.member "cluster_sizes" j with
+      | None -> Ok []
+      | Some v ->
+        (match Json.to_list v with
+         | None -> Error "field \"cluster_sizes\": expected a list"
+         | Some items ->
+           List.fold_left
+             (fun acc item ->
+                let* acc = acc in
+                match Json.to_num item with
+                | Some f when Float.is_integer f ->
+                  Ok (int_of_float f :: acc)
+                | Some _ | None ->
+                  Error "field \"cluster_sizes\": expected integers")
+             (Ok []) items
+           |> Result.map List.rev)
+    in
     let* tree =
       match Json.member "tree" j with
       | None -> Ok None
@@ -194,4 +226,4 @@ let of_json j =
     in
     Ok
       { flow; area; delay; root_req; runtime; n_buffers; wirelength; loops;
-        clusters; tree }
+        clusters; levels; cluster_sizes; tree }

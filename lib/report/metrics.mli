@@ -24,6 +24,12 @@ type t = {
   loops : int;         (** MERLIN iterations (1 for flows I and II) *)
   clusters : int;      (** hierarchical-flow cluster count; 0 for flat
                            flows, and then omitted from the document *)
+  levels : int;        (** hierarchical-flow decomposition depth; 0 for
+                           flat flows, and then omitted from the
+                           document *)
+  cluster_sizes : int list;  (** hierarchical-flow sinks per first-level
+                                 cluster; [] for flat flows, and then
+                                 omitted from the document *)
   tree : Rtree.t option;  (** routing tree, omitted from compact replies *)
 }
 

@@ -133,8 +133,11 @@ let route t (r : Wire.request) =
     let pool = Scheduler.pool t.sched in
     let outcome =
       match
+        (* Flows.run's only nondeterminism is its runtime telemetry
+           (Clock.timed); the cached payload is replay-identical bar
+           the runtime field, which every comparison zeroes. *)
         Scheduler.schedule t.sched ~key ?deadline_s (fun () ->
-            Flows.run ~pool spec net)
+            Flows.run ~pool spec net (* check: nondet-ok *))
       with
       | o -> finish (); o
       | exception e -> finish (); raise e

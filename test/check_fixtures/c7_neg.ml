@@ -1,0 +1,16 @@
+(* C7 negative: deterministic task closures.  A carried
+   [Random.State] is the caller's seed — [Random.State.int] must not
+   suffix-match the unseeded [Random.int] — and a pure helper keeps
+   an interprocedural call clean. *)
+
+module Pool = struct
+  let map f xs = List.map f xs
+end
+
+(* Seeded per element: same inputs, same draws, any replay. *)
+let keyed xs =
+  Pool.map (fun x -> x + Random.State.int (Random.State.make [| x |]) 7) xs
+
+let double x = x * 2
+
+let doubled xs = Pool.map (fun x -> double x) xs

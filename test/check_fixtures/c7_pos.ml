@@ -1,0 +1,19 @@
+(* C7 positive: task closures reaching nondeterminism, directly and
+   through a helper.  The stub Pool keeps the fixture self-contained;
+   merlin_check matches sink names by path suffix. *)
+
+module Pool = struct
+  let map f xs = List.map f xs
+  let submit f = f ()
+end
+
+(* Direct source-table hit inside the task closure: the draw comes
+   from the global generator, so replaying the task can differ. *)
+let shuffle_keys xs = Pool.map (fun x -> (x, Random.int 1000)) xs
+
+(* Interprocedural: the closure itself is clean; the helper it calls
+   draws from the global generator.  The finding's trace must name
+   the chain down to the source. *)
+let jitter () = Random.float 1.0
+
+let sample () = Pool.submit (fun () -> jitter ())

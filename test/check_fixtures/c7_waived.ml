@@ -1,0 +1,14 @@
+(* C7 waived: the clock read only feeds telemetry (the caller strips
+   it before any determinism comparison), and the same-line waiver
+   records that.  The stub Clock stands in for Merlin_exec.Clock. *)
+
+module Pool = struct
+  let submit f = f ()
+end
+
+module Clock = struct
+  let monotonic_s () = 0.0
+end
+
+let stamped () =
+  Pool.submit (fun () -> Clock.monotonic_s ()) (* check: nondet-ok *)

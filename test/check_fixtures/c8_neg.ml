@@ -1,0 +1,16 @@
+(* C8 negative: keys that are a deterministic function of the
+   request.  Same stub Lru as c8_pos. *)
+
+module Lru = struct
+  type ('k, 'v) t = ('k * 'v) list ref
+
+  let find (t : ('k, 'v) t) k = List.assoc_opt k !t
+
+  let add (t : ('k, 'v) t) k v = t := (k, v) :: !t
+end
+
+let lookup (t : (int, string) Lru.t) name = Lru.find t (String.length name)
+
+let insert (t : (string, int) Lru.t) name v =
+  let key = name ^ "!" in
+  Lru.add t key v

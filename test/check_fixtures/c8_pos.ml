@@ -1,0 +1,30 @@
+(* C8 positive: nondeterminism flowing into cache/request keys — a
+   direct draw in the key argument, taint through chained let
+   bindings, and a wall-clock read inside a request-key build.  The
+   stub Lru/Wire mirror the serving layer's shapes (the analyzer
+   matches by path suffix). *)
+
+module Lru = struct
+  type ('k, 'v) t = ('k * 'v) list ref
+
+  let create () : ('k, 'v) t = ref []
+
+  let find (t : ('k, 'v) t) k = List.assoc_opt k !t
+
+  let add (t : ('k, 'v) t) k v = t := (k, v) :: !t
+end
+
+module Wire = struct
+  let request_key a b = a ^ "\000" ^ b
+end
+
+let lookup (t : (int, string) Lru.t) = Lru.find t (Random.int 100)
+
+let insert (t : (int, string) Lru.t) v =
+  let salt = Random.bits () in
+  let key = salt + 1 in
+  Lru.add t key v
+
+let req () = Wire.request_key "spec" (string_of_float (Sys.time ()))
+
+let touch () = ignore (Lru.create () : (int, string) Lru.t)

@@ -1,0 +1,11 @@
+(* C8 waived: a test probing cache-miss behavior deliberately uses a
+   key that never hits; the same-line waiver records the intent. *)
+
+module Lru = struct
+  type ('k, 'v) t = ('k * 'v) list ref
+
+  let find (t : ('k, 'v) t) k = List.assoc_opt k !t
+end
+
+let probe_miss (t : (int, string) Lru.t) =
+  Lru.find t (Random.bits ()) (* check: nondet-ok *)

@@ -1,0 +1,10 @@
+(* C9 negative: traversal products sorted before they escape — once
+   directly inside the sorting application, once through a let
+   binding sorted downstream. *)
+
+let sorted_names (tbl : (string, int) Hashtbl.t) =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let sorted_rows (tbl : (string, int) Hashtbl.t) =
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) rows

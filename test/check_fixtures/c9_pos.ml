@@ -1,0 +1,9 @@
+(* C9 positive: Hashtbl traversal products escaping unsorted — the
+   returned list and the printed report both depend on bucket
+   order. *)
+
+let names (tbl : (string, int) Hashtbl.t) =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let dump (tbl : (string, int) Hashtbl.t) =
+  Hashtbl.iter (fun k v -> print_string (k ^ "=" ^ string_of_int v)) tbl

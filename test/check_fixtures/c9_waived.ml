@@ -1,0 +1,6 @@
+(* C9 waived: integer summation is commutative and associative, so
+   bucket order provably cannot change the total; the analysis cannot
+   see commutativity, the same-line waiver records it. *)
+
+let total (tbl : (string, int) Hashtbl.t) =
+  Hashtbl.fold (fun _ v acc -> acc + v) tbl 0 (* check: nondet-ok *)

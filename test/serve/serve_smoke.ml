@@ -147,7 +147,10 @@ let () =
     requests;
   (match replies.(3) with
    | Some (_, _, m) ->
-     check "hier reply carries a cluster count" (m.Metrics.clusters > 1)
+     check "hier reply carries a cluster count" (m.Metrics.clusters > 1);
+     check "hier reply carries a decomposition depth" (m.Metrics.levels >= 2);
+     check "hier reply sizes match the cluster count"
+       (List.length m.Metrics.cluster_sizes = m.Metrics.clusters)
    | None -> fail "r-flow4: no reply");
   print_endline "smoke: concurrent submits byte-identical to direct runs";
 

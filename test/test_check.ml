@@ -22,7 +22,9 @@ let fixture_files =
   [ "exports.mli"; "exports.ml"; "user.ml"; "c1_pos.ml"; "c1_neg.ml";
     "c1_waived.ml"; "c2_pos.ml"; "c2_neg.ml"; "stale.ml"; "c4_pos.ml";
     "c4_neg.ml"; "c4_waived.ml"; "c5_pos.ml"; "c5_neg.ml"; "c5_waived.ml";
-    "c6_pos.ml"; "c6_neg.ml"; "c6_waived.ml" ]
+    "c6_pos.ml"; "c6_neg.ml"; "c6_waived.ml"; "c7_pos.ml"; "c7_neg.ml";
+    "c7_waived.ml"; "c8_pos.ml"; "c8_neg.ml"; "c8_waived.ml"; "c9_pos.ml";
+    "c9_neg.ml"; "c9_waived.ml" ]
 
 let read_file path =
   let ic = open_in_bin path in
@@ -247,6 +249,199 @@ let test_c6_waived () =
   Alcotest.(check int) "lifetime fd waived" 0 (count_rule "fd-leak" fs);
   Alcotest.(check int) "waiver consumed" 0 (count_rule "stale-waiver" fs)
 
+(* ---- C7 ---- *)
+
+let test_c7_positive () =
+  let fs = findings_for "c7_pos.ml" in
+  Alcotest.(check int) "direct draw + nondet helper" 2
+    (count_rule "nondet-in-task" fs);
+  (* The interprocedural finding carries the call chain to the
+     source. *)
+  Alcotest.(check bool) "trace names the helper chain" true
+    (List.exists
+       (fun (f : Finding.t) ->
+          contains f.Finding.message "C7_pos.jitter > Random.float")
+       fs)
+
+let test_c7_negative () =
+  Alcotest.(check int) "seeded state and pure helper are clean" 0
+    (List.length (findings_for "c7_neg.ml"))
+
+let test_c7_waived () =
+  let fs = findings_for "c7_waived.ml" in
+  Alcotest.(check int) "telemetry clock read waived" 0
+    (count_rule "nondet-in-task" fs);
+  Alcotest.(check int) "waiver consumed" 0 (count_rule "stale-waiver" fs)
+
+(* ---- C8 ---- *)
+
+let test_c8_positive () =
+  let fs = findings_for "c8_pos.ml" in
+  Alcotest.(check int) "direct key, tainted let, request_key" 3
+    (count_rule "impure-cache-key" fs);
+  Alcotest.(check bool) "impure keys are errors" true
+    (List.for_all
+       (fun (f : Finding.t) ->
+          (not (String.equal f.Finding.rule "impure-cache-key"))
+          || Finding.is_error f)
+       fs);
+  Alcotest.(check bool) "taint names the let binder" true
+    (List.exists
+       (fun (f : Finding.t) ->
+          contains f.Finding.message "through let-bound key")
+       fs)
+
+let test_c8_negative () =
+  Alcotest.(check int) "request-derived keys are clean" 0
+    (List.length (findings_for "c8_neg.ml"))
+
+let test_c8_waived () =
+  let fs = findings_for "c8_waived.ml" in
+  Alcotest.(check int) "deliberate miss probe waived" 0
+    (count_rule "impure-cache-key" fs);
+  Alcotest.(check int) "waiver consumed" 0 (count_rule "stale-waiver" fs)
+
+(* ---- C9 ---- *)
+
+let test_c9_positive () =
+  let fs = findings_for "c9_pos.ml" in
+  Alcotest.(check int) "unsorted fold + iter" 2
+    (count_rule "order-sensitive-fold" fs);
+  Alcotest.(check bool) "names the traversal" true
+    (List.exists
+       (fun (f : Finding.t) -> contains f.Finding.message "Hashtbl.iter")
+       fs)
+
+let test_c9_negative () =
+  Alcotest.(check int) "sorted directly and downstream are clean" 0
+    (List.length (findings_for "c9_neg.ml"))
+
+let test_c9_waived () =
+  let fs = findings_for "c9_waived.ml" in
+  Alcotest.(check int) "commutative fold waived" 0
+    (count_rule "order-sensitive-fold" fs);
+  Alcotest.(check int) "waiver consumed" 0 (count_rule "stale-waiver" fs)
+
+(* ---- purity summaries (the machinery under C7-C9) ---- *)
+
+let test_purity_classify () =
+  let units, _, _ = Lazy.force analysis in
+  let project = Merlin_check.Concur.build units in
+  let purity = Merlin_check.Purity.build project in
+  let classify unit name =
+    match
+      List.find_opt
+        (fun (fn : Merlin_check.Concur.fn) ->
+           String.equal fn.Merlin_check.Concur.fn_unit unit
+           && String.equal fn.Merlin_check.Concur.fn_name name)
+        (Merlin_check.Concur.fns project)
+    with
+    | Some fn -> Merlin_check.Purity.classify purity fn
+    | None -> Alcotest.failf "function %s.%s not inventoried" unit name
+  in
+  (match classify "C7_pos" "jitter" with
+   | Merlin_check.Purity.Nondet trace ->
+     Alcotest.(check (list string)) "direct trace is the source"
+       [ "Random.float" ] trace
+   | Merlin_check.Purity.Pure | Merlin_check.Purity.Det_effectful ->
+     Alcotest.fail "jitter must be nondeterministic");
+  (* The fixpoint charges the caller with the chain to the source. *)
+  (match classify "C7_pos" "sample" with
+   | Merlin_check.Purity.Nondet trace ->
+     Alcotest.(check (list string)) "propagated trace"
+       [ "C7_pos.jitter"; "Random.float" ] trace
+   | Merlin_check.Purity.Pure | Merlin_check.Purity.Det_effectful ->
+     Alcotest.fail "sample must be nondeterministic");
+  (match classify "C7_neg" "double" with
+   | Merlin_check.Purity.Pure -> ()
+   | Merlin_check.Purity.Det_effectful | Merlin_check.Purity.Nondet _ ->
+     Alcotest.fail "double must be pure");
+  (* Seeded state draws are deterministic; the state mutation makes
+     the function effectful at most. *)
+  (match classify "C7_neg" "keyed" with
+   | Merlin_check.Purity.Nondet _ ->
+     Alcotest.fail "seeded Random.State must not be nondeterministic"
+   | Merlin_check.Purity.Pure | Merlin_check.Purity.Det_effectful -> ());
+  match classify "C9_pos" "dump" with
+  | Merlin_check.Purity.Det_effectful -> ()
+  | Merlin_check.Purity.Pure -> Alcotest.fail "printing is an effect"
+  | Merlin_check.Purity.Nondet _ ->
+    Alcotest.fail "printing must not be nondeterministic"
+
+let test_purity_sources_table () =
+  (* Every source's display name is exactly its dotted suffix — the
+     message vocabulary stays greppable against the table. *)
+  List.iter
+    (fun (suffix, name) ->
+       Alcotest.(check string) name name (String.concat "." suffix))
+    Merlin_check.Purity.sources;
+  (* The seeds the issue calls out are present. *)
+  List.iter
+    (fun name ->
+       Alcotest.(check bool) name true
+         (List.exists
+            (fun (_, n) -> String.equal n name)
+            Merlin_check.Purity.sources))
+    [ "Random.int"; "Unix.gettimeofday"; "Sys.time"; "Gc.stat";
+      "Domain.self"; "Sys.getenv"; "Filename.temp_file";
+      "Clock.monotonic_s"; "Clock.timed" ]
+
+(* Every sink the byte-identity suites exercise (Pool.map in
+   test_exec, the hier pmap, the scheduler's speculative waves) must
+   be audited by the task-closure rules — otherwise "order
+   independent" is only tested, never statically guarded. *)
+let test_task_sinks_cover_identity_suites () =
+  let displays = List.map snd Merlin_check.Task_sites.sinks in
+  List.iter
+    (fun sink ->
+       Alcotest.(check bool) sink true
+         (List.exists (String.equal sink) displays))
+    [ "Pool.submit"; "Pool.map"; "Pool.run_timeout"; "Flow_runner.run";
+      "Scheduler.schedule"; "Hier.route" ]
+
+(* ---- --rules selectors ---- *)
+
+let test_rule_selectors () =
+  (match Check_driver.resolve_selector "C7" with
+   | Ok name -> Alcotest.(check string) "code" "nondet-in-task" name
+   | Error msg -> Alcotest.fail msg);
+  (match Check_driver.resolve_selector "c9" with
+   | Ok name ->
+     Alcotest.(check string) "lowercase code" "order-sensitive-fold" name
+   | Error msg -> Alcotest.fail msg);
+  (match Check_driver.resolve_selector "impure-cache-key" with
+   | Ok name -> Alcotest.(check string) "name" "impure-cache-key" name
+   | Error msg -> Alcotest.fail msg);
+  match Check_driver.resolve_selector "C42" with
+  | Ok name -> Alcotest.failf "bogus selector resolved to %s" name
+  | Error msg ->
+    Alcotest.(check bool) "error names the selector" true
+      (contains msg "C42")
+
+(* A filtered run analyzes only the selected rules, and a waiver for
+   an inactive rule is not reported stale. *)
+let test_rules_filter () =
+  let units, errs, _ = Lazy.force analysis in
+  let fs = Check_driver.analyze ~rules:[ "order-sensitive-fold" ] (units, errs) in
+  let in_file base rule =
+    count_rule rule
+      (List.filter
+         (fun (f : Finding.t) ->
+            String.equal (Filename.basename f.Finding.file) base)
+         fs)
+  in
+  Alcotest.(check int) "C9 still fires" 2 (in_file "c9_pos.ml" "order-sensitive-fold");
+  Alcotest.(check int) "C1 gated off" 0 (in_file "c1_pos.ml" "domain-unsafe-capture");
+  Alcotest.(check int) "C8 gated off" 0 (in_file "c8_pos.ml" "impure-cache-key");
+  (* c1_waived's domain-safe waiver is unconsumed in this run, but its
+     rule is inactive — it must not be called stale. *)
+  Alcotest.(check int) "inactive waiver not stale" 0
+    (in_file "c1_waived.ml" "stale-waiver");
+  (* c9_waived's nondet-ok token belongs to an active rule and is
+     consumed. *)
+  Alcotest.(check int) "active waiver consumed" 0
+    (in_file "c9_waived.ml" "stale-waiver")
+
 (* ---- waiver staleness ---- *)
 
 let test_stale_waiver () =
@@ -259,7 +454,7 @@ let test_tokens () =
        Alcotest.(check bool) tok true
          (List.exists (String.equal tok) Merlin_check.Waivers.tokens))
     [ "domain-safe"; "exn-flow"; "dead-export"; "lock-order"; "blocking-ok";
-      "fd-escape" ]
+      "fd-escape"; "nondet-ok" ]
 
 (* ---- SARIF round-trip (qcheck) ---- *)
 
@@ -281,7 +476,8 @@ let arb_findings =
       [ ident;
         oneofl
           [ "lock-order"; "blocking-under-lock"; "fd-leak";
-            "domain-unsafe-capture"; "stale-baseline" ] ]
+            "domain-unsafe-capture"; "stale-baseline"; "nondet-in-task";
+            "impure-cache-key"; "order-sensitive-fold" ] ]
   in
   let finding =
     map
@@ -348,17 +544,21 @@ let test_baseline_prune () =
     Merlin_lint.Baseline.of_findings
       [ f "dead-export" "a.mli" "A.x is dead";
         f "dead-export" "a.mli" "A.x is dead";
-        f "fd-leak" "b.ml" "gone" ]
+        f "fd-leak" "b.ml" "gone";
+        (* determinism-tier entries prune like any other rule *)
+        f "nondet-in-task" "c.ml" "was waived away";
+        f "order-sensitive-fold" "d.ml" "now sorted" ]
   in
-  (* one of the two A.x findings remains; "gone" matches nothing *)
+  (* one of the two A.x findings remains; the rest match nothing *)
   let current = [ f "dead-export" "a.mli" "A.x is dead" ] in
   let survivors, stale, live =
     Merlin_lint.Baseline.apply_detailed baseline current
   in
   Alcotest.(check int) "nothing new" 0 (List.length survivors);
   Alcotest.(check (list (pair string int)))
-    "stale residue: half of A.x, all of gone"
-    [ ("dead-export", 1); ("fd-leak", 1) ]
+    "stale residue: half of A.x, all of the rest"
+    [ ("dead-export", 1); ("fd-leak", 1); ("nondet-in-task", 1);
+      ("order-sensitive-fold", 1) ]
     (List.map
        (fun (e : Merlin_lint.Baseline.entry) ->
           (e.Merlin_lint.Baseline.rule, e.Merlin_lint.Baseline.count))
@@ -403,6 +603,25 @@ let suite =
       Alcotest.test_case "C6 accepts discharged ownership" `Quick
         test_c6_negative;
       Alcotest.test_case "C6 honors waiver" `Quick test_c6_waived;
+      Alcotest.test_case "C7 flags nondet in task" `Quick test_c7_positive;
+      Alcotest.test_case "C7 accepts seeded state" `Quick test_c7_negative;
+      Alcotest.test_case "C7 honors waiver" `Quick test_c7_waived;
+      Alcotest.test_case "C8 flags impure keys" `Quick test_c8_positive;
+      Alcotest.test_case "C8 accepts request keys" `Quick test_c8_negative;
+      Alcotest.test_case "C8 honors waiver" `Quick test_c8_waived;
+      Alcotest.test_case "C9 flags unsorted traversal" `Quick
+        test_c9_positive;
+      Alcotest.test_case "C9 accepts sorted product" `Quick test_c9_negative;
+      Alcotest.test_case "C9 honors waiver" `Quick test_c9_waived;
+      Alcotest.test_case "purity fixpoint classifies" `Quick
+        test_purity_classify;
+      Alcotest.test_case "purity source table" `Quick
+        test_purity_sources_table;
+      Alcotest.test_case "task sinks cover identity suites" `Quick
+        test_task_sinks_cover_identity_suites;
+      Alcotest.test_case "--rules selectors" `Quick test_rule_selectors;
+      Alcotest.test_case "--rules filtered analysis" `Quick
+        test_rules_filter;
       Alcotest.test_case "stale waiver reported" `Quick test_stale_waiver;
       Alcotest.test_case "waiver tokens" `Quick test_tokens;
       Alcotest.test_case "github annotations" `Quick test_github_render;

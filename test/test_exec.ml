@@ -86,7 +86,9 @@ let test_timeout () =
          Timed_out without ever running. *)
       let slow =
         Pool.submit pool (fun () ->
-            let until = Clock.monotonic_s () +. 0.3 in
+            (* Deliberate wall-time busy-wait: this task exists to hog
+               the single worker, not to produce a value. *)
+            let until = Clock.monotonic_s () +. 0.3 in (* check: nondet-ok *)
             while Clock.monotonic_s () < until do
               ignore (Sys.opaque_identity 0)
             done;
@@ -112,7 +114,8 @@ let test_cancel () =
   Pool.with_pool ~domains:1 (fun pool ->
       let slow =
         Pool.submit pool (fun () ->
-            let until = Clock.monotonic_s () +. 0.1 in
+            (* Deliberate wall-time busy-wait, as above. *)
+            let until = Clock.monotonic_s () +. 0.1 in (* check: nondet-ok *)
             while Clock.monotonic_s () < until do
               ignore (Sys.opaque_identity 0)
             done)

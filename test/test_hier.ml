@@ -152,12 +152,17 @@ let run ?pool algo net = Flows.run ?pool { Flows.tech; buffers; algo } net
 
 (* Canonical byte form of a metrics record with the fields that
    legitimately differ between a hier run and its flat equivalent
-   (flow label, cluster count, wall time) normalized away. *)
+   (flow label, decomposition shape, wall time) normalized away. *)
 let canon (m : Flows.metrics) =
   Json.to_string
     (Merlin_report.Metrics.to_json
        (Flows.wire_metrics ~with_tree:true
-          { m with Flows.flow = "X"; clusters = 0; runtime = 0.0 }))
+          { m with
+            Flows.flow = "X";
+            clusters = 0;
+            levels = 0;
+            cluster_sizes = [];
+            runtime = 0.0 }))
 
 let single_cluster_equiv (n, seed) =
   let net = mk_net n seed in

@@ -48,6 +48,8 @@ let sample_metrics tree =
     wirelength = 8393;
     loops = 2;
     clusters = 0;
+    levels = 0;
+    cluster_sizes = [];
     tree }
 
 let roundtrip name m =
@@ -69,12 +71,37 @@ let test_metrics_roundtrip () =
   (* Flow IV documents carry a cluster count; flat documents omit the
      field entirely (schema v1 compatibility), and the decoder defaults
      it to 0. *)
-  roundtrip "with clusters" { (sample_metrics None) with Metrics.clusters = 7 }
+  roundtrip "with clusters" { (sample_metrics None) with Metrics.clusters = 7 };
+  (* ... and the full hier triple: count, depth and per-cluster sizes. *)
+  roundtrip "with hier fields"
+    { (sample_metrics None) with
+      Metrics.clusters = 3;
+      levels = 2;
+      cluster_sizes = [ 4; 5; 3 ] }
 
 let test_metrics_clusters_field () =
   let flat = Metrics.to_json (sample_metrics None) in
   Alcotest.(check bool) "flat document has no clusters field" true
     (match Json.member "clusters" flat with None -> true | Some _ -> false);
+  Alcotest.(check bool) "flat document has no levels field" true
+    (match Json.member "levels" flat with None -> true | Some _ -> false);
+  Alcotest.(check bool) "flat document has no cluster_sizes field" true
+    (match Json.member "cluster_sizes" flat with
+     | None -> true
+     | Some _ -> false);
+  (let hier =
+     Metrics.to_json
+       { (sample_metrics None) with
+         Metrics.clusters = 3;
+         levels = 2;
+         cluster_sizes = [ 4; 5; 3 ] }
+   in
+   match Metrics.of_json hier with
+   | Ok m ->
+     Alcotest.(check int) "levels encoded" 2 m.Metrics.levels;
+     Alcotest.(check (list int)) "cluster_sizes encoded" [ 4; 5; 3 ]
+       m.Metrics.cluster_sizes
+   | Error msg -> Alcotest.fail msg);
   let hier =
     Metrics.to_json { (sample_metrics None) with Metrics.clusters = 7 }
   in
@@ -82,7 +109,11 @@ let test_metrics_clusters_field () =
    | Some (Json.Num v) -> Alcotest.(check int) "clusters encoded" 7 (int_of_float v)
    | Some _ | None -> Alcotest.fail "hier document lacks clusters field");
   match Metrics.of_json flat with
-  | Ok m -> Alcotest.(check int) "decoder defaults clusters" 0 m.Metrics.clusters
+  | Ok m ->
+    Alcotest.(check int) "decoder defaults clusters" 0 m.Metrics.clusters;
+    Alcotest.(check int) "decoder defaults levels" 0 m.Metrics.levels;
+    Alcotest.(check (list int)) "decoder defaults cluster_sizes" []
+      m.Metrics.cluster_sizes
   | Error msg -> Alcotest.fail msg
 
 let test_metrics_versioning () =

@@ -248,6 +248,8 @@ let server_msg_roundtrip () =
       wirelength = 8393;
       loops = 2;
       clusters = 3;
+      levels = 2;
+      cluster_sizes = [ 4; 5; 3 ];
       tree = None }
   in
   List.iter
