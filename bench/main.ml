@@ -83,7 +83,10 @@ let counter_fields () =
   let open Merlin_core.Star_ptree in
   [ ("n_join_adds", c n_join_adds); ("n_close_adds", c n_close_adds);
     ("n_pull_adds", c n_pull_adds); ("n_base_adds", c n_base_adds);
-    ("n_cells", c n_cells); ("n_pulls", c n_pulls) ]
+    ("n_cells", c n_cells); ("n_pulls", c n_pulls);
+    ("n_joins", c n_joins); ("n_join_survivors", c n_join_survivors);
+    ("bytes_join", c bytes_join); ("bytes_close", c bytes_close);
+    ("bytes_pull", c bytes_pull); ("bytes_base", c bytes_base) ]
 
 let write_json ~opts ~table ~wall_s rows =
   match opts.json with
@@ -434,6 +437,181 @@ let hier_table ~opts pool () =
   write_json ~opts ~table:"hier" ~wall_s json_rows
 
 (* ------------------------------------------------------------------ *)
+(* Curve-kernel workload: bytes moved and frontier width               *)
+(* ------------------------------------------------------------------ *)
+
+(* Committed allocation budget for the exact-mode workload below:
+   bytes allocated per join build (Gc.allocated_bytes delta around the
+   join kernel entry point; the guarded exact rows measured 15.3K at
+   n=10 and 13.8K at n=12 with the arena-reused, tuple-free kernel —
+   see EXPERIMENTS.md "Bytes moved").  The --smoke run fails when the
+   measured value exceeds this by more than 25%, so an accidental
+   return to per-build scratch or per-candidate boxing cannot land
+   silently.  Recalibrate (with the measured value from a quiet
+   machine, recorded in EXPERIMENTS.md) when the kernel deliberately
+   changes. *)
+let alloc_budget_bytes_per_join = 16000.0
+
+type kernel_snap = {
+  k_joins : int;
+  k_join_adds : int;
+  k_join_survivors : int;
+  k_bytes_join : int;
+  k_bytes_close : int;
+  k_bytes_pull : int;
+  k_bytes_base : int;
+}
+
+let snap_kernel () =
+  let g = Atomic.get in
+  let open Merlin_core.Star_ptree in
+  { k_joins = g n_joins;
+    k_join_adds = g n_join_adds;
+    k_join_survivors = g n_join_survivors;
+    k_bytes_join = g bytes_join;
+    k_bytes_close = g bytes_close;
+    k_bytes_pull = g bytes_pull;
+    k_bytes_base = g bytes_base }
+
+let snap_delta a b =
+  { k_joins = b.k_joins - a.k_joins;
+    k_join_adds = b.k_join_adds - a.k_join_adds;
+    k_join_survivors = b.k_join_survivors - a.k_join_survivors;
+    k_bytes_join = b.k_bytes_join - a.k_bytes_join;
+    k_bytes_close = b.k_bytes_close - a.k_bytes_close;
+    k_bytes_pull = b.k_bytes_pull - a.k_bytes_pull;
+    k_bytes_base = b.k_bytes_base - a.k_bytes_base }
+
+let per j v = if j = 0 then 0.0 else float_of_int v /. float_of_int j
+
+(* One row of the curve workload: the full MERLIN flow (Flow III) on a
+   seeded net under the scaled config with the given frontier knobs.
+   Exact mode (epsilon 0, cap off) is the reference the golden route
+   pins; the other rows form Ablation G (quality/runtime/bytes vs the
+   epsilon and frontier-cap knobs). *)
+let curve_row ~label ~n ~epsilon ~max_frontier () =
+  progress "[curve] %s (n=%d eps=%g cap=%d)..." label n epsilon max_frontier;
+  let net = Net_gen.random_net ~seed:42 ~name:(Printf.sprintf "curve%d" n) ~n tech in
+  let cfg =
+    { (Merlin_core.Config.scaled n) with
+      Merlin_core.Config.max_iters = 2;
+      curve_epsilon = epsilon;
+      max_frontier }
+  in
+  let before = snap_kernel () in
+  let m =
+    Flows.run
+      { Flows.tech; buffers;
+        algo =
+          Flows.Merlin
+            { cfg = Some cfg; objective = Merlin_core.Objective.Best_req } }
+      net
+  in
+  let d = snap_delta before (snap_kernel ()) in
+  (label, n, epsilon, max_frontier, m, d)
+
+let curve_table ~opts () =
+  let rows_spec =
+    if opts.smoke then
+      [ ("exact-n10", 10, 0.0, 0);
+        ("eps20-n10", 10, 20.0, 0);
+        ("cap4-n10", 10, 0.0, 4) ]
+    else
+      [ ("exact-n10", 10, 0.0, 0);
+        ("exact-n12", 12, 0.0, 0);
+        (* Ablation G: epsilon sweep (quantised-metric slack, in the
+           units of the req/load/area coordinates) ... *)
+        ("eps10-n12", 12, 10.0, 0);
+        ("eps20-n12", 12, 20.0, 0);
+        ("eps40-n12", 12, 40.0, 0);
+        (* ... and frontier-cap sweep (max survivors kept per build). *)
+        ("cap8-n12", 12, 0.0, 8);
+        ("cap5-n12", 12, 0.0, 5);
+        ("cap3-n12", 12, 0.0, 3) ]
+  in
+  let header =
+    [ "row"; "eps"; "cap"; "req (ps)"; "area"; "rt(s)";
+      "joins"; "adds/join"; "B/join"; "front/join" ]
+  in
+  let rows, wall_s =
+    Clock.timed (fun () ->
+        (* Sequential on purpose: Gc.allocated_bytes deltas are
+           per-domain, and one domain keeps every row's bytes columns
+           attributable to that row alone. *)
+        List.map
+          (fun (label, n, epsilon, max_frontier) ->
+             curve_row ~label ~n ~epsilon ~max_frontier ())
+          rows_spec)
+  in
+  progress "[curve] wall %.2fs" wall_s;
+  let cells =
+    List.map
+      (fun (label, _n, eps, cap, m, d) ->
+         [ S label; F eps; I cap; F m.Flows.root_req; F m.Flows.area;
+           F m.Flows.runtime; I d.k_joins;
+           F (per d.k_joins d.k_join_adds);
+           F (per d.k_joins d.k_bytes_join);
+           F (per d.k_joins d.k_join_survivors) ])
+      rows
+  in
+  print
+    ~title:
+      "Curve kernel: bytes allocated and frontier width per join build \
+       (exact mode plus Ablation G epsilon/frontier-cap sweeps)"
+    ~header cells;
+  let json_rows =
+    List.map
+      (fun (label, n, eps, cap, m, d) ->
+         Json.Obj
+           [ ("row", js label); ("sinks", ji n); ("epsilon", jf eps);
+             ("max_frontier", ji cap); ("req", jf m.Flows.root_req);
+             ("area", jf m.Flows.area); ("runtime", jf m.Flows.runtime);
+             ("joins", ji d.k_joins); ("join_adds", ji d.k_join_adds);
+             ("join_survivors", ji d.k_join_survivors);
+             ("bytes_join", ji d.k_bytes_join);
+             ("bytes_close", ji d.k_bytes_close);
+             ("bytes_pull", ji d.k_bytes_pull);
+             ("bytes_base", ji d.k_bytes_base);
+             ("bytes_per_join", jf (per d.k_joins d.k_bytes_join));
+             ("frontier_per_join", jf (per d.k_joins d.k_join_survivors)) ])
+      rows
+  in
+  write_json ~opts ~table:"curve" ~wall_s
+    (json_rows
+     @ [ Json.Obj [ ("row", js "budget");
+                    ("bytes_per_join_budget", jf alloc_budget_bytes_per_join) ] ]);
+  (* The emitter must keep producing documents the repo's own JSON layer
+     parses: read the file straight back.  Any Parse_error here fails the
+     @bench-smoke alias. *)
+  (match opts.json with
+   | None -> ()
+   | Some file ->
+     let ic = open_in_bin file in
+     let len = in_channel_length ic in
+     let raw = really_input_string ic len in
+     close_in ic;
+     let doc = Json.of_string raw in
+     (match Json.member "rows" doc with
+      | Some (Json.List (_ :: _)) -> ()
+      | Some _ | None ->
+        failwith "Bench.curve_table: emitted JSON lost its rows"));
+  (* Allocation-regression guard: the exact rows must stay within 25% of
+     the committed budget. *)
+  if opts.smoke then
+    List.iter
+      (fun (label, _, eps, cap, _, d) ->
+         if eps = 0.0 && cap = 0 then begin
+           let bpj = per d.k_joins d.k_bytes_join in
+           if bpj > alloc_budget_bytes_per_join *. 1.25 then
+             failwith
+               (Printf.sprintf
+                  "Bench.curve_table: %s allocates %.0f bytes/join, over \
+                   budget %.0f x1.25 — the zero-allocation kernel regressed"
+                  label bpj alloc_budget_bytes_per_join)
+         end)
+      rows
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -727,13 +905,15 @@ let () =
   let what =
     List.find_opt
       (fun a ->
-         List.mem a [ "table1"; "table2"; "hier"; "ablations"; "speed"; "all" ])
+         List.mem a
+           [ "table1"; "table2"; "hier"; "curve"; "ablations"; "speed"; "all" ])
       args
   in
   (match what with
    | Some "table1" -> table1 ~opts pool ()
    | Some "table2" -> table2 ~opts pool ()
    | Some "hier" -> hier_table ~opts pool ()
+   | Some "curve" -> curve_table ~opts ()
    | Some "ablations" -> ablations ~opts pool ()
    | Some "speed" -> speed ~seconds ()
    | Some "all" | None ->

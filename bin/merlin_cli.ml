@@ -124,6 +124,22 @@ let emit_metrics ~json ~with_tree m =
 let dump_stats pool =
   Format.eprintf "%a@." Pool.pp_stats (Pool.stats pool)
 
+(* Curve-kernel telemetry (process-lifetime totals): frontier adds and
+   Gc.allocated_bytes deltas per *PTREE entry point, see Star_ptree. *)
+let dump_curve_stats () =
+  let g = Atomic.get in
+  let open Merlin_core.Star_ptree in
+  let joins = g n_joins in
+  let per v = if joins = 0 then 0.0 else float_of_int v /. float_of_int joins in
+  Format.eprintf
+    "curve kernel: joins=%d adds/join=%.1f front/join=%.1f B/join=%.0f \
+     bytes=[join %d; close %d; pull %d; base %d]@."
+    joins
+    (per (g n_join_adds))
+    (per (g n_join_survivors))
+    (per (g bytes_join))
+    (g bytes_join) (g bytes_close) (g bytes_pull) (g bytes_base)
+
 let setup_verbose verbose =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
@@ -172,7 +188,8 @@ let route file random seed shape flow alpha objective cluster_size clusters
     emit m;
     Ok 0
   in
-  match flow with
+  let res =
+    match flow with
   | "merlin" when not json -> run_flow3_verbose ()
   | "merlin" -> single (Flows.Merlin { cfg = Some cfg; objective })
   | "lttree-ptree" -> single (Flows.Lttree_ptree { max_fanout = 10 })
@@ -228,10 +245,13 @@ let route file random seed shape flow alpha objective cluster_size clusters
   | "all" ->
     List.iter emit (Flows.all ~tech ~buffers ~cfg3:cfg net);
     Ok 0
-  | other ->
-    Error
-      (Printf.sprintf
-         "unknown flow %s (merlin|lttree-ptree|ptree-vg|hier|all)" other)
+    | other ->
+      Error
+        (Printf.sprintf
+           "unknown flow %s (merlin|lttree-ptree|ptree-vg|hier|all)" other)
+  in
+  if stats then dump_curve_stats ();
+  res
 
 (* ---- circuit ---- *)
 

@@ -68,11 +68,21 @@ let construct ?candidates ~cfg ~tech ~buffers (net : Net.t) order =
   let merges = ref 0 in
   let star ~active terminals =
     incr merges;
-    Star_ptree.run ~tech ~buffers ~trials:cfg.Config.buffer_trials
-      ~max_curve:cfg.Config.max_curve
+    Star_ptree.run ~epsilon:cfg.Config.curve_epsilon
+      ~max_frontier:cfg.Config.max_frontier ~tech ~buffers
+      ~trials:cfg.Config.buffer_trials ~max_curve:cfg.Config.max_curve
       ~grids:(cfg.Config.quant_req, cfg.Config.quant_load, cfg.Config.quant_area)
-      ~bbox_slack:cfg.Config.bbox_slack ~candidates ~active ~terminals
+      ~bbox_slack:cfg.Config.bbox_slack ~candidates ~active ~terminals ()
   in
+  (* Merge accumulators, shared by every window of the construction: one
+     scratch builder per candidate, cleared on first use inside a window
+     (the stamp check), plus one cap-selection scratch.  A window touches
+     few candidates, so the pool stays small while merges allocate only
+     their surviving curves. *)
+  let merge_blds = Array.make k None in
+  let merge_stamp = Array.make k 0 in
+  let window_id = ref 0 in
+  let cap_bld = Curve.Builder.create () in
   (* Gamma table: (covered length, structure code, right window end) ->
      per-candidate curves.  Only non-empty entries are stored. *)
   let gamma : (int * int * int, Build.t Curve.t array) Hashtbl.t =
@@ -136,18 +146,26 @@ let construct ?candidates ~cfg ~tech ~buffers (net : Net.t) order =
     let set_out = IS.of_list covered_out in
     let start_out = Grouping.window_start ~r:r_out ~len:cov_len e_out in
     let active = active_for covered_out in
-    (* Per-candidate batch accumulators, created lazily (most candidates
-       never receive a curve): every inner placement's curves are pushed
-       and the frontier computed once per candidate, instead of a
-       re-pruning union per placement. *)
-    let accb = Array.make (Array.length candidates) None in
+    (* Per-candidate batch accumulators (most candidates never receive a
+       curve): every inner placement's curves are pushed and the frontier
+       computed once per candidate, instead of a re-pruning union per
+       placement.  Builders come from the construct-level pool; the stamp
+       marks which candidates this window actually touched. *)
+    incr window_id;
     let acc_builder p =
-      match accb.(p) with
-      | Some bld -> bld
-      | None ->
-        let bld = Curve.Builder.create () in
-        accb.(p) <- Some bld;
-        bld
+      let bld =
+        match merge_blds.(p) with
+        | Some bld -> bld
+        | None ->
+          let bld = Curve.Builder.create () in
+          merge_blds.(p) <- Some bld;
+          bld
+      in
+      if merge_stamp.(p) <> !window_id then begin
+        merge_stamp.(p) <- !window_id;
+        Curve.Builder.clear bld
+      end;
+      bld
     in
     let seen_signatures = Hashtbl.create 16 in
     let try_inner l_in e_in r_in =
@@ -234,13 +252,16 @@ let construct ?candidates ~cfg ~tech ~buffers (net : Net.t) order =
         structures
     done;
     let capped =
-      Array.map
-        (function
-          | None -> Curve.empty
-          | Some bld ->
-            Curve.cap ~max_size:cfg.Config.max_curve
-              (Curve.Builder.build ~name:"Bubble_construct.merge" bld))
-        accb
+      Array.init k (fun p ->
+          if merge_stamp.(p) <> !window_id then Curve.empty
+          else
+            match merge_blds.(p) with
+            | None -> Curve.empty
+            | Some bld ->
+              Curve.cap ~scratch:cap_bld ~max_size:cfg.Config.max_curve
+                (Curve.Builder.build ~name:"Bubble_construct.merge"
+                   ~epsilon:cfg.Config.curve_epsilon
+                   ~max_frontier:cfg.Config.max_frontier bld))
     in
     gamma_put cov_len e_out r_out capped
   in

@@ -50,27 +50,39 @@ let add_root_buffer b (s : sol) =
 (* Cost-only twins of the three moves, for the batch DP loops: they
    compute the exact (req, load, area) the move would produce — the same
    float expressions, so results are bit-identical — without building the
-   routing tree.  The loops push these coordinates into a Curve.Builder
-   and materialise trees only for frontier survivors. *)
+   routing tree.  The results are written into a caller-owned
+   Curve.Builder.cost record (flat all-float storage) instead of being
+   returned: non-flambda cannot deforest a returned tuple, so a
+   tuple-returning version allocates the tuple plus three boxed floats
+   per candidate in the hottest loops of the whole program.  The loops
+   push the record with Curve.Builder.push_cost and materialise trees
+   only for frontier survivors. *)
 
-let extend_wire_cost tech ~to_ (s : sol) =
+let extend_wire_cost_into (c : Curve.Builder.cost) tech ~to_ (s : sol) =
   let from = Rtree.attach_point s.Solution.data.tree in
-  if Point.equal from to_ then (s.Solution.req, s.Solution.load, s.Solution.area)
-  else
+  if Point.equal from to_ then begin
+    c.Curve.Builder.creq <- s.Solution.req;
+    c.Curve.Builder.cload <- s.Solution.load;
+    c.Curve.Builder.carea <- s.Solution.area
+  end
+  else begin
     let len = Point.manhattan from to_ in
-    ( s.Solution.req -. Tech.wire_elmore tech ~len ~load:s.Solution.load,
-      s.Solution.load +. Tech.wire_cap tech len,
-      s.Solution.area )
+    c.Curve.Builder.creq <-
+      s.Solution.req -. Tech.wire_elmore tech ~len ~load:s.Solution.load;
+    c.Curve.Builder.cload <- s.Solution.load +. Tech.wire_cap tech len;
+    c.Curve.Builder.carea <- s.Solution.area
+  end
 
-let add_root_buffer_cost b (s : _ Solution.t) =
-  ( s.Solution.req -. Buffer_lib.delay b ~load:s.Solution.load,
-    b.Buffer_lib.input_cap,
-    s.Solution.area +. b.Buffer_lib.area )
+let add_root_buffer_cost_into (c : Curve.Builder.cost) b (s : _ Solution.t) =
+  c.Curve.Builder.creq <- s.Solution.req -. Buffer_lib.delay b ~load:s.Solution.load;
+  c.Curve.Builder.cload <- b.Buffer_lib.input_cap;
+  c.Curve.Builder.carea <- s.Solution.area +. b.Buffer_lib.area
 
-let join_cost (a : _ Solution.t) (b : _ Solution.t) =
-  ( min a.Solution.req b.Solution.req,
-    a.Solution.load +. b.Solution.load,
-    a.Solution.area +. b.Solution.area )
+let join_cost_into (c : Curve.Builder.cost) (a : _ Solution.t) (b : _ Solution.t) =
+  let ra = a.Solution.req and rb = b.Solution.req in
+  c.Curve.Builder.creq <- (if ra <= rb then ra else rb);
+  c.Curve.Builder.cload <- a.Solution.load +. b.Solution.load;
+  c.Curve.Builder.carea <- a.Solution.area +. b.Solution.area
 
 let join at (a : sol) (b : sol) =
   if not (Point.equal (root a) at && Point.equal (root b) at) then

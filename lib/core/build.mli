@@ -46,13 +46,17 @@ val root : sol -> Point.t
 
 (** Cost-only twins of the moves above: the (required time, load, area)
     the move would produce, computed with the same float expressions (so
-    bit-identical), without constructing the routing tree.  The batch DP
-    loops push these into a {!Curve.Builder} and materialise trees only
-    for the frontier survivors. *)
+    bit-identical), without constructing the routing tree.  Results are
+    written into a caller-owned {!Curve.Builder.cost} record — flat
+    all-float storage, so the hot loops move three floats per candidate
+    without allocating a tuple or boxing (DESIGN.md §9).  The batch DP
+    loops push the record with {!Curve.Builder.push_cost} and
+    materialise trees only for the frontier survivors. *)
 
-val extend_wire_cost : Tech.t -> to_:Point.t -> sol -> float * float * float
+val extend_wire_cost_into : Curve.Builder.cost -> Tech.t -> to_:Point.t -> sol -> unit
 
-val add_root_buffer_cost :
-  Buffer_lib.buffer -> 'a Solution.t -> float * float * float
+val add_root_buffer_cost_into :
+  Curve.Builder.cost -> Buffer_lib.buffer -> 'a Solution.t -> unit
 
-val join_cost : 'a Solution.t -> 'b Solution.t -> float * float * float
+val join_cost_into :
+  Curve.Builder.cost -> 'a Solution.t -> 'b Solution.t -> unit

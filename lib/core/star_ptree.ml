@@ -14,8 +14,6 @@ let buffer_subset buffers ~trials =
   else
     Array.init trials (fun i -> buffers.(i * (n - 1) / (max 1 (trials - 1))))
 
-let finish ~max_curve curve = Curve.cap ~max_size:max_curve curve
-
 (* Deferred payload of the buffer-closure batch: frontier survivors that
    were already in the curve keep their tree; buffered candidates build
    theirs only after pruning. *)
@@ -45,8 +43,26 @@ let n_base_adds = Atomic.make 0
 let n_cells = Atomic.make 0
 let n_pulls = Atomic.make 0
 
-let run ~tech ~buffers ~trials ~max_curve ~grids ~bbox_slack ~candidates
-    ~active ~terminals =
+(* Bytes-moved telemetry: [Gc.allocated_bytes] deltas around each kernel
+   entry point (join, buffer closure, pull, base), plus join-build and
+   survivor counts so bytes-per-join and mean frontier width fall out of
+   a single counter snapshot.  [Gc.allocated_bytes] is per-domain, so a
+   delta taken inside one task is that task's own allocation; the atomic
+   accumulation makes the totals safe under the execution engine. *)
+let n_joins = Atomic.make 0
+let n_join_survivors = Atomic.make 0
+let bytes_join = Atomic.make 0
+let bytes_close = Atomic.make 0
+let bytes_pull = Atomic.make 0
+let bytes_base = Atomic.make 0
+
+let add_bytes counter before =
+  ignore
+    (Atomic.fetch_and_add counter
+       (int_of_float (Gc.allocated_bytes () -. before)))
+
+let run ?(epsilon = 0.0) ?(max_frontier = 0) ~tech ~buffers ~trials ~max_curve
+    ~grids ~bbox_slack ~candidates ~active ~terminals () =
   let m = Array.length terminals and k = Array.length candidates in
   if m = 0 then invalid_arg "Star_ptree.run: no terminals";
   if k = 0 then invalid_arg "Star_ptree.run: no candidates";
@@ -54,15 +70,38 @@ let run ~tech ~buffers ~trials ~max_curve ~grids ~bbox_slack ~candidates
     invalid_arg "Star_ptree.run: no active candidates";
   let subset = buffer_subset buffers ~trials in
   let req_grid, load_grid, area_grid = grids in
-  (* Quantise a raw candidate cost while pushing it — the per-candidate
-     Solution.quantise of the incremental version, fused into the batch
-     accumulation (same grid_down/grid_up helpers, so bit-identical). *)
-  let push_quant bld (req, load, area) payload =
-    Curve.Builder.push bld
-      ~req:(Solution.grid_down req_grid req)
-      ~load:(Solution.grid_up load_grid load)
-      ~area:(Solution.grid_up area_grid area)
-      payload
+  (* One scratch builder per payload type for the whole DP (the builders
+     own their sort/staircase scratch, see Curve.Builder): joins, buffer
+     closures, extend-to-root batches (pull and sub-terminal bases never
+     interleave) and cap selections.  Steady-state cells allocate only
+     their survivor arrays.  [build] wraps Curve.Builder.build with the
+     run-wide epsilon / frontier-cap knobs (both default off = exact). *)
+  let join_bld = Curve.Builder.create () in
+  let close_bld = Curve.Builder.create () in
+  let extend_bld = Curve.Builder.create () in
+  let cap_bld = Curve.Builder.create () in
+  let build ~name bld = Curve.Builder.build ~name ~epsilon ~max_frontier bld in
+  let finish curve = Curve.cap ~scratch:cap_bld ~max_size:max_curve curve in
+  (* One flat cost record threaded through every cost computation of the
+     run: Build.*_cost_into writes the three coordinates as unboxed
+     float stores, [push_quant] quantises them in place (the same
+     floor/ceil expressions as Solution.grid_down/grid_up, so
+     bit-identical) and Curve.Builder.push_cost moves them into the
+     builder columns.  No (req, load, area) tuple and no boxed floats
+     per candidate — spelled out manually because the non-flambda
+     compiler does not deforest tuples across function boundaries. *)
+  let cost = Curve.Builder.new_cost () in
+  let push_quant bld payload =
+    if req_grid <> 0.0 then
+      cost.Curve.Builder.creq <-
+        floor (cost.Curve.Builder.creq /. req_grid) *. req_grid;
+    if load_grid <> 0.0 then
+      cost.Curve.Builder.cload <-
+        ceil (cost.Curve.Builder.cload /. load_grid) *. load_grid;
+    if area_grid <> 0.0 then
+      cost.Curve.Builder.carea <-
+        ceil (cost.Curve.Builder.carea /. area_grid) *. area_grid;
+    Curve.Builder.push_cost bld cost payload
   in
   (* Try each buffer on every unbuffered root; re-buffering an existing
      buffer (a same-point repeater) is dominated by picking the right
@@ -73,10 +112,9 @@ let run ~tech ~buffers ~trials ~max_curve ~grids ~bbox_slack ~candidates
   let close_buffers curve =
     if Curve.is_empty curve then curve
     else begin
-      let bld =
-        Curve.Builder.create
-          ~hint:(Curve.size curve * (1 + Array.length subset)) ()
-      in
+      let before = Gc.allocated_bytes () in
+      let bld = close_bld in
+      Curve.Builder.clear bld;
       Curve.iter
         (fun sol ->
            Curve.Builder.push bld ~req:sol.Solution.req ~load:sol.Solution.load
@@ -91,14 +129,18 @@ let run ~tech ~buffers ~trials ~max_curve ~grids ~bbox_slack ~candidates
              Array.iter
                (fun b ->
                   Atomic.incr n_close_adds;
-                  push_quant bld (Build.add_root_buffer_cost b sol)
-                    (Buffered (b, sol)))
+                  Build.add_root_buffer_cost_into cost b sol;
+                  push_quant bld (Buffered (b, sol)))
                subset)
         curve;
-      Curve.Builder.build ~name:"Star_ptree.close_buffers" bld
-      |> Curve.map_data (function
-        | Kept data -> data
-        | Buffered (b, sol) -> (Build.add_root_buffer b sol).Solution.data)
+      let out =
+        build ~name:"Star_ptree.close_buffers" bld
+        |> Curve.map_data (function
+          | Kept data -> data
+          | Buffered (b, sol) -> (Build.add_root_buffer b sol).Solution.data)
+      in
+      add_bytes bytes_close before;
+      out
     end
   in
   let term_boxes = Array.map (terminal_box candidates) terminals in
@@ -151,16 +193,21 @@ let run ~tech ~buffers ~trials ~max_curve ~grids ~bbox_slack ~candidates
   in
   let pull computed p =
     Atomic.incr n_pulls;
+    let before = Gc.allocated_bytes () in
     let root = candidates.(p) in
-    let bld = Curve.Builder.create () in
+    let bld = extend_bld in
+    Curve.Builder.clear bld;
     Array.iter
       (Curve.iter (fun sol ->
          Atomic.incr n_pull_adds;
-         push_quant bld (Build.extend_wire_cost tech ~to_:root sol) sol))
+         Build.extend_wire_cost_into cost tech ~to_:root sol;
+         push_quant bld sol))
       computed;
-    finish ~max_curve
-      (materialise_extend root
-         (Curve.Builder.build ~name:"Star_ptree.pull" bld))
+    let out =
+      finish (materialise_extend root (build ~name:"Star_ptree.pull" bld))
+    in
+    add_bytes bytes_pull before;
+    out
   in
   let cell_at i j p =
     match table.(idx i j) with
@@ -181,27 +228,41 @@ let run ~tech ~buffers ~trials ~max_curve ~grids ~bbox_slack ~candidates
     let computed = Array.make k Curve.empty in
     let raw =
       if i = j then fun p ->
+        let before = Gc.allocated_bytes () in
         let root = candidates.(p) in
-        match terminals.(i) with
-        | Sink_term s ->
-          Atomic.incr n_base_adds;
-          Curve.add Curve.empty
-            (Solution.quantise ~req_grid ~load_grid ~area_grid
-               (Build.extend_wire tech ~to_:root (Build.of_sink s)))
-        | Sub_term sub ->
-          let bld = Curve.Builder.create () in
-          Array.iter
-            (Curve.iter (fun sol ->
-               Atomic.incr n_base_adds;
-               push_quant bld (Build.extend_wire_cost tech ~to_:root sol) sol))
-            sub;
-          materialise_extend root
-            (Curve.Builder.build ~name:"Star_ptree.raw" bld)
+        let out =
+          match terminals.(i) with
+          | Sink_term s ->
+            Atomic.incr n_base_adds;
+            Curve.add Curve.empty
+              (Solution.quantise ~req_grid ~load_grid ~area_grid
+                 (Build.extend_wire tech ~to_:root (Build.of_sink s)))
+          | Sub_term sub ->
+            let bld = extend_bld in
+            Curve.Builder.clear bld;
+            Array.iter
+              (Curve.iter (fun sol ->
+                 Atomic.incr n_base_adds;
+                 Build.extend_wire_cost_into cost tech ~to_:root sol;
+                 push_quant bld sol))
+              sub;
+            materialise_extend root (build ~name:"Star_ptree.raw" bld)
+        in
+        add_bytes bytes_base before;
+        out
       else fun p ->
         let root = candidates.(p) in
+        (* Memoised relocations first, so any pull they trigger is
+           attributed to [bytes_pull] instead of this join's delta. *)
+        for u = i to j - 1 do
+          ignore (cell_at i u p);
+          ignore (cell_at (u + 1) j p)
+        done;
+        let before = Gc.allocated_bytes () in
         (* The join product: push every (a, b) cost pair, prune once, and
            only build the joined trees that survive. *)
-        let bld = Curve.Builder.create () in
+        let bld = join_bld in
+        Curve.Builder.clear bld;
         for u = i to j - 1 do
           let left = cell_at i u p and right = cell_at (u + 1) j p in
           if not (Curve.is_empty left || Curve.is_empty right) then
@@ -210,17 +271,23 @@ let run ~tech ~buffers ~trials ~max_curve ~grids ~bbox_slack ~candidates
                  Curve.iter
                    (fun b ->
                       Atomic.incr n_join_adds;
-                      push_quant bld (Build.join_cost a b) (a, b))
+                      Build.join_cost_into cost a b;
+                      push_quant bld (a, b))
                    right)
               left
         done;
-        Curve.Builder.build ~name:"Star_ptree.join" bld
-        |> Curve.map_data (fun (a, b) -> (Build.join root a b).Solution.data)
+        let out =
+          build ~name:"Star_ptree.join" bld
+          |> Curve.map_data (fun (a, b) -> (Build.join root a b).Solution.data)
+        in
+        Atomic.incr n_joins;
+        ignore (Atomic.fetch_and_add n_join_survivors (Curve.size out));
+        add_bytes bytes_join before;
+        out
     in
     Atomic.incr n_cells;
     Array.iter
-      (fun p ->
-         computed.(p) <- finish ~max_curve (close_buffers (finish ~max_curve (raw p))))
+      (fun p -> computed.(p) <- finish (close_buffers (finish (raw p))))
       cell_act;
     table.(idx i j) <- Some (computed, Array.make k None)
   in

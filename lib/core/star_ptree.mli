@@ -34,8 +34,11 @@ type terminal =
     are empty.  [trials] bounds how many library buffers are tried at each
     root (evenly spaced over the graded library); [grids] are the
     (req, load, area) quantisation buckets of {!Curve.quantise}.  Every returned curve is
-    closed under root-buffer insertion.  Raises [Invalid_argument] on
-    empty [terminals], [candidates] or [active]. *)
+    closed under root-buffer insertion.  [epsilon] and [max_frontier]
+    are {!Curve.Builder.build}'s frontier knobs, applied to every build
+    of the DP ({!Config.t}'s [curve_epsilon] / [max_frontier]; both
+    default off, leaving the exact kernel byte-identical).  Raises
+    [Invalid_argument] on empty [terminals], [candidates] or [active]. *)
 (**/**)
 val n_join_adds : int Atomic.t
 val n_close_adds : int Atomic.t
@@ -43,9 +46,21 @@ val n_pull_adds : int Atomic.t
 val n_base_adds : int Atomic.t
 val n_cells : int Atomic.t
 val n_pulls : int Atomic.t
+
+(* Bytes-moved telemetry: Gc.allocated_bytes deltas accumulated around
+   each kernel entry point, plus join-build/survivor counts, consumed by
+   `bench/main.exe curve --json` and `merlin-cli route --stats`. *)
+val n_joins : int Atomic.t
+val n_join_survivors : int Atomic.t
+val bytes_join : int Atomic.t
+val bytes_close : int Atomic.t
+val bytes_pull : int Atomic.t
+val bytes_base : int Atomic.t
 (**/**)
 
 val run :
+  ?epsilon:float ->
+  ?max_frontier:int ->
   tech:Tech.t ->
   buffers:Buffer_lib.t ->
   trials:int ->
@@ -55,4 +70,5 @@ val run :
   candidates:Point.t array ->
   active:int array ->
   terminals:terminal array ->
+  unit ->
   Build.t Curve.t array

@@ -57,15 +57,46 @@ let verify_sorted_arr ~name sols =
       fail ~name "solutions out of compare_key order"
   done
 
+(* Requires [sols] strictly sorted by compare_key ([check_arr] runs
+   [verify_sorted_arr] first).  Under that order an element can only be
+   strictly dominated by an earlier one, so a single (load, area)
+   minima-staircase sweep — the same structure [Curve.Builder.build]
+   prunes with — answers every dominance query: O(n log n) per check
+   instead of the former pairwise O(n^2) scan, which made contract-mode
+   runs quadratic per join. *)
 let verify_frontier_arr ~name sols =
   let n = Array.length sols in
+  let st_load = Float.Array.create n in
+  let st_area = Float.Array.create n in
+  let st_len = ref 0 in
   for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      if
-        strictly_dominates sols.(i) sols.(j)
-        || strictly_dominates sols.(j) sols.(i)
-      then fail ~name "curve holds an inferior solution"
-    done
+    let l = sols.(i).Solution.load and a = sols.(i).Solution.area in
+    let p =
+      let lo = ref 0 and hi = ref !st_len in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if Float.Array.get st_load mid <= l then lo := mid + 1 else hi := mid
+      done;
+      !lo - 1
+    in
+    if p >= 0 && Float.Array.get st_area p <= a then
+      fail ~name "curve holds an inferior solution";
+    let q = if p >= 0 && Float.Array.get st_load p = l then p else p + 1 in
+    let r = ref q in
+    while !r < !st_len && Float.Array.get st_area !r >= a do incr r done;
+    let removed = !r - q in
+    if removed = 0 then begin
+      Float.Array.blit st_load q st_load (q + 1) (!st_len - q);
+      Float.Array.blit st_area q st_area (q + 1) (!st_len - q);
+      incr st_len
+    end
+    else if removed > 1 then begin
+      Float.Array.blit st_load !r st_load (q + 1) (!st_len - !r);
+      Float.Array.blit st_area !r st_area (q + 1) (!st_len - !r);
+      st_len := !st_len - removed + 1
+    end;
+    Float.Array.set st_load q l;
+    Float.Array.set st_area q a
   done
 
 let check_sorted_arr ~name sols =

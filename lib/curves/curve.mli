@@ -41,6 +41,24 @@ module Builder : sig
       building the carried structure to the frontier survivors. *)
   val push : 'a b -> req:float -> load:float -> area:float -> 'a -> unit
 
+  (** Mutable all-float coordinate carrier for the DP hot paths.  An
+      all-float record is stored flat, so a cost computation can write
+      its three results as unboxed float stores and {!push_cost} can
+      move them straight into the builder's columns — no [(req, load,
+      area)] tuple and no boxed floats per candidate, which the
+      non-flambda compiler cannot eliminate across a function boundary
+      on its own (DESIGN.md §9). *)
+  type cost = {
+    mutable creq : float;
+    mutable cload : float;
+    mutable carea : float;
+  }
+
+  val new_cost : unit -> cost
+
+  (** [push_cost b c data] is [push] reading its coordinates from [c]. *)
+  val push_cost : 'a b -> cost -> 'a -> unit
+
   (** [add b s] pushes an existing solution. *)
   val add : 'a b -> 'a Solution.t -> unit
 
@@ -50,17 +68,40 @@ module Builder : sig
   (** Candidates pushed so far (pre-pruning). *)
   val length : 'a b -> int
 
-  (** Forget all pushed candidates, keeping the capacity. *)
+  (** Forget all pushed candidates, keeping all storage — including the
+      sort/staircase scratch grown by previous {!build}s, so a cleared
+      builder reused across a DP's cells reaches a fixed point where
+      steady-state builds allocate only the survivor array.  A cleared
+      builder is observationally identical to a fresh one (property
+      tested in [test/test_curve_kernel.ml]). *)
   val clear : 'a b -> unit
 
-  (** [build ?name ?grids b] prunes the accumulated bag to its
-      non-inferior frontier: one stable sort + one staircase sweep,
-      O(P log P + P·F_insert) for P candidates and frontier size F,
-      versus O(P·F) for P repeated {!add}s.  [grids] applies
-      {!Solution.quantise} bucketing to every candidate during the sweep
-      (the DP cores' per-candidate quantisation, fused into the batch
-      pass); [name] labels {!Contract} violations. *)
-  val build : ?name:string -> ?grids:float * float * float -> 'a b -> 'a t
+  (** [build ?name ?grids ?epsilon ?max_frontier b] prunes the
+      accumulated bag to its non-inferior frontier: one sort + one
+      staircase sweep, O(P log P + P·F_insert) for P candidates and
+      frontier size F, versus O(P·F) for P repeated {!add}s.  [grids]
+      applies {!Solution.quantise} bucketing to every candidate during
+      the sweep (the DP cores' per-candidate quantisation, fused into
+      the batch pass); with all three grids positive the sort runs on
+      packed int keys instead of a float comparator (DESIGN.md §9).
+      [name] labels {!Contract} violations.
+
+      [epsilon > 0] additionally drops candidates epsilon-dominated by a
+      kept point (within [epsilon] in both load and area at no-worse
+      req, measured on the quantised coordinates); [max_frontier > 0]
+      keeps only that prefix of the frontier (best req first).  Both
+      default off; [~epsilon:0.0] and an unreachably large
+      [max_frontier] are byte-identical to the exact build.  The result
+      is always mutually non-inferior — epsilon-domination subsumes
+      exact domination — so every {!Contract} invariant holds in every
+      mode. *)
+  val build :
+    ?name:string ->
+    ?grids:float * float * float ->
+    ?epsilon:float ->
+    ?max_frontier:int ->
+    'a b ->
+    'a t
 end
 
 (** [add curve s] inserts [s] unless an existing solution dominates it and
@@ -101,11 +142,12 @@ val best_under_area : 'a t -> area:float -> 'a Solution.t option
     first element below the floor (the curve is req-descending). *)
 val best_min_area : 'a t -> req:float -> 'a Solution.t option
 
-(** [cap ~max_size curve] reduces the curve to at most [max_size] points
-    by keeping an even spread along the required-time axis (always keeping
-    both extremes).  This is the epsilon-pruning knob documented in
-    DESIGN.md §5; [max_size >= 2]. *)
-val cap : max_size:int -> 'a t -> 'a t
+(** [cap ?scratch ~max_size curve] reduces the curve to at most
+    [max_size] points by keeping an even spread along the required-time
+    axis (always keeping both extremes); [max_size >= 2].  Hot paths
+    pass [scratch] — a builder cleared and reused for the selection —
+    so capping allocates only the surviving points (DESIGN.md §5, §9). *)
+val cap : ?scratch:'a Builder.b -> max_size:int -> 'a t -> 'a t
 
 (** [quantise_load ~grid curve] rounds every load {e up} to a multiple of
     [grid] and re-prunes — the "capacitances mapped to polynomially bounded

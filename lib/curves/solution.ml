@@ -17,9 +17,9 @@ let map f s = { req = s.req; load = s.load; area = s.area; data = f s.data }
 (* Scalar bucketing helpers, shared with the batch curve kernel so a
    coordinate quantised during a builder sweep is bit-identical to one
    quantised through [quantise]. *)
-let grid_down grid v = if grid = 0.0 then v else floor (v /. grid) *. grid
+let[@inline] grid_down grid v = if grid = 0.0 then v else floor (v /. grid) *. grid
 
-let grid_up grid v = if grid = 0.0 then v else ceil (v /. grid) *. grid
+let[@inline] grid_up grid v = if grid = 0.0 then v else ceil (v /. grid) *. grid
 
 let quantise ~req_grid ~load_grid ~area_grid s =
   { s with

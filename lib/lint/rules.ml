@@ -347,6 +347,83 @@ module Curve_add_in_loop = struct
   let files = Rule.no_files
 end
 
+(* R8 — no Curve.Builder.create inside loops in the DP hot paths
+   (lib/core and lib/lttree).  The arena discipline (DESIGN.md §9) is
+   one long-lived builder per DP context, cleared between batches, so
+   steady-state builds allocate only their survivor arrays; a create
+   inside a for/while body or an iter/fold callback reallocates the
+   push storage and the sort/staircase scratch on every batch and
+   silently reverts the zero-allocation kernel.  Deliberate per-batch
+   builders carry a same-line [lint: builder-create-in-loop] waiver. *)
+module Builder_create_in_loop = struct
+  let name = "builder-create-in-loop"
+
+  let severity = Finding.Error
+
+  let doc =
+    "Curve.Builder.create inside a loop or iter/fold callback in a DP \
+     hot path; hoist one builder out and clear it between batches"
+
+  let path_in_hot path =
+    Rule.path_in_lib path
+    && List.exists
+         (fun seg -> String.equal "core" seg || String.equal "lttree" seg)
+         (String.split_on_char '/' path)
+
+  let is_builder_create = function
+    | Longident.Ldot
+        (Longident.Ldot (Longident.Lident "Curve", "Builder"), "create")
+    | Longident.Ldot
+        ( Longident.Ldot
+            ( Longident.Ldot (Longident.Lident "Merlin_curves", "Curve"),
+              "Builder" ),
+          "create" ) ->
+      true
+    | _ -> false
+
+  let is_iterish = function
+    | Longident.Ldot (_, ("iter" | "iteri" | "fold" | "fold_left" | "fold_right"))
+      ->
+      true
+    | _ -> false
+
+  let scan ctx seen root =
+    let expr self e =
+      (match e.pexp_desc with
+       | Pexp_ident { txt; loc } when is_builder_create txt ->
+         let key =
+           (loc.Location.loc_start.Lexing.pos_lnum,
+            loc.Location.loc_start.Lexing.pos_cnum)
+         in
+         if not (Hashtbl.mem seen key) then begin
+           Hashtbl.add seen key ();
+           Rule.report ctx ~rule:name ~severity ~waiver:name ~loc
+             "Curve.Builder.create inside a loop; hoist the builder out \
+              and clear it between batches"
+         end
+       | _ -> ());
+      Ast_iterator.default_iterator.expr self e
+    in
+    let sub = { Ast_iterator.default_iterator with expr } in
+    sub.expr sub root
+
+  let hooks ctx prev =
+    if not (path_in_hot ctx.Rule.filename) then prev
+    else begin
+      let seen = Hashtbl.create 8 in
+      on_expr prev (fun e ->
+          match e.pexp_desc with
+          | Pexp_for (_, _, _, _, body) | Pexp_while (_, body) ->
+            scan ctx seen body
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+            when is_iterish txt ->
+            List.iter (fun (_, arg) -> scan ctx seen arg) args
+          | _ -> ())
+    end
+
+  let files = Rule.no_files
+end
+
 let all : (module Rule.S) list =
   [ (module Poly_compare);
     (module Raising_accessor);
@@ -354,4 +431,5 @@ let all : (module Rule.S) list =
     (module Error_prefix);
     (module Catch_all);
     (module Mli_sibling);
-    (module Curve_add_in_loop) ]
+    (module Curve_add_in_loop);
+    (module Builder_create_in_loop) ]

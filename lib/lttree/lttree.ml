@@ -50,47 +50,47 @@ let curve ~buffers ~max_fanout sinks =
   in
   let group_req i = arr.(i).Sink.req in
   (* memo.(i) = curve of chain links for suffix i..n-1 (each link carries
-     its own buffer). *)
-  let memo = Array.make (n + 1) None in
-  let rec links i =
-    match memo.(i) with
-    | Some c -> c
-    | None ->
-      let bld = Curve.Builder.create () in
-      let try_group j =
-        (* directs i..j; remaining j+1.. goes to the next link. *)
-        let directs = group i j in
-        let d_load = group_load i j and d_req = group_req i in
-        let close_with_buffer ~req ~load ~area ~link_chain =
-          Array.iter
-            (fun b ->
-               let breq = req -. Buffer_lib.delay b ~load in
-               Curve.Builder.push bld ~req:breq ~load:b.Buffer_lib.input_cap
-                 ~area:(area +. b.Buffer_lib.area)
-                 { buffer = b; directs; chain = link_chain })
-            buffers
-        in
-        if j = n - 1 then
-          close_with_buffer ~req:d_req ~load:d_load ~area:0.0 ~link_chain:None
-        else
-          Curve.iter
-            (fun (next : chain Solution.t) ->
-               close_with_buffer
-                 ~req:(min d_req next.Solution.req)
-                 ~load:(d_load +. next.Solution.load)
-                 ~area:next.Solution.area
-                 ~link_chain:(Some next.Solution.data))
-            (links (j + 1))
+     its own buffer).  Filled bottom-up (largest i first) so every cell's
+     dependencies are ready when it fills, which lets one scratch builder
+     serve all cells — a recursive formulation would interleave a
+     callee's builder fill with the caller's. *)
+  let memo = Array.make (n + 1) Curve.empty in
+  let links i = memo.(i) in
+  let bld = Curve.Builder.create () in
+  for i = n - 1 downto 0 do
+    Curve.Builder.clear bld;
+    let try_group j =
+      (* directs i..j; remaining j+1.. goes to the next link. *)
+      let directs = group i j in
+      let d_load = group_load i j and d_req = group_req i in
+      let close_with_buffer ~req ~load ~area ~link_chain =
+        Array.iter
+          (fun b ->
+             let breq = req -. Buffer_lib.delay b ~load in
+             Curve.Builder.push bld ~req:breq ~load:b.Buffer_lib.input_cap
+               ~area:(area +. b.Buffer_lib.area)
+               { buffer = b; directs; chain = link_chain })
+          buffers
       in
-      (* The link drives (j - i + 1) sinks plus the next link if any. *)
-      for j = i to min (n - 1) (i + max_fanout - 1) do
-        let width = j - i + 1 + (if j = n - 1 then 0 else 1) in
-        if width <= max_fanout then try_group j
-      done;
-      let c = Curve.Builder.build ~name:"Lttree.links" bld in
-      memo.(i) <- Some c;
-      c
-  in
+      if j = n - 1 then
+        close_with_buffer ~req:d_req ~load:d_load ~area:0.0 ~link_chain:None
+      else
+        Curve.iter
+          (fun (next : chain Solution.t) ->
+             close_with_buffer
+               ~req:(min d_req next.Solution.req)
+               ~load:(d_load +. next.Solution.load)
+               ~area:next.Solution.area
+               ~link_chain:(Some next.Solution.data))
+          (links (j + 1))
+    in
+    (* The link drives (j - i + 1) sinks plus the next link if any. *)
+    for j = i to min (n - 1) (i + max_fanout - 1) do
+      let width = j - i + 1 + (if j = n - 1 then 0 else 1) in
+      if width <= max_fanout then try_group j
+    done;
+    memo.(i) <- Curve.Builder.build ~name:"Lttree.links" bld
+  done;
   (* Root level: the driver (not a buffer) drives directs 0..j plus
      optionally the chain starting at j+1. *)
   let out = Curve.Builder.create () in

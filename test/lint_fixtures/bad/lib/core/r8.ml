@@ -1,0 +1,18 @@
+(* R8 fixture: per-batch Curve.Builder.create inside loops in a DP hot
+   path — the arena discipline hoists one builder per context instead. *)
+
+let iter_build cells =
+  List.iter
+    (fun cell ->
+       let bld = Curve.Builder.create () in
+       ignore (Curve.Builder.build (fill bld cell)))
+    cells
+
+let loop_build cells =
+  for i = 0 to Array.length cells - 1 do
+    let bld = Curve.Builder.create () in
+    ignore (Curve.Builder.build (fill bld cells.(i)))
+  done
+
+(* A builder created once, outside any loop, is the sanctioned use. *)
+let hoisted () = Curve.Builder.create ()

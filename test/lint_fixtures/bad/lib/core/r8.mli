@@ -1,0 +1,5 @@
+val iter_build : 'a list -> unit
+
+val loop_build : 'a array -> unit
+
+val hoisted : unit -> 'b Curve.Builder.b

@@ -104,7 +104,7 @@ let star_run net terminals =
   let candidates = Bubble_construct.candidate_set tiny_cfg net in
   let active = Array.init (Array.length candidates) (fun i -> i) in
   Star_ptree.run ~tech ~buffers ~trials:5 ~max_curve:8 ~grids:(0.0, 0.0, 0.0)
-    ~bbox_slack:0.4 ~candidates ~active ~terminals
+    ~bbox_slack:0.4 ~candidates ~active ~terminals ()
 
 let test_star_single_sink () =
   let net = mk_net 3 1 in

@@ -128,6 +128,81 @@ let equiv =
            && x.Solution.data = y.Solution.data
          | _ -> false) ]
 
+(* The arena/knob surface of the builder (DESIGN.md §9): cleared-and-
+   reused builders, the neutral settings of the epsilon / max_frontier
+   knobs, and the approximation guarantees of the non-neutral ones. *)
+let build_bag ?grids ?epsilon ?max_frontier bag =
+  let bld = Curve.Builder.create () in
+  List.iter (Curve.Builder.add bld) (bag_to_sols bag);
+  Curve.Builder.build ?grids ?epsilon ?max_frontier bld
+
+let modes =
+  [ qtest "cleared builder = fresh (across grids/exact cycles)"
+      (QCheck.pair arb_bag arb_bag)
+      (fun (b1, b2) ->
+         (* One long-lived builder runs exact and quantised builds over
+            two bags; after every clear it must be observationally a
+            fresh builder, scratch reuse notwithstanding. *)
+         let bld = Curve.Builder.create () in
+         let cycle ?grids bag =
+           Curve.Builder.clear bld;
+           List.iter (Curve.Builder.add bld) (bag_to_sols bag);
+           obs (Curve.Builder.build ?grids bld)
+         in
+         let g = (3.0, 2.0, 5.0) in
+         cycle ~grids:g b1 = obs (build_bag ~grids:g b1)
+         && cycle b2 = obs (build_bag b2)
+         && cycle ~grids:g b2 = obs (build_bag ~grids:g b2)
+         && cycle b1 = obs (build_bag b1));
+    qtest "push_cost = push" arb_bag (fun bag ->
+        let bld = Curve.Builder.create () in
+        let c = Curve.Builder.new_cost () in
+        List.iteri
+          (fun i (r, l, a) ->
+             c.Curve.Builder.creq <- r;
+             c.Curve.Builder.cload <- l;
+             c.Curve.Builder.carea <- a;
+             Curve.Builder.push_cost bld c i)
+          bag;
+        obs (Curve.Builder.build bld) = obs (build_bag bag));
+    qtest "epsilon 0 and unbounded max_frontier = exact"
+      arb_bag
+      (fun bag ->
+         let g = (3.0, 2.0, 5.0) in
+         obs (build_bag ~epsilon:0.0 ~max_frontier:max_int bag)
+         = obs (build_bag bag)
+         && obs (build_bag ~grids:g ~epsilon:0.0 ~max_frontier:max_int bag)
+            = obs (build_bag ~grids:g bag));
+    qtest "epsilon build: subset of exact, prunes only eps-dominated"
+      (QCheck.pair arb_bag (QCheck.float_range 0.5 3.0))
+      (fun (bag, eps) ->
+         let exact = Curve.to_list (build_bag bag) in
+         let pruned = Curve.to_list (build_bag ~epsilon:eps bag) in
+         let in_exact s =
+           List.exists
+             (fun k ->
+                k.Solution.req = s.Solution.req
+                && k.Solution.load = s.Solution.load
+                && k.Solution.area = s.Solution.area
+                && k.Solution.data = s.Solution.data)
+             exact
+         in
+         let eps_covered s =
+           List.exists
+             (fun k ->
+                k.Solution.req >= s.Solution.req
+                && k.Solution.load <= s.Solution.load +. eps
+                && k.Solution.area <= s.Solution.area +. eps)
+             pruned
+         in
+         List.for_all in_exact pruned && List.for_all eps_covered exact);
+    qtest "max_frontier keeps the best-req prefix of the exact frontier"
+      (QCheck.pair arb_bag (QCheck.int_range 2 8))
+      (fun (bag, cap) ->
+         let exact = obs (build_bag bag) in
+         let capped = obs (build_bag ~max_frontier:cap bag) in
+         capped = List.filteri (fun i _ -> i < cap) exact) ]
+
 (* Regression for the batch cap: the four extreme points — best required
    time, least load, least area, and the last curve element — survive
    capping whenever the cap has room for them. *)
@@ -212,4 +287,4 @@ let suite =
       Alcotest.test_case "builder lifecycle" `Quick test_builder_lifecycle;
       Alcotest.test_case "batch results pass contracts" `Quick
         test_batch_contracts ]
-    @ equiv )
+    @ equiv @ modes )

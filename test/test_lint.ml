@@ -90,6 +90,27 @@ let test_curve_add_in_loop () =
     "let f acc sols =\n\
     \  List.iter (fun s -> acc := Curve.add !acc s) sols (* l\105nt: curve-add-in-loop *)\n"
 
+let test_builder_create_in_loop () =
+  check_spans "iter callback flagged in core" [ ("builder-create-in-loop", 2) ]
+    ~filename:"lib/core/fix.ml"
+    "let f cells =\n\
+    \  List.iter (fun c -> ignore (Curve.Builder.create ())) cells\n";
+  check_spans "for-loop body flagged in lttree" [ ("builder-create-in-loop", 1) ]
+    ~filename:"lib/lttree/fix.ml"
+    "let f n = for _i = 1 to n do ignore (Curve.Builder.create ()) done\n";
+  check_spans "qualified form flagged" [ ("builder-create-in-loop", 1) ]
+    ~filename:"lib/core/fix.ml"
+    "let f l = List.iter (fun _ -> ignore (Merlin_curves.Curve.Builder.create ())) l\n";
+  check_spans "hoisted create passes" [] ~filename:"lib/core/fix.ml"
+    "let f cells =\n\
+    \  let bld = Curve.Builder.create () in\n\
+    \  List.iter (fun c -> fill bld c) cells\n";
+  check_spans "outside the hot paths passes" [] ~filename:"lib/flows/fix.ml"
+    "let f l = List.iter (fun _ -> ignore (Curve.Builder.create ())) l\n";
+  check_spans "waiver accepted" [] ~filename:"lib/core/fix.ml"
+    "let f l =\n\
+    \  List.iter (fun _ -> ignore (Curve.Builder.create ())) l (* l\105nt: builder-create-in-loop *)\n"
+
 let write_file path text =
   let oc = open_out path in
   output_string oc text;
@@ -147,5 +168,7 @@ let suite =
       Alcotest.test_case "R5 catch-all" `Quick test_catch_all;
       Alcotest.test_case "R6 mli-sibling" `Quick test_mli_sibling;
       Alcotest.test_case "R7 curve-add-in-loop" `Quick test_curve_add_in_loop;
+      Alcotest.test_case "R8 builder-create-in-loop" `Quick
+        test_builder_create_in_loop;
       Alcotest.test_case "parse error reported" `Quick test_parse_error;
       Alcotest.test_case "rendering" `Quick test_render ] )
