@@ -2,7 +2,7 @@
    ablations documented in DESIGN.md, and provides Bechamel micro
    benchmarks ("speed").
 
-     dune exec bench/main.exe -- [table1|table2|hier|ablations|speed|all]
+     dune exec bench/main.exe -- [table1|table2|hier|curve|serve|ablations|speed|all]
                                  [--full|--smoke] [--seconds N]
                                  [-j N] [--stats] [--json FILE]
 
@@ -612,6 +612,229 @@ let curve_table ~opts () =
       rows
 
 (* ------------------------------------------------------------------ *)
+(* Serving throughput: cold vs warm vs restart vs ECO                  *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Merlin_serve
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let serve_stat path stats =
+  let rec go j = function
+    | [] -> (
+      match Json.to_num j with
+      | Some f -> int_of_float f
+      | None ->
+        failwith
+          ("Bench.serve_stat: not a number: " ^ String.concat "." path))
+    | k :: rest -> (
+      match Json.member k j with
+      | Some v -> go v rest
+      | None -> failwith ("Bench.serve_stat: missing " ^ String.concat "." path))
+  in
+  go stats path
+
+let serve_stats client =
+  match
+    Serve.Client.call client
+      (Serve.Wire.Admin { job = "stats"; op = Serve.Wire.Stats })
+  with
+  | Ok (Serve.Wire.Stats_reply { stats; _ }) -> stats
+  | Ok _ -> failwith "Bench.serve_stats: unexpected reply to a stats request"
+  | Error msg -> failwith ("Bench.serve_stats: " ^ msg)
+
+(* Whole-netlist serving over the v2 wire protocol: extract every
+   optimizable net of a generated circuit, then measure four batch
+   submissions against a daemon backed by the persistent store —
+
+     cold     empty caches, every net computed on the pool;
+     warm     same daemon again, answered by the memory LRU;
+     restart  a fresh daemon over the same store directory, answered by
+              the persistent tier without a single pool task;
+     eco      ~25% of the nets perturbed, submitted with the original
+              fingerprint manifest — only the changed nets re-route.
+
+   The --smoke profile asserts the cache story instead of just printing
+   it: warm throughput must be at least cold's, the restarted daemon
+   must serve 100% hits with zero pool submissions, and ECO must route
+   exactly the changed nets. *)
+let serve_table ~opts () =
+  let scale_down = if opts.full then 60 else if opts.smoke then 300 else 200 in
+  let netlist =
+    Merlin_circuit.Placement.place
+      (Merlin_circuit.Circuit_gen.generate ~scale_down ~name:"B9" ())
+  in
+  let nets = FR.nets ~tech netlist in
+  let n = List.length nets in
+  if n = 0 then failwith "Bench.serve_table: circuit yields no optimizable nets";
+  progress "[serve] B9 yields %d optimizable nets (jobs=%d)" n opts.jobs;
+  let spec =
+    { Flows.tech; buffers;
+      algo =
+        Flows.Merlin
+          { cfg =
+              Some
+                { Merlin_core.Config.default with
+                  Merlin_core.Config.candidate_limit = 8;
+                  max_curve = 5;
+                  buffer_trials = 4;
+                  max_iters = 1 };
+            objective = Merlin_core.Objective.Best_req } }
+  in
+  let store_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "merlin-bench-store-%d" (Unix.getpid ()))
+  in
+  let socket tag =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "merlin-bench-%s-%d.sock" tag (Unix.getpid ()))
+  in
+  let start tag =
+    Serve.Server.start
+      { (Serve.Server.default_config ~socket_path:(socket tag)) with
+        Serve.Server.domains = Some opts.jobs;
+        cache_capacity = max 256 n;
+        store_dir = Some store_dir }
+  in
+  let run_row client ~row ?manifest nets =
+    progress "[serve] %s..." row;
+    match
+      Serve.Client.run_batch client
+        { Serve.Wire.job = row; spec; nets; deadline_s = None;
+          want_tree = false; manifest }
+        ~on_progress:(fun _ -> ())
+    with
+    | Error msg -> failwith ("Bench.serve_table: " ^ row ^ ": " ^ msg)
+    | Ok s -> (row, s)
+  in
+  let bump_req (net : Net.t) =
+    Net.make ~name:net.Net.name ~source:net.Net.source ~driver:net.Net.driver
+      (Array.to_list
+         (Array.map
+            (fun (s : Sink.t) ->
+               Sink.make ~id:s.Sink.id ~pt:s.Sink.pt ~cap:s.Sink.cap
+                 ~req:(s.Sink.req +. 50.0))
+            net.Net.sinks))
+  in
+  let eco_nets =
+    List.mapi
+      (fun i (name, net) ->
+         if i mod 4 = 0 then (name, bump_req net) else (name, net))
+      nets
+  in
+  let changed = (n + 3) / 4 in
+  let manifest =
+    List.map (fun (name, net) -> (name, Net_io.fingerprint net)) nets
+  in
+  let (rows, restart_submitted), wall_s =
+    Clock.timed (fun () ->
+        let server1 = start "a" in
+        let c1 = Serve.Client.connect_unix (socket "a") in
+        let cold = run_row c1 ~row:"cold" nets in
+        let warm = run_row c1 ~row:"warm" nets in
+        let eco = run_row c1 ~row:"eco" ~manifest eco_nets in
+        Serve.Client.close c1;
+        Serve.Server.stop server1;
+        let server2 = start "b" in
+        let c2 = Serve.Client.connect_unix (socket "b") in
+        let restart = run_row c2 ~row:"restart" nets in
+        let restart_submitted =
+          serve_stat [ "pool"; "submitted" ] (serve_stats c2)
+        in
+        Serve.Client.close c2;
+        Serve.Server.stop server2;
+        ([ cold; warm; restart; eco ], restart_submitted))
+  in
+  rm_rf store_dir;
+  progress "[serve] wall %.2fs (jobs=%d)" wall_s opts.jobs;
+  let throughput (s : Serve.Wire.summary) =
+    if s.Serve.Wire.wall_s > 0.0 then
+      float_of_int s.Serve.Wire.total /. s.Serve.Wire.wall_s
+    else 0.0
+  in
+  let cells =
+    List.map
+      (fun (row, (s : Serve.Wire.summary)) ->
+         [ S row; I s.Serve.Wire.total; I s.Serve.Wire.routed;
+           I s.Serve.Wire.hits; I s.Serve.Wire.unchanged;
+           I s.Serve.Wire.failed; F s.Serve.Wire.wall_s; F (throughput s) ])
+      rows
+  in
+  print
+    ~title:
+      "Batch serving: whole-netlist throughput over the v2 wire protocol \
+       (cold pool run, warm LRU, daemon restart over the persistent \
+       store, ECO re-route)"
+    ~header:
+      [ "row"; "nets"; "routed"; "hits"; "unchanged"; "failed"; "wall(s)";
+        "nets/s" ]
+    cells;
+  let json_rows =
+    List.map
+      (fun (row, (s : Serve.Wire.summary)) ->
+         Json.Obj
+           [ ("row", js row); ("nets", ji s.Serve.Wire.total);
+             ("routed", ji s.Serve.Wire.routed); ("hits", ji s.Serve.Wire.hits);
+             ("unchanged", ji s.Serve.Wire.unchanged);
+             ("failed", ji s.Serve.Wire.failed);
+             ("cancelled", ji s.Serve.Wire.cancelled);
+             ("wall_s", jf s.Serve.Wire.wall_s);
+             ("nets_per_s", jf (throughput s)) ])
+      rows
+    @ [ Json.Obj
+          [ ("row", js "restart-pool");
+            ("pool_submitted", ji restart_submitted);
+            ("changed", ji changed) ] ]
+  in
+  write_json ~opts ~table:"serve" ~wall_s json_rows;
+  (* Parse the emitted document straight back; @bench-smoke fails on a
+     Parse_error or a lost rows array, same as the curve table. *)
+  (match opts.json with
+   | None -> ()
+   | Some file ->
+     let ic = open_in_bin file in
+     let len = in_channel_length ic in
+     let raw = really_input_string ic len in
+     close_in ic;
+     let doc = Json.of_string raw in
+     (match Json.member "rows" doc with
+      | Some (Json.List (_ :: _)) -> ()
+      | Some _ | None ->
+        failwith "Bench.serve_table: emitted JSON lost its rows"));
+  if opts.smoke then begin
+    let find row =
+      match List.assoc_opt row rows with
+      | Some s -> s
+      | None -> failwith ("Bench.serve_table: missing row " ^ row)
+    in
+    let cold = find "cold" and warm = find "warm" in
+    let restart = find "restart" and eco = find "eco" in
+    if cold.Serve.Wire.routed <> n then
+      failwith "Bench.serve_table: cold run did not route every net";
+    if warm.Serve.Wire.hits <> n || throughput warm < throughput cold then
+      failwith
+        "Bench.serve_table: warm run slower than cold — the memory cache \
+         regressed";
+    if restart.Serve.Wire.hits <> n || restart_submitted <> 0 then
+      failwith
+        "Bench.serve_table: restarted daemon touched the pool — the \
+         persistent store regressed";
+    if eco.Serve.Wire.routed <> changed
+       || eco.Serve.Wire.unchanged <> n - changed
+    then
+      failwith
+        "Bench.serve_table: ECO did not route exactly the changed nets"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -906,7 +1129,8 @@ let () =
     List.find_opt
       (fun a ->
          List.mem a
-           [ "table1"; "table2"; "hier"; "curve"; "ablations"; "speed"; "all" ])
+           [ "table1"; "table2"; "hier"; "curve"; "serve"; "ablations";
+             "speed"; "all" ])
       args
   in
   (match what with
@@ -914,6 +1138,7 @@ let () =
    | Some "table2" -> table2 ~opts pool ()
    | Some "hier" -> hier_table ~opts pool ()
    | Some "curve" -> curve_table ~opts ()
+   | Some "serve" -> serve_table ~opts ()
    | Some "ablations" -> ablations ~opts pool ()
    | Some "speed" -> speed ~seconds ()
    | Some "all" | None ->
@@ -922,6 +1147,7 @@ let () =
      table1 ~opts pool ();
      table2 ~opts pool ();
      hier_table ~opts pool ();
+     serve_table ~opts ();
      ablations ~opts pool ();
      speed ~seconds ()
    | Some _ -> assert false);

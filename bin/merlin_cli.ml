@@ -1,12 +1,15 @@
 (* Command-line interface to the buffered routing tree flows.
 
      merlin-cli gen --sinks 12 --seed 7 -o net.txt
+     merlin-cli gen --sinks 12 --nets 20 -o netlist.txt
      merlin-cli route net.txt --flow merlin --alpha 10
      merlin-cli route --random 10 --flow all -j 3 --stats
      merlin-cli route net.txt --objective area:50 --json
      merlin-cli circuit --name B9 --flow all -j 4 --stats
-     merlin-cli serve --socket /tmp/merlin.sock -j 4
+     merlin-cli serve --socket /tmp/merlin.sock -j 4 --store /var/cache/merlin
      merlin-cli submit net.txt --socket /tmp/merlin.sock --deadline 10
+     merlin-cli submit --netlist netlist.txt --save-manifest routed.mf
+     merlin-cli submit --netlist netlist.txt --eco routed.mf
      merlin-cli submit --admin stats --socket /tmp/merlin.sock
 
    Helpers return [(_, string) result] and errors surface through
@@ -305,20 +308,36 @@ let circuit name scale_down flow min_sinks jobs net_timeout stats =
 
 (* ---- gen ---- *)
 
-let gen sinks seed shape output =
+let gen sinks seed shape nets output =
   let* shape = parse_shape shape in
-  let net =
+  let make ~name ~seed =
     match shape with
-    | None -> Net_gen.random_net ~seed ~name:"generated" ~n:sinks tech
-    | Some shape ->
-      Net_gen.large_net ~seed ~name:"generated" ~shape ~n:sinks tech
+    | None -> Net_gen.random_net ~seed ~name ~n:sinks tech
+    | Some shape -> Net_gen.large_net ~seed ~name ~shape ~n:sinks tech
   in
-  (match output with
-   | Some path ->
-     Net_io.save path net;
-     Printf.printf "wrote %s (%d sinks)\n" path sinks
-   | None -> print_string (Net_io.to_string net));
-  Ok 0
+  match nets with
+  | None ->
+    let net = make ~name:"generated" ~seed in
+    (match output with
+     | Some path ->
+       Net_io.save path net;
+       Printf.printf "wrote %s (%d sinks)\n" path sinks
+     | None -> print_string (Net_io.to_string net));
+    Ok 0
+  | Some k when k >= 1 ->
+    (* A whole netlist for `submit --netlist`: distinct names (ECO
+       manifest keys) and distinct seeds per net. *)
+    let netlist =
+      List.init k (fun i ->
+          make ~name:(Printf.sprintf "gen#n%d" i) ~seed:(seed + i))
+    in
+    (match output with
+     | Some path ->
+       Net_io.save_many path netlist;
+       Printf.printf "wrote %s (%d nets, %d sinks each)\n" path k sinks
+     | None -> print_string (Net_io.to_string_many netlist));
+    Ok 0
+  | Some k -> Error (Printf.sprintf "--nets %d: need at least 1" k)
 
 (* ---- serve ---- *)
 
@@ -334,7 +353,8 @@ let parse_tcp = function
       | Some p when p > 0 && p < 65536 -> Ok (Some (host, p))
       | _ -> Error (Printf.sprintf "--tcp %S: invalid port %S" s port)))
 
-let serve socket_path tcp jobs cache_capacity default_deadline_s verbose =
+let serve socket_path tcp jobs cache_capacity store_dir default_deadline_s
+    verbose =
   setup_verbose verbose;
   (* The pool spawns domains at startup; grow the minor heap first. *)
   Merlin_exec.Runparam.ensure_minor_heap ();
@@ -344,6 +364,7 @@ let serve socket_path tcp jobs cache_capacity default_deadline_s verbose =
       Serve.Server.tcp;
       domains = jobs;
       cache_capacity;
+      store_dir;
       default_deadline_s }
   in
   match Serve.Server.start cfg with
@@ -359,6 +380,7 @@ let serve socket_path tcp jobs cache_capacity default_deadline_s verbose =
     Error
       (Printf.sprintf "cannot listen on %s: %s %s" socket_path
          (Unix.error_message err) arg)
+  | exception Invalid_argument msg -> Error msg  (* bad --store path *)
 
 (* ---- submit ---- *)
 
@@ -374,8 +396,171 @@ let print_wire_metrics ~cached (m : Metrics.t) =
   | Some tree -> Format.printf "tree:@.%a@." Merlin_rtree.Rtree.pp tree
   | None -> ()
 
+let refused_error kind message =
+  Error
+    (Printf.sprintf "%s: %s" (Serve.Wire.error_kind_to_string kind) message)
+
+(* The batch spec is one algo for every net, so per-net knobs cannot be
+   resolved against a single sink count: MERLIN runs with [cfg = None]
+   (the server scales per net) unless --alpha pins a config. *)
+let make_batch_algo ~flow ~alpha ~objective =
+  let* objective = parse_objective objective in
+  match Flows.default_algo flow with
+  | Some (Flows.Merlin _) ->
+    let cfg =
+      match alpha with
+      | None -> None
+      | Some alpha -> Some { Merlin_core.Config.default with alpha }
+    in
+    Ok (Flows.Merlin { cfg; objective })
+  | Some (Flows.Hier _) ->
+    Ok
+      (Flows.Hier
+         { cluster = Merlin_hier.Cluster.default;
+           inner = Flows.Merlin { cfg = Some Flows.hier_merlin_cfg; objective }
+         })
+  | Some algo -> Ok algo
+  | None ->
+    Error
+      (Printf.sprintf "unknown flow %s (merlin|lttree-ptree|ptree-vg|hier)"
+         flow)
+
+(* Netlist files may repeat a net name; manifest keys must not. *)
+let unique_names nets =
+  let seen = Hashtbl.create 16 in
+  List.map
+    (fun (net : Net.t) ->
+       let base = net.Net.name in
+       let n =
+         match Hashtbl.find_opt seen base with None -> 0 | Some n -> n
+       in
+       Hashtbl.replace seen base (n + 1);
+       ((if n = 0 then base else Printf.sprintf "%s#%d" base n), net))
+    nets
+
+(* An ECO manifest is one `<fingerprint> <name>` line per routed net
+   (names may contain anything but newlines; fingerprints are hex, so
+   the first space is an unambiguous separator). *)
+let parse_manifest text =
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      let line = String.trim line in
+      if String.equal line "" then go acc (lineno + 1) rest
+      else
+        match String.index_opt line ' ' with
+        | None ->
+          Error
+            (Printf.sprintf
+               "manifest line %d: expected `<fingerprint> <name>`" lineno)
+        | Some i ->
+          let fp = String.sub line 0 i in
+          let name = String.sub line (i + 1) (String.length line - i - 1) in
+          go ((name, fp) :: acc) (lineno + 1) rest)
+  in
+  go [] 1 (String.split_on_char '\n' text)
+
+let load_manifest path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> parse_manifest text
+  | exception Sys_error msg -> Error msg
+
+let save_manifest_file path entries =
+  match
+    Out_channel.with_open_bin path (fun oc ->
+        List.iter
+          (fun (name, fp) -> Printf.fprintf oc "%s %s\n" fp name)
+          entries)
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
+
+let render_progress ~json ~total (p : Serve.Wire.progress) =
+  let tag =
+    Printf.sprintf "[%d/%d] %s" (p.Serve.Wire.index + 1) total
+      p.Serve.Wire.name
+  in
+  match p.Serve.Wire.status with
+  | Serve.Wire.Routed { cached; metrics } ->
+    (* --json: one canonical metrics object per routed net on stdout;
+       everything human goes to stderr. *)
+    if json then print_endline (Json.to_string (Metrics.to_json metrics))
+    else
+      Format.printf
+        "%s: area=%.2f delay=%.1fps req=%.1fps buffers=%d runtime=%.2fs%s@."
+        tag metrics.Metrics.area metrics.Metrics.delay metrics.Metrics.root_req
+        metrics.Metrics.n_buffers metrics.Metrics.runtime
+        (match cached with
+         | Serve.Wire.Hit -> "  [cached]"
+         | Serve.Wire.Miss -> "")
+  | Serve.Wire.Unchanged ->
+    if not json then Format.printf "%s: unchanged@." tag
+  | Serve.Wire.Net_failed { kind; message } ->
+    Format.eprintf "%s: %s: %s@." tag
+      (Serve.Wire.error_kind_to_string kind)
+      message
+  | Serve.Wire.Cancelled -> Format.eprintf "%s: cancelled@." tag
+
+let submit_batch client ~netlist_path ~flow ~alpha ~objective ~deadline_s
+    ~want_tree ~json ~job ~eco ~save_manifest =
+  let* nets =
+    match Net_io.load_many netlist_path with
+    | nets -> Ok (unique_names nets)
+    | exception Sys_error msg -> Error msg
+    | exception Failure msg -> Error msg
+  in
+  let* () =
+    match nets with
+    | [] -> Error "netlist file contains no nets"
+    | _ :: _ -> Ok ()
+  in
+  let* algo = make_batch_algo ~flow ~alpha ~objective in
+  let* manifest =
+    match eco with
+    | None -> Ok None
+    | Some path -> Result.map Option.some (load_manifest path)
+  in
+  let total = List.length nets in
+  let batch =
+    { Serve.Wire.job;
+      spec = { Flows.tech; buffers; algo };
+      nets;
+      deadline_s;
+      want_tree;
+      manifest }
+  in
+  let* summary =
+    Serve.Client.run_batch client batch
+      ~on_progress:(render_progress ~json ~total)
+  in
+  let report fmt = if json then Format.eprintf fmt else Format.printf fmt in
+  report
+    "batch %s: total=%d routed=%d hits=%d unchanged=%d failed=%d \
+     cancelled=%d wall=%.2fs@."
+    job summary.Serve.Wire.total summary.Serve.Wire.routed
+    summary.Serve.Wire.hits summary.Serve.Wire.unchanged
+    summary.Serve.Wire.failed summary.Serve.Wire.cancelled
+    summary.Serve.Wire.wall_s;
+  let* () =
+    match save_manifest with
+    | None -> Ok ()
+    | Some path ->
+      let* () =
+        save_manifest_file path
+          (List.map (fun (name, net) -> (name, Net_io.fingerprint net)) nets)
+      in
+      if not json then Format.printf "manifest written to %s@." path;
+      Ok ()
+  in
+  if summary.Serve.Wire.failed > 0 || summary.Serve.Wire.cancelled > 0 then
+    Error
+      (Printf.sprintf "batch incomplete: %d failed, %d cancelled of %d"
+         summary.Serve.Wire.failed summary.Serve.Wire.cancelled
+         summary.Serve.Wire.total)
+  else Ok 0
+
 let submit file random seed socket_path flow alpha objective deadline_s
-    want_tree json id admin =
+    want_tree json id admin netlist_file eco save_manifest =
   let* client =
     match Serve.Client.connect_unix socket_path with
     | c -> Ok c
@@ -385,53 +570,60 @@ let submit file random seed socket_path flow alpha objective deadline_s
                          running?)" socket_path (Unix.error_message err))
   in
   Fun.protect ~finally:(fun () -> Serve.Client.close client) @@ fun () ->
-  let* msg =
+  let admin_op =
     match admin with
-    | Some "stats" -> Ok Serve.Wire.Stats
-    | Some "ping" -> Ok Serve.Wire.Ping
-    | Some "drain" -> Ok Serve.Wire.Drain
-    | Some "shutdown" -> Ok Serve.Wire.Shutdown
+    | Some "stats" -> Some (Ok Serve.Wire.Stats)
+    | Some "ping" -> Some (Ok Serve.Wire.Ping)
+    | Some "drain" -> Some (Ok Serve.Wire.Drain)
+    | Some "shutdown" -> Some (Ok Serve.Wire.Shutdown)
     | Some other ->
-      Error
-        (Printf.sprintf "unknown admin op %s (stats|ping|drain|shutdown)"
-           other)
-    | None ->
-      let* net = load_net file random seed in
-      let* algo = make_algo ~flow ~alpha ~objective net in
-      Ok
+      Some
+        (Error
+           (Printf.sprintf "unknown admin op %s (stats|ping|drain|shutdown)"
+              other))
+    | None -> None
+  in
+  match (admin_op, netlist_file) with
+  | Some op, _ ->
+    let* op = op in
+    let* reply = Serve.Client.call client (Serve.Wire.Admin { job = id; op }) in
+    (match reply with
+     | Serve.Wire.Stats_reply { stats; _ } ->
+       print_endline (Json.to_string stats);
+       Ok 0
+     | Serve.Wire.Pong _ ->
+       print_endline "pong";
+       Ok 0
+     | Serve.Wire.Admin_ok { what; _ } ->
+       print_endline what;
+       Ok 0
+     | Serve.Wire.Refused { kind; message; _ } -> refused_error kind message
+     | Serve.Wire.Reply _ | Serve.Wire.Progress _ | Serve.Wire.Batch_done _ ->
+       Error "unexpected reply to an admin request")
+  | None, Some netlist_path ->
+    submit_batch client ~netlist_path ~flow ~alpha ~objective ~deadline_s
+      ~want_tree ~json ~job:id ~eco ~save_manifest
+  | None, None ->
+    let* net = load_net file random seed in
+    let* algo = make_algo ~flow ~alpha ~objective net in
+    let* reply =
+      Serve.Client.call client
         (Serve.Wire.Route
-           { Serve.Wire.id;
+           { Serve.Wire.job = id;
              spec = { Flows.tech; buffers; algo };
              net;
              deadline_s;
              want_tree })
-  in
-  let* reply = Serve.Client.call client msg in
-  match reply with
-  | Serve.Wire.Reply { cached; metrics; _ } ->
-    if json then
-      print_endline (Json.to_string (Metrics.to_json metrics))
-    else print_wire_metrics ~cached metrics;
-    Ok 0
-  | Serve.Wire.Refused { kind; message; _ } ->
-    Error
-      (Printf.sprintf "%s: %s"
-         (match kind with
-          | Serve.Wire.Bad_request -> "bad request"
-          | Serve.Wire.Infeasible -> "infeasible"
-          | Serve.Wire.Timeout -> "timeout"
-          | Serve.Wire.Draining -> "draining"
-          | Serve.Wire.Internal -> "internal error")
-         message)
-  | Serve.Wire.Stats_reply stats ->
-    print_endline (Json.to_string stats);
-    Ok 0
-  | Serve.Wire.Pong ->
-    print_endline "pong";
-    Ok 0
-  | Serve.Wire.Admin_ok what ->
-    print_endline what;
-    Ok 0
+    in
+    (match reply with
+     | Serve.Wire.Reply { cached; metrics; _ } ->
+       if json then print_endline (Json.to_string (Metrics.to_json metrics))
+       else print_wire_metrics ~cached metrics;
+       Ok 0
+     | Serve.Wire.Refused { kind; message; _ } -> refused_error kind message
+     | Serve.Wire.Stats_reply _ | Serve.Wire.Pong _ | Serve.Wire.Admin_ok _
+     | Serve.Wire.Progress _ | Serve.Wire.Batch_done _ ->
+       Error "unexpected reply to a route request")
 
 (* ---- cmdliner plumbing ---- *)
 
@@ -545,6 +737,12 @@ let circuit_cmd =
 
 let gen_cmd =
   let sinks = Arg.(value & opt int 8 & info [ "sinks" ] ~doc:"Sink count") in
+  let nets =
+    Arg.(
+      value & opt (some int) None
+      & info [ "nets" ] ~docv:"K"
+          ~doc:"Generate a $(docv)-net netlist file (for submit --netlist)")
+  in
   let output =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file")
   in
@@ -552,7 +750,8 @@ let gen_cmd =
     (Cmd.info "gen"
        ~doc:"Generate a random net (paper Section IV recipe, or a large-net \
              shape with --shape)")
-    (Term.term_result' Term.(const gen $ sinks $ seed_arg $ shape_arg $ output))
+    (Term.term_result'
+       Term.(const gen $ sinks $ seed_arg $ shape_arg $ nets $ output))
 
 let serve_cmd =
   let tcp_arg =
@@ -572,6 +771,12 @@ let serve_cmd =
       value & opt int 256
       & info [ "cache" ] ~docv:"N" ~doc:"Result-cache capacity (entries)")
   in
+  let store_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:"Persistent result-cache directory (survives restarts)")
+  in
   let deadline_arg =
     Arg.(
       value & opt (some float) None
@@ -585,7 +790,7 @@ let serve_cmd =
     (Term.term_result'
        Term.(
          const serve $ socket_arg $ tcp_arg $ serve_jobs $ cache_arg
-         $ deadline_arg $ verbose_arg))
+         $ store_arg $ deadline_arg $ verbose_arg))
 
 let submit_cmd =
   let deadline_arg =
@@ -605,13 +810,37 @@ let submit_cmd =
           ~doc:"Send an admin op instead of a route: stats | ping | drain \
                 | shutdown")
   in
+  let netlist_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "netlist" ] ~docv:"FILE"
+          ~doc:"Submit every net of a multi-net file as one batch job with \
+                streamed progress")
+  in
+  let eco_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "eco" ] ~docv:"MANIFEST"
+          ~doc:"ECO mode for --netlist: only re-route nets whose fingerprint \
+                differs from $(docv) (written by --save-manifest)")
+  in
+  let save_manifest_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save-manifest" ] ~docv:"FILE"
+          ~doc:"After a --netlist batch, write its fingerprint manifest for \
+                a later --eco run")
+  in
   Cmd.v
-    (Cmd.info "submit" ~doc:"Submit a routing request to a running daemon")
+    (Cmd.info "submit"
+       ~doc:"Submit a routing request (or a whole-netlist batch) to a \
+             running daemon")
     (Term.term_result'
        Term.(
          const submit $ file_arg $ random_arg $ seed_arg $ socket_arg
          $ flow_arg $ alpha_arg $ objective_arg $ deadline_arg $ tree_arg
-         $ json_arg $ id_arg $ admin_arg))
+         $ json_arg $ id_arg $ admin_arg $ netlist_arg $ eco_arg
+         $ save_manifest_arg))
 
 let main =
   Cmd.group

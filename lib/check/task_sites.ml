@@ -20,6 +20,10 @@ let sinks =
        closure to Pool.submit/run_timeout; the closure built at the
        call site is the one that escapes to a worker domain. *)
     ([ "Scheduler"; "schedule" ], "Scheduler.schedule");
+    (* Batch fan-out: both the per-item jobs and the [on_item] /
+       [cancelled] callbacks run on the batch worker team, concurrent
+       with the caller. *)
+    ([ "Scheduler"; "run_batch" ], "Scheduler.run_batch");
     (* The hierarchical flow farms its [route] callback over the pool
        ([Pool.map ~chunk:1] per cluster); the closure handed to
        [Hier.route] is the one that escapes to worker domains. *)

@@ -207,6 +207,22 @@ let run ~tech ~buffers ~flow ?(min_sinks = 2) ?merlin_cfg ?(jobs = 1) ?pool
     nets_optimized = !optimized;
     nets_timed_out = !timed_out }
 
+(* Net extraction for batch serving: the per-driver nets of the star
+   STA snapshot, exactly as the sequential [run] loop would first see
+   them, in node order.  Names come from [Sta.net_for_optimization]
+   ("circuit#nN"), so they are stable across runs and usable as ECO
+   manifest keys. *)
+let nets ~tech ?(min_sinks = 2) netlist =
+  let sta = Sta.init netlist in
+  let report = Sta.analyse ~tech sta in
+  List.init (Netlist.n_nodes netlist) (fun node -> node)
+  |> List.filter (fun node ->
+         List.length (Sta.sink_gates sta node) >= min_sinks)
+  |> List.filter_map (fun node ->
+         match Sta.net_for_optimization sta report node with
+         | None -> None
+         | Some net -> Some (net.Net.name, net))
+
 let run_all ~tech ~buffers ?min_sinks ?jobs ?pool netlist =
   [ run ~tech ~buffers ~flow:Flow1 ?min_sinks ?jobs ?pool netlist;
     run ~tech ~buffers ~flow:Flow2 ?min_sinks ?jobs ?pool netlist;

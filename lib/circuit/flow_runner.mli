@@ -61,6 +61,17 @@ val run :
   Netlist.t ->
   result
 
+(** [nets ~tech netlist] extracts the multi-sink nets of a placed
+    circuit from the initial (star-routed) STA snapshot, in node order
+    — the per-net inputs a batch serving request carries.  Names are
+    the STA's ["circuit#nN"], stable across runs and usable as ECO
+    manifest keys.  [min_sinks] as in {!run} (default 2). *)
+val nets :
+  tech:Tech.t ->
+  ?min_sinks:int ->
+  Netlist.t ->
+  (string * Merlin_net.Net.t) list
+
 (** All three flows on one circuit. *)
 val run_all :
   tech:Tech.t ->

@@ -101,6 +101,46 @@ let of_string text =
   | _, None, _ -> failwith "Net_io.of_string: missing 'source' line"
   | _, _, None -> failwith "Net_io.of_string: missing 'driver' line"
 
+(* A netlist file is just nets concatenated: every [to_string] block
+   starts with its own "net <name>" line, which doubles as the record
+   separator, so the multi-net form needs no extra framing. *)
+let to_string_many nets = String.concat "" (List.map to_string nets)
+
+let of_string_many text =
+  let is_header line =
+    let line = String.trim line in
+    String.length line >= 4 && String.equal (String.sub line 0 4) "net "
+  in
+  let chunk_to_net chunk =
+    match chunk with
+    | [] -> None
+    | lines -> Some (of_string (String.concat "\n" (List.rev lines)))
+  in
+  let rec go acc chunk = function
+    | [] -> (
+      match chunk_to_net chunk with
+      | None -> List.rev acc
+      | Some net -> List.rev (net :: acc))
+    | line :: rest ->
+      if is_header line then
+        let acc =
+          match chunk_to_net chunk with None -> acc | Some net -> net :: acc
+        in
+        go acc [ line ] rest
+      else (
+        match chunk with
+        | [] ->
+          if String.equal (String.trim line) "" then go acc [] rest
+          else
+            failwith
+              (Printf.sprintf
+                 "Net_io.of_string_many: content before the first 'net' \
+                  line: %S"
+                 line)
+        | _ :: _ -> go acc (line :: chunk) rest)
+  in
+  go [] [] (String.split_on_char '\n' text)
+
 let save path net =
   let oc = open_out path in
   output_string oc (to_string net);
@@ -112,3 +152,15 @@ let load path =
   let text = really_input_string ic len in
   close_in ic;
   of_string text
+
+let save_many path nets =
+  let oc = open_out path in
+  output_string oc (to_string_many nets);
+  close_out oc
+
+let load_many path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string_many text

@@ -25,6 +25,21 @@ val fingerprint : Net.t -> string
 (** Raises [Failure] with a line-numbered message on malformed input. *)
 val of_string : string -> Net.t
 
+(** Canonical multi-net (netlist file) form: the [to_string] blocks
+    concatenated — every "net <name>" line starts a new record, so the
+    single-net and multi-net forms are mutually parseable. *)
+val to_string_many : Net.t list -> string
+
+(** Splits on "net" header lines and parses each record with
+    {!of_string}; empty input yields [[]].  Raises [Failure] (with
+    record-relative line numbers) on malformed records or content
+    before the first header. *)
+val of_string_many : string -> Net.t list
+
 val save : string -> Net.t -> unit
 
 val load : string -> Net.t
+
+val save_many : string -> Net.t list -> unit
+
+val load_many : string -> Net.t list

@@ -1,0 +1,55 @@
+(* Two-tier result cache: the in-memory LRU in front, an optional
+   persistent {!Store} behind it.
+
+   The scheduler depends on this interface, not on the concrete LRU —
+   memory-only and store-backed servers share one code path.  A find
+   consults memory first; a memory miss falls through to the store,
+   decodes the blob and promotes the value back into memory, so a
+   restarted daemon refills its hot set from disk instead of the pool.
+   An add writes through to both tiers.
+
+   The store holds strings; the value codec travels with the backend.
+   A blob that passes the store's checksum but no longer decodes
+   (schema drift) is treated as a miss — the caller recomputes and the
+   write-through replaces the stale blob. *)
+
+type 'a codec = {
+  encode : 'a -> string;
+  decode : string -> 'a option;
+}
+
+type 'a t = {
+  memory : 'a Lru.t;
+  backend : (Store.t * 'a codec) option;
+}
+
+let create ?store ~capacity () =
+  { memory = Lru.create ~capacity; backend = store }
+
+let find t key =
+  match Lru.find t.memory key with
+  | Some _ as hit -> hit
+  | None -> (
+    match t.backend with
+    | None -> None
+    | Some (store, codec) -> (
+      match Option.bind (Store.find store key) codec.decode with
+      | None -> None
+      | Some value ->
+        Lru.add t.memory key value;
+        Some value))
+
+let add t key value =
+  Lru.add t.memory key value;
+  match t.backend with
+  | None -> ()
+  | Some (store, codec) -> Store.add store key (codec.encode value)
+
+type stats = {
+  memory : Lru.stats;
+  store : Store.stats option;
+}
+
+let stats (t : 'a t) =
+  { memory = Lru.stats t.memory;
+    store = Option.map (fun (s, _) -> Store.stats s) t.backend }

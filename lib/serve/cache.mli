@@ -1,0 +1,32 @@
+(** Two-tier result cache: in-memory {!Lru} in front, an optional
+    persistent {!Store} behind it.
+
+    The scheduler programs against this interface so memory-only and
+    store-backed deployments share one code path.  {!find} consults
+    memory, then the store (decoding the blob and promoting the value
+    into memory — a warm store refills a restarted daemon without pool
+    work); {!add} writes through to both tiers.  Blobs that fail the
+    store checksum or the codec decode read as misses, never errors. *)
+
+type 'a codec = {
+  encode : 'a -> string;
+  decode : string -> 'a option;  (** [None] = undecodable, treat as miss *)
+}
+
+type 'a t
+
+(** [create ?store ~capacity ()] — [store] attaches the persistent
+    tier together with the value codec.  Raises [Invalid_argument]
+    when [capacity < 1] (from {!Lru.create}). *)
+val create : ?store:Store.t * 'a codec -> capacity:int -> unit -> 'a t
+
+val find : 'a t -> string -> 'a option
+
+val add : 'a t -> string -> 'a -> unit
+
+type stats = {
+  memory : Lru.stats;
+  store : Store.stats option;  (** [None] without a persistent tier *)
+}
+
+val stats : 'a t -> stats

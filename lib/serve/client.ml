@@ -1,6 +1,9 @@
-(* Blocking client for the routing service: one request, one reply, in
-   order, over a connection the caller owns.  Used by `merlin-cli
-   submit` and the serve smoke test. *)
+(* Session client for the routing service: one connection, requests
+   answered in order.  [call] is the one-shot request/reply shape;
+   [run_batch] drives a multi-frame batch job, handing each [Progress]
+   frame to the caller as it arrives and returning the terminal
+   summary.  Used by `merlin-cli submit`, the serve smoke test and the
+   serve benchmark. *)
 
 type t = {
   fd : Unix.file_descr;
@@ -34,13 +37,45 @@ let read_error_to_string = function
   | Wire.Truncated -> "connection lost mid-reply"
   | Wire.Oversized n -> Printf.sprintf "reply frame of %d bytes too large" n
 
-let call t msg =
+let send t msg =
   match Wire.write_frame t.fd (Wire.encode_client msg) with
-  | () -> (
-    match Wire.read_frame ~max_frame:t.max_frame t.fd with
-    | Error e -> Error (read_error_to_string e)
-    | Ok payload -> Wire.decode_server payload)
+  | () -> Ok ()
   | exception Unix.Unix_error (err, _, _) ->
     Error (Printf.sprintf "send failed: %s" (Unix.error_message err))
+
+let read t =
+  match Wire.read_frame ~max_frame:t.max_frame t.fd with
+  | Error e -> Error (read_error_to_string e)
+  | Ok payload -> Result.map snd (Wire.decode_server payload)
+
+let call t msg =
+  match send t msg with
+  | Error _ as e -> e
+  | Ok () -> read t
+
+(* The batch stream in order: progress frames until the terminal
+   [Batch_done].  A [Refused] for our job is terminal too (the server
+   answers a draining-refused batch with a single error frame); any
+   other shape means the peers disagree about the protocol, which is an
+   [Error], not something to skip. *)
+let run_batch t (b : Wire.batch) ~on_progress =
+  match send t (Wire.Batch b) with
+  | Error _ as e -> e
+  | Ok () ->
+    let rec drain () =
+      match read t with
+      | Error _ as e -> e
+      | Ok (Wire.Progress p) ->
+        on_progress p;
+        drain ()
+      | Ok (Wire.Batch_done { summary; _ }) -> Ok summary
+      | Ok (Wire.Refused { kind; message; _ }) ->
+        Error
+          (Printf.sprintf "%s: %s" (Wire.error_kind_to_string kind) message)
+      | Ok (Wire.Reply _ | Wire.Stats_reply _ | Wire.Pong _ | Wire.Admin_ok _)
+        ->
+        Error "Client.run_batch: unexpected single-route reply in batch stream"
+    in
+    drain ()
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

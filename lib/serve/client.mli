@@ -1,5 +1,6 @@
-(** Blocking client for the routing service: one request, one reply, in
-    order, over a connection the caller owns. *)
+(** Session client for the routing service: connect once, send
+    requests, iterate streamed reply frames.  All calls block; the
+    caller owns the connection. *)
 
 type t
 
@@ -10,8 +11,25 @@ val connect_unix : ?max_frame:int -> string -> t
     resolve.  Raises [Unix.Unix_error] / [Failure]. *)
 val connect_tcp : ?max_frame:int -> string -> int -> t
 
-(** [call t msg] sends one message and blocks for its reply; transport
-    and decode problems come back as [Error]. *)
+(** [call t msg] sends one message and blocks for its single reply;
+    transport and decode problems come back as [Error]. *)
 val call : t -> Wire.client_msg -> (Wire.server_msg, string) result
+
+(** One message out, no reply read — for driving a stream by hand. *)
+val send : t -> Wire.client_msg -> (unit, string) result
+
+(** One reply frame in. *)
+val read : t -> (Wire.server_msg, string) result
+
+(** [run_batch t b ~on_progress] submits the batch and blocks draining
+    its reply stream, calling [on_progress] on each {!Wire.Progress}
+    frame in arrival order; returns the terminal {!Wire.Batch_done}
+    summary.  A [Refused] for the job (e.g. a draining server) is
+    returned as [Error]. *)
+val run_batch :
+  t ->
+  Wire.batch ->
+  on_progress:(Wire.progress -> unit) ->
+  (Wire.summary, string) result
 
 val close : t -> unit

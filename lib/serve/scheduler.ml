@@ -1,12 +1,14 @@
 (* Cache-or-compute scheduling layer between the server and the domain
    pool.
 
-   A hit answers from the LRU without touching the pool (no task is
+   A hit answers from the cache without touching the pool (no task is
    submitted — the smoke test asserts pool.submitted stays flat across
-   a repeated request).  A miss runs the job on the pool, bounded by
-   the per-request deadline when one is given; only successful results
-   enter the cache, so a timeout or failure is retried from scratch on
-   the next identical request.
+   a repeated request).  The cache is the two-tier {!Cache}: memory in
+   front, optionally a persistent store behind it, so a restarted
+   daemon with a warm store also answers without pool work.  A miss
+   runs the job on the pool, bounded by the per-request deadline when
+   one is given; only successful results enter the cache, so a timeout
+   or failure is retried from scratch on the next identical request.
 
    In-flight work is deduplicated.  Identical requests racing through a
    miss used to each submit a pool task — harmless for correctness
@@ -24,13 +26,18 @@
 
    [t.lock] guards the pending table only.  The leader computes with
    the lock released (the pool blocks for the whole flow), and
-   [Lru.find]/[Lru.add] take the cache's own lock inside [t.lock] on
-   the double-check — that nesting is the Scheduler.lock > Lru.lock
-   edge in lock-order.spec.
+   [Cache.find]/[Cache.add] take the LRU's lock (and the store's, for
+   counters) inside [t.lock] on the double-check — that nesting is the
+   Scheduler.lock > Lru.lock (> Store.lock) chain in lock-order.spec.
 
-   Timeouts and failures are already counted by the pool
-   ([stats.timed_out], [stats.failed]); cache traffic by {!Lru}.  The
-   scheduler adds no counters of its own. *)
+   [run_batch] fans a list of independent jobs over the pool: a small
+   team of threads pulls indices off a shared atomic counter and runs
+   each through {!schedule}, so batch items share the cache, the
+   dedup table and the pool's scheduling with every other request in
+   the daemon.  A cancellation probe is consulted before each item;
+   cancelled items are reported without computing.  Item completion
+   order is nondeterministic (that is the point), so [on_item] carries
+   the item's index — callers that need determinism key off it. *)
 
 module Pool = Merlin_exec.Pool
 
@@ -45,21 +52,21 @@ type 'a flight = { mutable outcome : 'a outcome option }
 
 type 'a t = {
   pool : Pool.t;
-  cache : 'a Lru.t;
+  cache : 'a Cache.t;
   lock : Mutex.t;
   cond : Condition.t;
   pending : (string, 'a flight) Hashtbl.t;
 }
 
-let create ?(cache_capacity = 256) pool =
+let create ~cache pool =
   { pool;
-    cache = Lru.create ~capacity:cache_capacity;
+    cache;
     lock = Mutex.create ();
     cond = Condition.create ();
     pending = Hashtbl.create 16 }
 
 let schedule t ~key ?deadline_s job =
-  match Lru.find t.cache key with
+  match Cache.find t.cache key with
   | Some value -> Done { value; cached = Wire.Hit }
   | None -> (
     let role =
@@ -69,7 +76,7 @@ let schedule t ~key ?deadline_s job =
           | None -> (
             (* Double-check under the lock: the leader for this key may
                have published and left between our miss and here. *)
-            match Lru.find t.cache key with
+            match Cache.find t.cache key with
             | Some value -> `Hit value
             | None ->
               let fl = { outcome = None } in
@@ -99,13 +106,13 @@ let schedule t ~key ?deadline_s job =
         | None -> (
           match Pool.await (Pool.submit t.pool job) with
           | value ->
-            Lru.add t.cache key value;
+            Cache.add t.cache key value;
             Done { value; cached = Wire.Miss }
           | exception e -> Failed e)
         | Some timeout_s -> (
           match Pool.run_timeout t.pool ~timeout_s job with
           | Pool.Done value ->
-            Lru.add t.cache key value;
+            Cache.add t.cache key value;
             Done { value; cached = Wire.Miss }
           | Pool.Timed_out -> Timed_out timeout_s
           | Pool.Failed e -> Failed e
@@ -117,6 +124,48 @@ let schedule t ~key ?deadline_s job =
           Condition.broadcast t.cond);
       outcome)
 
-let cache_stats t = Lru.stats t.cache
+type 'a item_outcome =
+  | Item of 'a outcome
+  | Item_cancelled
+
+let run_batch t ?deadline_s ?workers ~cancelled ~on_item items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  if n > 0 then begin
+    let workers =
+      match workers with
+      | Some w -> max 1 w
+      | None -> max 1 (Pool.size t.pool)
+    in
+    let workers = min workers n in
+    let next = Atomic.make 0 in
+    (* Each worker claims indices off the shared counter until the list
+       is exhausted.  [on_item] runs on the claiming worker — callers
+       synchronise inside it. *)
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let key, job = items.(i) in
+          let outcome =
+            if cancelled () then Item_cancelled
+            else Item (schedule t ~key ?deadline_s job)
+          in
+          on_item i outcome;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers =
+      List.init (workers - 1) (fun _ -> Thread.create worker ())
+    in
+    (* The calling thread is the last worker, so a one-worker batch
+       runs entirely inline. *)
+    worker ();
+    List.iter Thread.join helpers
+  end
+
+let cache_stats t = Cache.stats t.cache
 
 let pool t = t.pool

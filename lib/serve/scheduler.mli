@@ -1,6 +1,6 @@
 (** Cache-or-compute scheduling onto the {!Merlin_exec.Pool}.
 
-    {!schedule} answers a known key from the LRU cache without
+    {!schedule} answers a known key from the two-tier {!Cache} without
     submitting a pool task; a miss computes on the pool, bounded by the
     per-request deadline when one is given, and caches only successes.
 
@@ -9,11 +9,17 @@
     computes; the rest block until it publishes and then inherit its
     outcome — a joined success reports [Hit] (the value came from
     memory, not a pool task of this request's own), and a leader's
-    timeout or failure is every joiner's too. *)
+    timeout or failure is every joiner's too.
+
+    {!run_batch} fans a list of independent keyed jobs over the pool
+    with a small worker team; items share the cache, dedup table and
+    pool with every other request in the daemon. *)
 
 type 'a t
 
-val create : ?cache_capacity:int -> Merlin_exec.Pool.t -> 'a t
+(** [create ~cache pool] — the caller owns the cache (and its optional
+    persistent store); the scheduler only reads and writes it. *)
+val create : cache:'a Cache.t -> Merlin_exec.Pool.t -> 'a t
 
 type 'a outcome =
   | Done of { value : 'a; cached : Wire.cache_status }
@@ -25,7 +31,29 @@ type 'a outcome =
 val schedule :
   'a t -> key:string -> ?deadline_s:float -> (unit -> 'a) -> 'a outcome
 
-val cache_stats : 'a t -> Lru.stats
+type 'a item_outcome =
+  | Item of 'a outcome
+  | Item_cancelled  (** the probe fired before this item ran *)
+
+(** [run_batch t ?deadline_s ?workers ~cancelled ~on_item items] runs
+    every [(key, job)] through {!schedule} from a team of [workers]
+    threads (default: the pool size) and blocks until all items are
+    reported.  [cancelled] is probed before each item starts; once it
+    returns [true], remaining items are reported [Item_cancelled]
+    without computing (in-flight items still finish).  [on_item i
+    outcome] is called once per item, from whichever worker ran it and
+    in completion order — callers needing mutual exclusion or
+    deterministic order synchronise inside it and key off [i]. *)
+val run_batch :
+  'a t ->
+  ?deadline_s:float ->
+  ?workers:int ->
+  cancelled:(unit -> bool) ->
+  on_item:(int -> 'a item_outcome -> unit) ->
+  (string * (unit -> 'a)) list ->
+  unit
+
+val cache_stats : 'a t -> Cache.stats
 
 (** The underlying pool (for telemetry and shutdown). *)
 val pool : 'a t -> Merlin_exec.Pool.t

@@ -5,16 +5,30 @@
    shared {!Merlin_exec.Pool} via {!Scheduler}, so connection threads
    only block, they never burn a domain.  A connection thread owns its
    socket exclusively — requests on one connection are answered in
-   order, concurrency comes from multiple connections.
+   order, concurrency comes from multiple connections.  Within a batch
+   the scheduler's worker team emits progress frames concurrently, so
+   each connection carries an emitter whose mutex serialises frame
+   writes and latches the first write failure ([dead]): once the peer
+   is gone, remaining batch items cancel instead of computing for a
+   broken pipe.
+
+   The cache is the two-tier {!Cache}: LRU memory in front and, when
+   [store_dir] is set, a persistent content-addressed {!Store} behind
+   it holding {!Merlin_report.Metrics} blobs.  Values are cached with
+   the tree attached and stripped per-reply, so one cache entry serves
+   both tree-less and [want_tree] requests — and a restarted daemon
+   answers repeat traffic from disk with zero pool submissions.
 
    Error discipline: every decodable defect in a request produces a
    structured [Refused] reply on the same connection; the socket only
    dies on framing damage we cannot resynchronise from (oversized or
    truncated frames).  A connection-level exception closes that
-   connection and nothing else.
+   connection and nothing else.  Replies are rendered in the protocol
+   version the request spoke, so v1 clients keep working.
 
-   Drain/shutdown: [Drain] flips the server to refusing new routes
-   ([Refused Draining]) while stats/ping keep answering and in-flight
+   Drain/shutdown: [Drain] flips the server to refusing new routes and
+   batches ([Refused Draining]) and cancels the queued remainder of
+   in-flight batches, while stats/ping keep answering and in-flight
    computes finish.  [Shutdown] drains and additionally wakes {!wait},
    which closes the listeners, waits for the active-request count to
    reach zero, joins the accept threads and shuts the pool down. *)
@@ -23,12 +37,15 @@ module Pool = Merlin_exec.Pool
 module Clock = Merlin_exec.Clock
 module Flows = Merlin_flows.Flows
 module Json = Merlin_report.Json
+module Metrics = Merlin_report.Metrics
+module Net_io = Merlin_net.Net_io
 
 type config = {
   socket_path : string;
   tcp : (string * int) option;
   domains : int option;
   cache_capacity : int;
+  store_dir : string option;
   default_deadline_s : float option;
   max_frame : int;
 }
@@ -38,12 +55,13 @@ let default_config ~socket_path =
     tcp = None;
     domains = None;
     cache_capacity = 256;
+    store_dir = None;
     default_deadline_s = None;
     max_frame = Wire.default_max_frame }
 
 type t = {
   cfg : config;
-  sched : Flows.metrics Scheduler.t;
+  sched : Metrics.t Scheduler.t;
   lock : Mutex.t;
   cond : Condition.t;
   listeners : Unix.file_descr list;  (* closed by [wait], after the joins *)
@@ -51,12 +69,39 @@ type t = {
   mutable accept_threads : Thread.t list;
   mutable draining : bool;
   mutable stopping : bool;
-  mutable active : int;       (* route requests being computed *)
+  mutable active : int;       (* route requests / batches being computed *)
   mutable connections : int;  (* accepted so far *)
   mutable requests : int;     (* frames dispatched *)
+  mutable batches : int;      (* batch jobs accepted *)
   mutable refused : int;      (* error replies sent *)
   started_at : float;
 }
+
+(* Per-connection frame writer.  [em] serialises writes (batch workers
+   emit progress concurrently with each other); [dead] latches the
+   first write failure so the rest of the job cancels instead of
+   writing into a broken pipe. *)
+type emitter = {
+  fd : Unix.file_descr;
+  em : Mutex.t;
+  mutable dead : bool;
+}
+
+(* Cached values cross the store as canonical metrics JSON; a blob that
+   no longer decodes (schema drift) reads as a miss and is rewritten. *)
+let metrics_codec : Metrics.t Cache.codec =
+  { Cache.encode = (fun m -> Json.to_string (Metrics.to_json m));
+    decode =
+      (fun text ->
+         match Json.of_string text with
+         | j -> (
+           match Metrics.of_json j with Ok m -> Some m | Error _ -> None)
+         | exception Json.Parse_error _ -> None) }
+
+(* Entries are cached with the tree attached; replies strip it unless
+   asked, so one entry serves both shapes of request. *)
+let reply_metrics ~want_tree (m : Metrics.t) =
+  if want_tree then m else { m with Metrics.tree = None }
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry                                                           *)
@@ -70,6 +115,7 @@ let stats_json t =
         ( Json.Obj
             [ int_field "connections" t.connections;
               int_field "requests" t.requests;
+              int_field "batches" t.batches;
               int_field "refused" t.refused;
               int_field "active" t.active;
               ("draining", Json.Bool t.draining);
@@ -77,13 +123,26 @@ let stats_json t =
           Scheduler.cache_stats t.sched,
           Pool.stats (Scheduler.pool t.sched) ))
   in
+  let mem = cache.Cache.memory in
   let cache_json =
     Json.Obj
-      [ int_field "capacity" cache.Lru.capacity;
-        int_field "size" cache.Lru.size;
-        int_field "hits" cache.Lru.hits;
-        int_field "misses" cache.Lru.misses;
-        int_field "evictions" cache.Lru.evictions ]
+      ([ int_field "capacity" mem.Lru.capacity;
+         int_field "size" mem.Lru.size;
+         int_field "hits" mem.Lru.hits;
+         int_field "misses" mem.Lru.misses;
+         int_field "evictions" mem.Lru.evictions ]
+      @
+      match cache.Cache.store with
+      | None -> []
+      | Some s ->
+        [ ("store",
+           Json.Obj
+             [ int_field "hits" s.Store.hits;
+               int_field "misses" s.Store.misses;
+               int_field "writes" s.Store.writes;
+               int_field "errors" s.Store.errors;
+               int_field "bytes_read" s.Store.bytes_read;
+               int_field "bytes_written" s.Store.bytes_written ]) ])
   in
   let pool_json =
     Json.Obj
@@ -97,7 +156,29 @@ let stats_json t =
   Json.Obj [ ("server", server); ("cache", cache_json); ("pool", pool_json) ]
 
 (* ------------------------------------------------------------------ *)
-(* Request dispatch                                                    *)
+(* Frame emission                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let emit_frame em payload =
+  Mutex.protect em.em (fun () ->
+      if not em.dead then
+        (* The emitter lock exists to serialise frame writes on this
+           connection; only this connection's frames wait behind a slow
+           peer, and a dead peer latches [dead] instead of blocking. *)
+        match Wire.write_frame em.fd payload (* check: blocking-ok *) with
+        | () -> ()
+        | exception Unix.Unix_error _ -> em.dead <- true)
+
+let send t proto em (reply : Wire.server_msg) =
+  (match reply with
+   | Wire.Refused _ ->
+     Mutex.protect t.lock (fun () -> t.refused <- t.refused + 1)
+   | Wire.Reply _ | Wire.Progress _ | Wire.Batch_done _ | Wire.Stats_reply _
+   | Wire.Pong _ | Wire.Admin_ok _ -> ());
+  emit_frame em (Wire.encode_server ~proto reply)
+
+(* ------------------------------------------------------------------ *)
+(* Single-route dispatch                                               *)
 (* ------------------------------------------------------------------ *)
 
 let route t (r : Wire.request) =
@@ -111,7 +192,7 @@ let route t (r : Wire.request) =
   in
   if refused then
     Wire.Refused
-      { id = Some r.Wire.id;
+      { job = r.Wire.job;
         kind = Wire.Draining;
         message = "server is draining; not accepting new routes" }
   else begin
@@ -137,7 +218,8 @@ let route t (r : Wire.request) =
            (Clock.timed); the cached payload is replay-identical bar
            the runtime field, which every comparison zeroes. *)
         Scheduler.schedule t.sched ~key ?deadline_s (fun () ->
-            Flows.run ~pool spec net (* check: nondet-ok *))
+            Flows.wire_metrics ~with_tree:true
+              (Flows.run ~pool spec net (* check: nondet-ok *)))
       with
       | o -> finish (); o
       | exception e -> finish (); raise e
@@ -145,23 +227,178 @@ let route t (r : Wire.request) =
     match outcome with
     | Scheduler.Done { value; cached } ->
       Wire.Reply
-        { id = r.Wire.id;
+        { job = r.Wire.job;
           cached;
-          metrics = Flows.wire_metrics ~with_tree:r.Wire.want_tree value }
+          metrics = reply_metrics ~want_tree:r.Wire.want_tree value }
     | Scheduler.Timed_out budget ->
       Wire.Refused
-        { id = Some r.Wire.id;
+        { job = r.Wire.job;
           kind = Wire.Timeout;
           message =
             Printf.sprintf "deadline of %gs exceeded; result abandoned" budget }
     | Scheduler.Failed (Flows.Infeasible msg) ->
-      Wire.Refused { id = Some r.Wire.id; kind = Wire.Infeasible; message = msg }
+      Wire.Refused { job = r.Wire.job; kind = Wire.Infeasible; message = msg }
     | Scheduler.Failed e ->
       Wire.Refused
-        { id = Some r.Wire.id;
+        { job = r.Wire.job;
           kind = Wire.Internal;
           message = Printexc.to_string e }
   end
+
+(* ------------------------------------------------------------------ *)
+(* Batch dispatch                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let status_of_outcome ~want_tree (o : Metrics.t Scheduler.item_outcome) =
+  match o with
+  | Scheduler.Item (Scheduler.Done { value; cached }) ->
+    Wire.Routed { cached; metrics = reply_metrics ~want_tree value }
+  | Scheduler.Item (Scheduler.Timed_out budget) ->
+    Wire.Net_failed
+      { kind = Wire.Timeout;
+        message =
+          Printf.sprintf "deadline of %gs exceeded; result abandoned" budget }
+  | Scheduler.Item (Scheduler.Failed (Flows.Infeasible msg)) ->
+    Wire.Net_failed { kind = Wire.Infeasible; message = msg }
+  | Scheduler.Item (Scheduler.Failed e) ->
+    Wire.Net_failed { kind = Wire.Internal; message = Printexc.to_string e }
+  | Scheduler.Item_cancelled -> Wire.Cancelled
+
+(* One batch: ECO-partition against the manifest, fan the rest over the
+   pool via [Scheduler.run_batch], stream a [Progress] frame as each
+   net settles, close with a [Batch_done] summary.  The summary is
+   computed from the per-index status table, not from arrival order, so
+   it is deterministic for a given set of outcomes at any pool size. *)
+let handle_batch t em (b : Wire.batch) =
+  let job = b.Wire.job in
+  let refused =
+    Mutex.protect t.lock (fun () ->
+        if t.draining then true
+        else begin
+          t.active <- t.active + 1;
+          t.batches <- t.batches + 1;
+          false
+        end)
+  in
+  if refused then
+    send t Wire.V2 em
+      (Wire.Refused
+         { job;
+           kind = Wire.Draining;
+           message = "server is draining; not accepting new routes" })
+  else
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.protect t.lock (fun () ->
+            t.active <- t.active - 1;
+            Condition.broadcast t.cond))
+      (fun () ->
+        let started = Clock.monotonic_s () in
+        let spec = b.Wire.spec in
+        let want_tree = b.Wire.want_tree in
+        let deadline_s =
+          match b.Wire.deadline_s with
+          | Some _ as d -> d
+          | None -> t.cfg.default_deadline_s
+        in
+        let nets = Array.of_list b.Wire.nets in
+        let n = Array.length nets in
+        let statuses = Array.make n None in
+        let seq = ref 0 in
+        let emit index name status =
+          Mutex.protect em.em (fun () ->
+              statuses.(index) <- Some status;
+              if not em.dead then begin
+                incr seq;
+                let payload =
+                  Wire.encode_server
+                    (Wire.Progress { job; seq = !seq; index; name; status })
+                in
+                (* Serialised per-connection write; see [emit_frame]. *)
+                match Wire.write_frame em.fd payload (* check: blocking-ok *) with
+                | () -> ()
+                | exception Unix.Unix_error _ -> em.dead <- true
+              end)
+        in
+        (* ECO partition: a net whose fingerprint still matches the
+           manifest is answered [Unchanged] up front, before any pool
+           work; everything else routes. *)
+        let fps = Hashtbl.create 16 in
+        (match b.Wire.manifest with
+         | None -> ()
+         | Some entries ->
+           List.iter (fun (name, fp) -> Hashtbl.replace fps name fp) entries);
+        let to_route = ref [] in
+        Array.iteri
+          (fun i (name, net) ->
+             let unchanged =
+               match Hashtbl.find_opt fps name with
+               | Some fp -> String.equal fp (Net_io.fingerprint net)
+               | None -> false
+             in
+             if unchanged then emit i name Wire.Unchanged
+             else to_route := (i, name, net) :: !to_route)
+          nets;
+        let to_route = Array.of_list (List.rev !to_route) in
+        let pool = Scheduler.pool t.sched in
+        let items =
+          Array.to_list
+            (Array.map
+               (fun (_, _, net) ->
+                  ( Wire.request_key spec net,
+                    fun () ->
+                      (* Same replay-identical-bar-runtime argument as
+                         the single-route path. *)
+                      Flows.wire_metrics ~with_tree:true
+                        (Flows.run ~pool spec net) ))
+               to_route)
+        in
+        (* Queued nets cancel on client disconnect or drain; in-flight
+           ones finish (their result is still worth caching). *)
+        let cancelled () =
+          Mutex.protect em.em (fun () -> em.dead)
+          || Mutex.protect t.lock (fun () -> t.draining)
+        in
+        let on_item i outcome =
+          let index, name, _ = to_route.(i) in
+          emit index name (status_of_outcome ~want_tree outcome)
+        in
+        Scheduler.run_batch t.sched ?deadline_s ~cancelled ~on_item items;
+        let routed = ref 0 and hits = ref 0 and unchanged = ref 0 in
+        let failed = ref 0 and cancelled_n = ref 0 in
+        Array.iter
+          (fun st ->
+             match st with
+             | Some (Wire.Routed { cached = Wire.Miss; _ }) -> incr routed
+             | Some (Wire.Routed { cached = Wire.Hit; _ }) -> incr hits
+             | Some Wire.Unchanged -> incr unchanged
+             | Some (Wire.Net_failed _) -> incr failed
+             | Some Wire.Cancelled | None -> incr cancelled_n)
+          statuses;
+        let summary =
+          { Wire.total = n;
+            routed = !routed;
+            hits = !hits;
+            unchanged = !unchanged;
+            failed = !failed;
+            cancelled = !cancelled_n;
+            wall_s = Clock.elapsed_s started }
+        in
+        Mutex.protect em.em (fun () ->
+            incr seq;
+            if not em.dead then
+              let payload =
+                Wire.encode_server
+                  (Wire.Batch_done { job; seq = !seq; summary })
+              in
+              (* Serialised per-connection write; see [emit_frame]. *)
+              match Wire.write_frame em.fd payload (* check: blocking-ok *) with
+              | () -> ()
+              | exception Unix.Unix_error _ -> em.dead <- true))
+
+(* ------------------------------------------------------------------ *)
+(* Connection handling                                                 *)
+(* ------------------------------------------------------------------ *)
 
 let request_stop t =
   Mutex.protect t.lock (fun () ->
@@ -169,29 +406,24 @@ let request_stop t =
       t.stopping <- true;
       Condition.broadcast t.cond)
 
-let dispatch t (msg : Wire.client_msg) =
+let dispatch t proto em (msg : Wire.client_msg) =
   match msg with
-  | Wire.Route r -> route t r
-  | Wire.Stats -> Wire.Stats_reply (stats_json t)
-  | Wire.Ping -> Wire.Pong
-  | Wire.Drain ->
-    Mutex.protect t.lock (fun () -> t.draining <- true);
-    Wire.Admin_ok "draining"
-  | Wire.Shutdown ->
-    Mutex.protect t.lock (fun () -> t.draining <- true);
-    Wire.Admin_ok "shutdown"
-
-(* ------------------------------------------------------------------ *)
-(* Connection handling                                                 *)
-(* ------------------------------------------------------------------ *)
-
-let send t fd (reply : Wire.server_msg) =
-  (match reply with
-   | Wire.Refused _ -> Mutex.protect t.lock (fun () -> t.refused <- t.refused + 1)
-   | _ -> ());
-  Wire.write_frame fd (Wire.encode_server reply)
+  | Wire.Route r -> send t proto em (route t r)
+  | Wire.Batch b -> handle_batch t em b
+  | Wire.Admin { job; op } -> (
+    match op with
+    | Wire.Stats ->
+      send t proto em (Wire.Stats_reply { job; stats = stats_json t })
+    | Wire.Ping -> send t proto em (Wire.Pong { job })
+    | Wire.Drain ->
+      Mutex.protect t.lock (fun () -> t.draining <- true);
+      send t proto em (Wire.Admin_ok { job; what = "draining" })
+    | Wire.Shutdown ->
+      Mutex.protect t.lock (fun () -> t.draining <- true);
+      send t proto em (Wire.Admin_ok { job; what = "shutdown" }))
 
 let handle_connection t fd =
+  let em = { fd; em = Mutex.create (); dead = false } in
   let rec loop () =
     match Wire.read_frame ~max_frame:t.cfg.max_frame fd with
     | Error Wire.Closed -> ()
@@ -199,9 +431,9 @@ let handle_connection t fd =
     | Error (Wire.Oversized n) ->
       (* The stream cannot be resynchronised past an oversized frame:
          refuse loudly, then close. *)
-      send t fd
+      send t Wire.V2 em
         (Wire.Refused
-           { id = None;
+           { job = "";
              kind = Wire.Bad_request;
              message =
                Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" n
@@ -210,13 +442,13 @@ let handle_connection t fd =
       Mutex.protect t.lock (fun () -> t.requests <- t.requests + 1);
       (match Wire.decode_client payload with
        | Error msg ->
-         send t fd
-           (Wire.Refused { id = None; kind = Wire.Bad_request; message = msg });
+         send t Wire.V2 em
+           (Wire.Refused { job = ""; kind = Wire.Bad_request; message = msg });
          loop ()
-       | Ok msg ->
-         send t fd (dispatch t msg);
+       | Ok (proto, msg) ->
+         dispatch t proto em msg;
          (match msg with
-          | Wire.Shutdown -> request_stop t
+          | Wire.Admin { op = Wire.Shutdown; _ } -> request_stop t
           | _ -> ());
          loop ())
   in
@@ -288,9 +520,23 @@ let start cfg =
   (* A peer closing mid-write must surface as EPIPE, not kill us. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
+  (* Open the store before anything that needs tearing down: a bad
+     store path fails the whole start cleanly. *)
+  let store =
+    match cfg.store_dir with
+    | None -> None
+    | Some dir -> Some (Store.open_dir dir, metrics_codec)
+  in
+  let cache = Cache.create ?store ~capacity:cfg.cache_capacity () in
   let pool = Pool.create ?domains:cfg.domains () in
-  let sched = Scheduler.create ~cache_capacity:cfg.cache_capacity pool in
-  let unix_fd = listen_unix cfg.socket_path in
+  let sched = Scheduler.create ~cache pool in
+  let unix_fd =
+    match listen_unix cfg.socket_path with
+    | fd -> fd
+    | exception e ->
+      Pool.shutdown pool;
+      raise e
+  in
   let tcp_fd =
     match cfg.tcp with
     | None -> None
@@ -318,6 +564,7 @@ let start cfg =
       active = 0;
       connections = 0;
       requests = 0;
+      batches = 0;
       refused = 0;
       started_at = Clock.monotonic_s () }
   in

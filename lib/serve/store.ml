@@ -1,0 +1,183 @@
+(* Persistent content-addressed blob store under the serving cache.
+
+   One file per key ([dir/<key>.blob]); keys are request_key hex
+   digests, so the namespace is flat and filename-safe by construction
+   (validated, not assumed).  Writes go through a tmp file in the same
+   directory and an atomic [Unix.rename], so a reader never observes a
+   partial write: it either finds the old blob, the new blob, or
+   nothing.
+
+   Reads are corruption-tolerant by checksum: a blob is a one-line
+   header carrying the payload's MD5 and length, then the payload.  A
+   truncated file, a torn header or flipped bytes fail the check and
+   come back as [None] (plus an [errors] tick) — the caller recomputes
+   and rewrites, it never crashes on a damaged store.  Writes are
+   best-effort for the same reason: a full disk degrades the daemon to
+   memory-only caching instead of killing it.
+
+   [t.lock] guards only the counters and the tmp-name sequence; file
+   I/O runs outside it (concurrent writers of one key race to an
+   atomic rename — last one wins, both blobs were valid). *)
+
+type t = {
+  dir : string;
+  lock : Mutex.t;
+  mutable tmp_seq : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writes : int;
+  mutable errors : int;         (* damaged blobs seen + failed writes *)
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  writes : int;
+  errors : int;
+  bytes_read : int;
+  bytes_written : int;
+}
+
+let magic = "merlin-store 1"
+
+let key_ok key =
+  String.length key > 0
+  && String.for_all
+       (fun c ->
+          (c >= '0' && c <= '9')
+          || (c >= 'a' && c <= 'z')
+          || (c >= 'A' && c <= 'Z')
+          || Char.equal c '-' || Char.equal c '_')
+       key
+
+let validate_key fn key =
+  if not (key_ok key) then
+    invalid_arg (fn ^ ": invalid store key " ^ Printf.sprintf "%S" key)
+
+let mkdir_p dir =
+  let rec go dir =
+    if not (Sys.file_exists dir) then begin
+      go (Filename.dirname dir);
+      match Unix.mkdir dir 0o755 with
+      | () -> ()
+      | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let open_dir dir =
+  mkdir_p dir;
+  if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Store.open_dir: %s is not a directory" dir);
+  { dir;
+    lock = Mutex.create ();
+    tmp_seq = 0;
+    hits = 0;
+    misses = 0;
+    writes = 0;
+    errors = 0;
+    bytes_read = 0;
+    bytes_written = 0 }
+
+let path_of t key = Filename.concat t.dir (key ^ ".blob")
+
+(* Header + checksum verification; any structural defect is [None]. *)
+let parse_blob raw =
+  match String.index_opt raw '\n' with
+  | None -> None
+  | Some i -> (
+    let header = String.sub raw 0 i in
+    let payload = String.sub raw (i + 1) (String.length raw - i - 1) in
+    match String.split_on_char ' ' header with
+    | [ "merlin-store"; "1"; digest; len ] -> (
+      match int_of_string_opt len with
+      | Some n
+        when n = String.length payload
+             && String.equal digest (Digest.to_hex (Digest.string payload)) ->
+        Some payload
+      | Some _ | None -> None)
+    | _ -> None)
+
+let find t key =
+  validate_key "Store.find" key;
+  match open_in_bin (path_of t key) with
+  | exception Sys_error _ ->
+    (* Not on disk (or unreadable): a plain miss. *)
+    Mutex.protect t.lock (fun () -> t.misses <- t.misses + 1);
+    None
+  | ic -> (
+    let raw =
+      match really_input_string ic (in_channel_length ic) with
+      | raw -> Some raw
+      | exception End_of_file -> None
+      | exception Sys_error _ -> None
+    in
+    close_in_noerr ic;
+    match Option.bind raw parse_blob with
+    | Some payload ->
+      Mutex.protect t.lock (fun () ->
+          t.hits <- t.hits + 1;
+          t.bytes_read <- t.bytes_read + String.length payload);
+      Some payload
+    | None ->
+      (* Present but damaged (truncated, torn, garbage): recompute. *)
+      Mutex.protect t.lock (fun () ->
+          t.errors <- t.errors + 1;
+          t.misses <- t.misses + 1);
+      None)
+
+let add t key payload =
+  validate_key "Store.add" key;
+  let seq =
+    Mutex.protect t.lock (fun () ->
+        t.tmp_seq <- t.tmp_seq + 1;
+        t.tmp_seq)
+  in
+  (* Same-directory tmp name so the rename cannot cross filesystems;
+     the leading dot keeps half-written blobs invisible to readers
+     (they only ever open <key>.blob). *)
+  let tmp =
+    Filename.concat t.dir
+      (Printf.sprintf ".tmp-%d-%d" (Unix.getpid ()) seq)
+  in
+  let blob =
+    Printf.sprintf "%s %s %d\n%s" magic
+      (Digest.to_hex (Digest.string payload))
+      (String.length payload) payload
+  in
+  let written =
+    match open_out_bin tmp with
+    | exception Sys_error _ -> false
+    | oc -> (
+      match
+        output_string oc blob;
+        close_out oc
+      with
+      | () -> (
+        match Unix.rename tmp (path_of t key) with
+        | () -> true
+        | exception Unix.Unix_error _ ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          false)
+      | exception Sys_error _ ->
+        close_out_noerr oc;
+        (try Sys.remove tmp with Sys_error _ -> ());
+        false)
+  in
+  Mutex.protect t.lock (fun () ->
+      if written then begin
+        t.writes <- t.writes + 1;
+        t.bytes_written <- t.bytes_written + String.length payload
+      end
+      else t.errors <- t.errors + 1)
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      { hits = t.hits;
+        misses = t.misses;
+        writes = t.writes;
+        errors = t.errors;
+        bytes_read = t.bytes_read;
+        bytes_written = t.bytes_written })

@@ -1,0 +1,39 @@
+(** Persistent content-addressed blob store — the on-disk tier under
+    the serving cache.
+
+    One file per key under the store directory; writes are atomic
+    (same-directory tmp file + [Unix.rename]), so readers see the old
+    blob, the new blob, or nothing — never a partial write.  Blobs are
+    checksummed: a truncated, torn or garbage file reads back as
+    [None] (counted in [errors]) rather than raising, so a damaged
+    store degrades to recompute-and-rewrite.  Failed writes (full
+    disk, permissions) are likewise swallowed into [errors]: the
+    daemon degrades to memory-only caching.
+
+    Thread-safe; the internal lock covers only counters, file I/O runs
+    unlocked (last atomic rename of a key wins). *)
+
+type t
+
+(** Creates the directory (and parents) when missing.  Raises
+    [Invalid_argument] when the path exists and is not a directory. *)
+val open_dir : string -> t
+
+(** Keys must be filename-safe ([0-9a-zA-Z-_], nonempty) — request
+    keys are hex digests, which always qualify; anything else raises
+    [Invalid_argument]. *)
+val find : t -> string -> string option
+
+val add : t -> string -> string -> unit
+
+type stats = {
+  hits : int;
+  misses : int;      (** absent blobs; damaged ones count here too *)
+  writes : int;      (** blobs durably renamed into place *)
+  errors : int;      (** damaged blobs seen + failed writes *)
+  bytes_read : int;  (** payload bytes of successful reads *)
+  bytes_written : int;
+}
+
+(** Consistent snapshot of the counters. *)
+val stats : t -> stats

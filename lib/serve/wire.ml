@@ -1,13 +1,29 @@
-(* Wire protocol of the routing service.
+(* Wire protocol of the routing service, version 2.
 
    Frames: a 4-byte big-endian payload length followed by that many
    bytes of UTF-8 JSON.  Length-prefixing keeps framing independent of
    payload content (trees and nets may contain anything) and lets the
    reader refuse oversized frames before allocating.
 
-   Every payload carries a ["v"] protocol version; decoders are total —
-   malformed input becomes an [Error] the server answers with a
-   structured [Refused], never an exception and never a dead socket.
+   Every payload is a versioned envelope: ["v"] (protocol version),
+   ["job"] (client-chosen correlation id, echoed on every frame of the
+   job — "" where no job applies), ["seq"] (frame ordinal within the
+   job's reply stream; 0 on single-frame exchanges) and ["type"].
+   Version 2 adds multi-frame jobs: a [Batch] request carries a whole
+   netlist and streams back one [Progress] frame per net plus a
+   terminal [Batch_done] summary, with an optional fingerprint
+   manifest turning the batch into an ECO re-route (nets whose
+   {!Merlin_net.Net_io.fingerprint} matches the manifest are answered
+   [Unchanged] without computing).
+
+   Decoders are version-dispatched and total — version-1 single-route
+   frames still decode (the v1 [id] field becomes [job], admin frames
+   get job ""), and malformed input of any version becomes an [Error]
+   the server answers with a structured [Refused], never an exception
+   and never a dead socket.  [encode_server ~proto] renders replies in
+   the peer's protocol version so v1 clients keep working; the v1
+   grammar has no multi-frame kinds, so rendering [Progress] or
+   [Batch_done] as v1 is a caller bug and raises.
 
    The routing problem travels as a {!Merlin_flows.Flows.spec}
    (tech + buffer library + algorithm knobs) plus the net in its
@@ -15,7 +31,8 @@
    these two: [request_key] hashes the canonical spec JSON together
    with the net fingerprint, so a key separates any two requests that
    could legally produce different answers (different sink order,
-   different tech, different knobs) and nothing else. *)
+   different tech, different knobs) and nothing else — and it is
+   version-independent, so a v2 daemon's store serves v1 traffic. *)
 
 open Merlin_tech
 open Merlin_net
@@ -23,26 +40,39 @@ module Flows = Merlin_flows.Flows
 module Json = Merlin_report.Json
 module Metrics = Merlin_report.Metrics
 
-let version = 1
+let version = 2
+
+type proto = V1 | V2
 
 (* ------------------------------------------------------------------ *)
 (* Types                                                               *)
 (* ------------------------------------------------------------------ *)
 
 type request = {
-  id : string;                (* client-chosen, echoed in the reply *)
+  job : string;               (* client-chosen, echoed in the reply *)
   spec : Flows.spec;
   net : Net.t;
   deadline_s : float option;  (* per-request compute budget *)
   want_tree : bool;           (* include the routing tree in the reply *)
 }
 
+type batch = {
+  job : string;
+  spec : Flows.spec;                      (* one spec for every net *)
+  nets : (string * Net.t) list;           (* (name, net), name echoed *)
+  deadline_s : float option;              (* per-net compute budget *)
+  want_tree : bool;
+  manifest : (string * string) list option;
+      (* ECO mode: (name, fingerprint) of the previously routed nets;
+         a net whose fingerprint still matches is not re-routed *)
+}
+
+type admin_op = Stats | Ping | Drain | Shutdown
+
 type client_msg =
   | Route of request
-  | Stats
-  | Ping
-  | Drain
-  | Shutdown
+  | Batch of batch
+  | Admin of { job : string; op : admin_op }
 
 type error_kind =
   | Bad_request
@@ -53,12 +83,39 @@ type error_kind =
 
 type cache_status = Hit | Miss
 
+type net_status =
+  | Routed of { cached : cache_status; metrics : Metrics.t }
+  | Unchanged                     (* ECO: fingerprint matched the manifest *)
+  | Net_failed of { kind : error_kind; message : string }
+  | Cancelled                     (* job cancelled before this net ran *)
+
+type progress = {
+  job : string;
+  seq : int;        (* 1-based frame ordinal within the job *)
+  index : int;      (* position of the net in the batch request *)
+  name : string;
+  status : net_status;
+}
+
+type summary = {
+  total : int;
+  routed : int;     (* computed on the pool *)
+  hits : int;       (* answered from a cache tier *)
+  unchanged : int;  (* ECO skips *)
+  failed : int;
+  cancelled : int;
+  wall_s : float;
+}
+
 type server_msg =
-  | Reply of { id : string; cached : cache_status; metrics : Metrics.t }
-  | Refused of { id : string option; kind : error_kind; message : string }
-  | Stats_reply of Json.t
-  | Pong
-  | Admin_ok of string
+  | Reply of { job : string; cached : cache_status; metrics : Metrics.t }
+  | Progress of progress
+  | Batch_done of { job : string; seq : int; summary : summary }
+  | Refused of { job : string; kind : error_kind; message : string }
+      (* job "" when the defect predates knowing the job *)
+  | Stats_reply of { job : string; stats : Json.t }
+  | Pong of { job : string }
+  | Admin_ok of { job : string; what : string }
 
 (* ------------------------------------------------------------------ *)
 (* JSON helpers (total decoders)                                       *)
@@ -390,56 +447,8 @@ let request_key (spec : Flows.spec) net =
     (Digest.string (spec_text ^ "\x00" ^ Net_io.fingerprint net))
 
 (* ------------------------------------------------------------------ *)
-(* Messages                                                            *)
+(* Shared message pieces                                               *)
 (* ------------------------------------------------------------------ *)
-
-let client_msg_to_json (m : client_msg) =
-  match m with
-  | Route r ->
-    Json.Obj
-      ([ ("v", int version);
-         ("type", Json.Str "route");
-         ("id", Json.Str r.id);
-         ("spec", spec_to_json r.spec);
-         ("net", Json.Str (Net_io.to_string r.net)) ]
-      @ (match r.deadline_s with
-         | None -> []
-         | Some d -> [ ("deadline_s", num d) ])
-      @ if r.want_tree then [ ("want_tree", Json.Bool true) ] else [])
-  | Stats -> Json.Obj [ ("v", int version); ("type", Json.Str "stats") ]
-  | Ping -> Json.Obj [ ("v", int version); ("type", Json.Str "ping") ]
-  | Drain -> Json.Obj [ ("v", int version); ("type", Json.Str "drain") ]
-  | Shutdown -> Json.Obj [ ("v", int version); ("type", Json.Str "shutdown") ]
-
-let check_version j =
-  let* v = fint "v" j in
-  if v = version then Ok ()
-  else Error (Printf.sprintf "protocol version %d unsupported (expected %d)" v version)
-
-let client_msg_of_json j =
-  let* () = check_version j in
-  let* ty = fstr "type" j in
-  match ty with
-  | "stats" -> Ok Stats
-  | "ping" -> Ok Ping
-  | "drain" -> Ok Drain
-  | "shutdown" -> Ok Shutdown
-  | "route" ->
-    let* id = fstr "id" j in
-    let* spec = Result.bind (field "spec" j) spec_of_json in
-    let* net_text = fstr "net" j in
-    let* net =
-      match Net_io.of_string net_text with
-      | net -> Ok net
-      | exception Failure msg -> Error msg
-      | exception Invalid_argument msg -> Error msg
-    in
-    let* deadline_s = fnum_opt "deadline_s" j in
-    let* want_tree = fbool_opt ~default:false "want_tree" j in
-    Ok (Route { id; spec; net; deadline_s; want_tree })
-  | other ->
-    Error
-      (Printf.sprintf "message type %S (route|stats|ping|drain|shutdown)" other)
 
 let error_kind_to_string = function
   | Bad_request -> "bad-request"
@@ -456,51 +465,293 @@ let error_kind_of_string = function
   | "internal" -> Some Internal
   | _ -> None
 
-let server_msg_to_json (m : server_msg) =
-  match m with
-  | Reply { id; cached; metrics } ->
-    Json.Obj
-      [ ("v", int version);
-        ("type", Json.Str "reply");
-        ("id", Json.Str id);
-        ("cached", Json.Bool (match cached with Hit -> true | Miss -> false));
-        ("metrics", Metrics.to_json metrics) ]
-  | Refused { id; kind; message } ->
-    Json.Obj
-      ([ ("v", int version); ("type", Json.Str "error") ]
-      @ (match id with None -> [] | Some id -> [ ("id", Json.Str id) ])
-      @ [ ("kind", Json.Str (error_kind_to_string kind));
-          ("message", Json.Str message) ])
-  | Stats_reply stats ->
-    Json.Obj
-      [ ("v", int version); ("type", Json.Str "stats"); ("stats", stats) ]
-  | Pong -> Json.Obj [ ("v", int version); ("type", Json.Str "pong") ]
-  | Admin_ok what ->
-    Json.Obj
-      [ ("v", int version); ("type", Json.Str "ok"); ("what", Json.Str what) ]
+let admin_type = function
+  | Stats -> "stats"
+  | Ping -> "ping"
+  | Drain -> "drain"
+  | Shutdown -> "shutdown"
 
-let server_msg_of_json j =
-  let* () = check_version j in
+let net_of_text text =
+  match Net_io.of_string text with
+  | net -> Ok net
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let decode_cached j =
+  match Json.to_bool j with
+  | Some true -> Ok Hit
+  | Some false -> Ok Miss
+  | None -> Error "field \"cached\": expected a bool"
+
+(* The v2 envelope: every frame leads with v/job/seq/type.  Single-frame
+   exchanges carry seq 0. *)
+let envelope ~job ~seq ty fields =
+  Json.Obj
+    (("v", int version)
+    :: ("job", Json.Str job)
+    :: ("seq", int seq)
+    :: ("type", Json.Str ty)
+    :: fields)
+
+(* ------------------------------------------------------------------ *)
+(* Client messages                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let route_fields (r : request) =
+  [ ("spec", spec_to_json r.spec); ("net", Json.Str (Net_io.to_string r.net)) ]
+  @ (match r.deadline_s with None -> [] | Some d -> [ ("deadline_s", num d) ])
+  @ if r.want_tree then [ ("want_tree", Json.Bool true) ] else []
+
+let batch_fields (b : batch) =
+  [ ("spec", spec_to_json b.spec);
+    ("nets",
+     Json.List
+       (List.map
+          (fun (name, net) ->
+             Json.Obj
+               [ ("name", Json.Str name);
+                 ("net", Json.Str (Net_io.to_string net)) ])
+          b.nets)) ]
+  @ (match b.deadline_s with None -> [] | Some d -> [ ("deadline_s", num d) ])
+  @ (if b.want_tree then [ ("want_tree", Json.Bool true) ] else [])
+  @
+  match b.manifest with
+  | None -> []
+  | Some entries ->
+    [ ("manifest",
+       Json.List
+         (List.map
+            (fun (name, fp) ->
+               Json.Obj
+                 [ ("name", Json.Str name); ("fingerprint", Json.Str fp) ])
+            entries)) ]
+
+let client_msg_to_json (m : client_msg) =
+  match m with
+  | Route r -> envelope ~job:r.job ~seq:0 "route" (route_fields r)
+  | Batch b -> envelope ~job:b.job ~seq:0 "batch" (batch_fields b)
+  | Admin { job; op } -> envelope ~job ~seq:0 (admin_type op) []
+
+let decode_route_body ~job j =
+  let* spec = Result.bind (field "spec" j) spec_of_json in
+  let* net = Result.bind (fstr "net" j) net_of_text in
+  let* deadline_s = fnum_opt "deadline_s" j in
+  let* want_tree = fbool_opt ~default:false "want_tree" j in
+  Ok (Route { job; spec; net; deadline_s; want_tree })
+
+let decode_named_list ~what ~value_field decode_value j =
+  match Json.to_list j with
+  | None -> Error (Printf.sprintf "field %S: expected an array" what)
+  | Some items ->
+    let* rev =
+      List.fold_left
+        (fun acc item ->
+           let* acc = acc in
+           let* name = fstr "name" item in
+           let* v = Result.bind (field value_field item) decode_value in
+           Ok ((name, v) :: acc))
+        (Ok []) items
+    in
+    Ok (List.rev rev)
+
+let decode_batch_body ~job j =
+  let* spec = Result.bind (field "spec" j) spec_of_json in
+  let* nets =
+    Result.bind (field "nets" j)
+      (decode_named_list ~what:"nets" ~value_field:"net" (fun v ->
+           match Json.to_str v with
+           | Some text -> net_of_text text
+           | None -> Error "field \"net\": expected a string"))
+  in
+  let* deadline_s = fnum_opt "deadline_s" j in
+  let* want_tree = fbool_opt ~default:false "want_tree" j in
+  let* manifest =
+    match Json.member "manifest" j with
+    | None -> Ok None
+    | Some m ->
+      Result.map Option.some
+        (decode_named_list ~what:"manifest" ~value_field:"fingerprint"
+           (fun v ->
+              match Json.to_str v with
+              | Some fp -> Ok fp
+              | None -> Error "field \"fingerprint\": expected a string")
+           m)
+  in
+  Ok (Batch { job; spec; nets; deadline_s; want_tree; manifest })
+
+let client_msg_of_v2 j =
+  let* job = fstr "job" j in
   let* ty = fstr "type" j in
   match ty with
-  | "pong" -> Ok Pong
+  | "stats" -> Ok (Admin { job; op = Stats })
+  | "ping" -> Ok (Admin { job; op = Ping })
+  | "drain" -> Ok (Admin { job; op = Drain })
+  | "shutdown" -> Ok (Admin { job; op = Shutdown })
+  | "route" -> decode_route_body ~job j
+  | "batch" -> decode_batch_body ~job j
+  | other ->
+    Error
+      (Printf.sprintf
+         "message type %S (route|batch|stats|ping|drain|shutdown)" other)
+
+(* v1 compatibility: the pre-envelope grammar.  [id] becomes [job];
+   admin frames carried no correlation id, so they map to job "". *)
+let client_msg_of_v1 j =
+  let* ty = fstr "type" j in
+  match ty with
+  | "stats" -> Ok (Admin { job = ""; op = Stats })
+  | "ping" -> Ok (Admin { job = ""; op = Ping })
+  | "drain" -> Ok (Admin { job = ""; op = Drain })
+  | "shutdown" -> Ok (Admin { job = ""; op = Shutdown })
+  | "route" ->
+    let* job = fstr "id" j in
+    decode_route_body ~job j
+  | other ->
+    Error
+      (Printf.sprintf "message type %S (route|stats|ping|drain|shutdown)"
+         other)
+
+let client_msg_of_json j =
+  let* v = fint "v" j in
+  match v with
+  | 1 -> Result.map (fun m -> (V1, m)) (client_msg_of_v1 j)
+  | 2 -> Result.map (fun m -> (V2, m)) (client_msg_of_v2 j)
+  | v ->
+    Error
+      (Printf.sprintf "protocol version %d unsupported (expected 1 or %d)" v
+         version)
+
+(* ------------------------------------------------------------------ *)
+(* Server messages                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let status_to_json (s : net_status) =
+  match s with
+  | Routed { cached; metrics } ->
+    Json.Obj
+      [ ("state", Json.Str "routed");
+        ("cached", Json.Bool (match cached with Hit -> true | Miss -> false));
+        ("metrics", Metrics.to_json metrics) ]
+  | Unchanged -> Json.Obj [ ("state", Json.Str "unchanged") ]
+  | Net_failed { kind; message } ->
+    Json.Obj
+      [ ("state", Json.Str "failed");
+        ("kind", Json.Str (error_kind_to_string kind));
+        ("message", Json.Str message) ]
+  | Cancelled -> Json.Obj [ ("state", Json.Str "cancelled") ]
+
+let status_of_json j =
+  let* state = fstr "state" j in
+  match state with
+  | "routed" ->
+    let* cached = Result.bind (field "cached" j) decode_cached in
+    let* metrics = Result.bind (field "metrics" j) Metrics.of_json in
+    Ok (Routed { cached; metrics })
+  | "unchanged" -> Ok Unchanged
+  | "failed" ->
+    let* kind_s = fstr "kind" j in
+    let* kind =
+      match error_kind_of_string kind_s with
+      | Some k -> Ok k
+      | None -> Error (Printf.sprintf "error kind %S" kind_s)
+    in
+    let* message = fstr "message" j in
+    Ok (Net_failed { kind; message })
+  | "cancelled" -> Ok Cancelled
+  | other ->
+    Error
+      (Printf.sprintf "net state %S (routed|unchanged|failed|cancelled)" other)
+
+let summary_to_json (s : summary) =
+  Json.Obj
+    [ ("total", int s.total);
+      ("routed", int s.routed);
+      ("hits", int s.hits);
+      ("unchanged", int s.unchanged);
+      ("failed", int s.failed);
+      ("cancelled", int s.cancelled);
+      ("wall_s", num s.wall_s) ]
+
+let summary_of_json j =
+  let* total = fint "total" j in
+  let* routed = fint "routed" j in
+  let* hits = fint "hits" j in
+  let* unchanged = fint "unchanged" j in
+  let* failed = fint "failed" j in
+  let* cancelled = fint "cancelled" j in
+  let* wall_s = fnum "wall_s" j in
+  Ok { total; routed; hits; unchanged; failed; cancelled; wall_s }
+
+let server_msg_to_v2_json (m : server_msg) =
+  match m with
+  | Reply { job; cached; metrics } ->
+    envelope ~job ~seq:0 "reply"
+      [ ("cached", Json.Bool (match cached with Hit -> true | Miss -> false));
+        ("metrics", Metrics.to_json metrics) ]
+  | Progress { job; seq; index; name; status } ->
+    envelope ~job ~seq "progress"
+      [ ("index", int index);
+        ("name", Json.Str name);
+        ("status", status_to_json status) ]
+  | Batch_done { job; seq; summary } ->
+    envelope ~job ~seq "batch-done" [ ("summary", summary_to_json summary) ]
+  | Refused { job; kind; message } ->
+    envelope ~job ~seq:0 "error"
+      [ ("kind", Json.Str (error_kind_to_string kind));
+        ("message", Json.Str message) ]
+  | Stats_reply { job; stats } -> envelope ~job ~seq:0 "stats" [ ("stats", stats) ]
+  | Pong { job } -> envelope ~job ~seq:0 "pong" []
+  | Admin_ok { job; what } ->
+    envelope ~job ~seq:0 "ok" [ ("what", Json.Str what) ]
+
+(* Replies rendered for a v1 peer: the pre-envelope grammar.  The v1
+   grammar cannot express multi-frame kinds — and a v1 peer cannot have
+   sent the [Batch] that produces them — so asking for one is a caller
+   bug, not a protocol state. *)
+let server_msg_to_v1_json (m : server_msg) =
+  let v1 ty fields = Json.Obj (("v", int 1) :: ("type", Json.Str ty) :: fields) in
+  match m with
+  | Reply { job; cached; metrics } ->
+    v1 "reply"
+      [ ("id", Json.Str job);
+        ("cached", Json.Bool (match cached with Hit -> true | Miss -> false));
+        ("metrics", Metrics.to_json metrics) ]
+  | Refused { job; kind; message } ->
+    v1 "error"
+      ((if String.equal job "" then [] else [ ("id", Json.Str job) ])
+      @ [ ("kind", Json.Str (error_kind_to_string kind));
+          ("message", Json.Str message) ])
+  | Stats_reply { stats; _ } -> v1 "stats" [ ("stats", stats) ]
+  | Pong _ -> v1 "pong" []
+  | Admin_ok { what; _ } -> v1 "ok" [ ("what", Json.Str what) ]
+  | Progress _ | Batch_done _ ->
+    invalid_arg "Wire.encode_server: v1 cannot carry multi-frame replies"
+
+let server_msg_of_v2 j =
+  let* job = fstr "job" j in
+  let* ty = fstr "type" j in
+  match ty with
+  | "pong" -> Ok (Pong { job })
   | "ok" ->
     let* what = fstr "what" j in
-    Ok (Admin_ok what)
+    Ok (Admin_ok { job; what })
   | "stats" ->
     let* stats = field "stats" j in
-    Ok (Stats_reply stats)
+    Ok (Stats_reply { job; stats })
   | "reply" ->
-    let* id = fstr "id" j in
-    let* cached = field "cached" j in
-    let* cached =
-      match Json.to_bool cached with
-      | Some true -> Ok Hit
-      | Some false -> Ok Miss
-      | None -> Error "field \"cached\": expected a bool"
-    in
+    let* cached = Result.bind (field "cached" j) decode_cached in
     let* metrics = Result.bind (field "metrics" j) Metrics.of_json in
-    Ok (Reply { id; cached; metrics })
+    Ok (Reply { job; cached; metrics })
+  | "progress" ->
+    let* seq = fint "seq" j in
+    let* index = fint "index" j in
+    let* name = fstr "name" j in
+    let* status = Result.bind (field "status" j) status_of_json in
+    Ok (Progress { job; seq; index; name; status })
+  | "batch-done" ->
+    let* seq = fint "seq" j in
+    let* summary = Result.bind (field "summary" j) summary_of_json in
+    Ok (Batch_done { job; seq; summary })
   | "error" ->
     let* kind_s = fstr "kind" j in
     let* kind =
@@ -509,10 +760,54 @@ let server_msg_of_json j =
       | None -> Error (Printf.sprintf "error kind %S" kind_s)
     in
     let* message = fstr "message" j in
-    let id = Option.bind (Json.member "id" j) Json.to_str in
-    Ok (Refused { id; kind; message })
+    Ok (Refused { job; kind; message })
+  | other ->
+    Error
+      (Printf.sprintf
+         "message type %S (reply|progress|batch-done|error|stats|pong|ok)"
+         other)
+
+let server_msg_of_v1 j =
+  let* ty = fstr "type" j in
+  match ty with
+  | "pong" -> Ok (Pong { job = "" })
+  | "ok" ->
+    let* what = fstr "what" j in
+    Ok (Admin_ok { job = ""; what })
+  | "stats" ->
+    let* stats = field "stats" j in
+    Ok (Stats_reply { job = ""; stats })
+  | "reply" ->
+    let* job = fstr "id" j in
+    let* cached = Result.bind (field "cached" j) decode_cached in
+    let* metrics = Result.bind (field "metrics" j) Metrics.of_json in
+    Ok (Reply { job; cached; metrics })
+  | "error" ->
+    let* kind_s = fstr "kind" j in
+    let* kind =
+      match error_kind_of_string kind_s with
+      | Some k -> Ok k
+      | None -> Error (Printf.sprintf "error kind %S" kind_s)
+    in
+    let* message = fstr "message" j in
+    let job = Option.value (Option.bind (Json.member "id" j) Json.to_str) ~default:"" in
+    Ok (Refused { job; kind; message })
   | other ->
     Error (Printf.sprintf "message type %S (reply|error|stats|pong|ok)" other)
+
+let server_msg_of_json j =
+  let* v = fint "v" j in
+  match v with
+  | 1 -> Result.map (fun m -> (V1, m)) (server_msg_of_v1 j)
+  | 2 -> Result.map (fun m -> (V2, m)) (server_msg_of_v2 j)
+  | v ->
+    Error
+      (Printf.sprintf "protocol version %d unsupported (expected 1 or %d)" v
+         version)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
 
 let decode_client text =
   match Json.of_string text with
@@ -526,7 +821,10 @@ let decode_server text =
 
 let encode_client m = Json.to_string (client_msg_to_json m)
 
-let encode_server m = Json.to_string (server_msg_to_json m)
+let encode_server ?(proto = V2) m =
+  match proto with
+  | V2 -> Json.to_string (server_msg_to_v2_json m)
+  | V1 -> Json.to_string (server_msg_to_v1_json m)
 
 (* ------------------------------------------------------------------ *)
 (* Framing                                                             *)

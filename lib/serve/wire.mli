@@ -1,31 +1,61 @@
-(** Wire protocol of the routing service.
+(** Wire protocol of the routing service, version 2.
 
     Frames are a 4-byte big-endian payload length followed by that many
-    bytes of UTF-8 JSON.  Every payload carries a protocol version;
-    decoders are total ([Error], never an exception), so a malformed
-    request always yields a structured error reply rather than a dead
-    socket.
+    bytes of UTF-8 JSON.  Every payload is a versioned envelope carrying
+    [v], a [job] correlation id echoed on every frame of that job, a
+    [seq] frame ordinal (0 on single-frame exchanges) and [type].
+
+    Version 2 adds multi-frame jobs: a {!Batch} request carries a whole
+    netlist and streams back one {!Progress} frame per net plus a
+    terminal {!Batch_done} summary; an optional fingerprint manifest
+    turns the batch into an ECO re-route where unchanged nets are
+    answered {!Unchanged} without computing.  Decoders are
+    version-dispatched and total — version-1 frames still decode (the
+    v1 [id] becomes [job]; v1 admin frames get job [""]), and malformed
+    input of any version yields a structured [Error], never an
+    exception or a dead socket.
 
     The routing problem travels as a {!Merlin_flows.Flows.spec} plus
     the net in canonical {!Merlin_net.Net_io} text; {!request_key}
     hashes exactly those two, which makes it the cache key: it
     separates requests that could legally differ (sink order, tech,
-    knobs) and nothing else. *)
+    knobs) and nothing else, and is identical across protocol versions
+    so one persistent store serves both. *)
+
+(** Protocol version spoken by a peer, as learned from its frames. *)
+type proto = V1 | V2
 
 type request = {
-  id : string;  (** client-chosen, echoed in the reply *)
+  job : string;  (** client-chosen, echoed in the reply *)
   spec : Merlin_flows.Flows.spec;
   net : Merlin_net.Net.t;
   deadline_s : float option;  (** per-request compute budget *)
   want_tree : bool;  (** include the routing tree in the reply *)
 }
 
-type client_msg =
-  | Route of request
+type batch = {
+  job : string;
+  spec : Merlin_flows.Flows.spec;  (** one spec for every net *)
+  nets : (string * Merlin_net.Net.t) list;
+      (** (name, net); names are echoed in progress frames *)
+  deadline_s : float option;  (** per-net compute budget *)
+  want_tree : bool;
+  manifest : (string * string) list option;
+      (** ECO mode: (name, {!Merlin_net.Net_io.fingerprint}) of the
+          previously routed netlist; a net whose fingerprint still
+          matches is answered {!Unchanged} without re-routing *)
+}
+
+type admin_op =
   | Stats
   | Ping
   | Drain  (** finish in-flight work, refuse new routes *)
   | Shutdown
+
+type client_msg =
+  | Route of request
+  | Batch of batch
+  | Admin of { job : string; op : admin_op }
 
 type error_kind =
   | Bad_request
@@ -36,32 +66,71 @@ type error_kind =
 
 type cache_status = Hit | Miss
 
+(** Outcome of one net within a batch. *)
+type net_status =
+  | Routed of { cached : cache_status; metrics : Merlin_report.Metrics.t }
+  | Unchanged  (** ECO: fingerprint matched the manifest *)
+  | Net_failed of { kind : error_kind; message : string }
+  | Cancelled  (** job cancelled before this net ran *)
+
+type progress = {
+  job : string;
+  seq : int;  (** 1-based frame ordinal within the job's reply stream *)
+  index : int;  (** position of the net in the batch request *)
+  name : string;
+  status : net_status;
+}
+
+type summary = {
+  total : int;
+  routed : int;  (** computed on the pool *)
+  hits : int;  (** answered from a cache tier *)
+  unchanged : int;  (** ECO skips *)
+  failed : int;
+  cancelled : int;
+  wall_s : float;
+}
+
 type server_msg =
   | Reply of {
-      id : string;
+      job : string;
       cached : cache_status;
       metrics : Merlin_report.Metrics.t;
     }
-  | Refused of { id : string option; kind : error_kind; message : string }
-  | Stats_reply of Merlin_report.Json.t
-  | Pong
-  | Admin_ok of string
+  | Progress of progress
+  | Batch_done of { job : string; seq : int; summary : summary }
+  | Refused of { job : string; kind : error_kind; message : string }
+      (** [job] is [""] when the defect predates knowing the job *)
+  | Stats_reply of { job : string; stats : Merlin_report.Json.t }
+  | Pong of { job : string }
+  | Admin_ok of { job : string; what : string }
 
 (** [request_key spec net] — hex digest identifying the routing problem;
-    the LRU cache key. *)
+    the cache key of both tiers.  Version-independent. *)
 val request_key : Merlin_flows.Flows.spec -> Merlin_net.Net.t -> string
 
 val spec_to_json : Merlin_flows.Flows.spec -> Merlin_report.Json.t
 
-val spec_of_json : Merlin_report.Json.t -> (Merlin_flows.Flows.spec, string) result
+val spec_of_json :
+  Merlin_report.Json.t -> (Merlin_flows.Flows.spec, string) result
 
+val error_kind_to_string : error_kind -> string
+
+(** Always encodes version 2. *)
 val encode_client : client_msg -> string
 
-val decode_client : string -> (client_msg, string) result
+(** Accepts versions 1 and 2; reports which one the frame spoke so the
+    server can answer in kind. *)
+val decode_client : string -> (proto * client_msg, string) result
 
-val encode_server : server_msg -> string
+(** [encode_server ?proto m] renders [m] for a peer speaking [proto]
+    (default [V2]).  The v1 grammar has no multi-frame kinds, so
+    encoding {!Progress} or {!Batch_done} as [V1] raises
+    [Invalid_argument] — a v1 peer cannot have sent the batch that
+    produces them. *)
+val encode_server : ?proto:proto -> server_msg -> string
 
-val decode_server : string -> (server_msg, string) result
+val decode_server : string -> (proto * server_msg, string) result
 
 (** Frame-size guard applied by readers when none is given: 64 MiB. *)
 val default_max_frame : int

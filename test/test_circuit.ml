@@ -156,6 +156,34 @@ let test_flow_runner_smoke () =
   Alcotest.(check bool) "optimized some nets" true
     (res.Flow_runner.nets_optimized > 0)
 
+(* [Flow_runner.nets] is the batch-serving extraction path: it must
+   name every optimizable net uniquely and honour the sink floor. *)
+let test_flow_runner_nets () =
+  let nl =
+    Placement.place (Circuit_gen.random ~seed:11 ~n_gates:15 ~n_inputs:4 ~name:"smoke")
+  in
+  let nets = Flow_runner.nets ~tech nl in
+  Alcotest.(check bool) "found optimizable nets" true (List.length nets > 0);
+  let names = List.map fst nets in
+  Alcotest.(check int) "names are unique"
+    (List.length names)
+    (List.length (List.sort_uniq String.compare names));
+  List.iter
+    (fun (name, net) ->
+       Alcotest.(check string) "name matches the net" name
+         net.Merlin_net.Net.name;
+       Alcotest.(check bool) "sink floor honoured" true
+         (Merlin_net.Net.n_sinks net >= 2))
+    nets;
+  let strict = Flow_runner.nets ~tech ~min_sinks:4 nl in
+  List.iter
+    (fun (_, net) ->
+       Alcotest.(check bool) "raised floor honoured" true
+         (Merlin_net.Net.n_sinks net >= 4))
+    strict;
+  Alcotest.(check bool) "raising the floor only shrinks the list" true
+    (List.length strict <= List.length nets)
+
 let suite =
   ( "circuit",
     [ Alcotest.test_case "gen validates" `Quick test_gen_validates;
@@ -169,4 +197,5 @@ let suite =
         test_sta_slack_nonnegative_at_default_clock;
       Alcotest.test_case "net for optimization" `Quick test_net_for_optimization;
       Alcotest.test_case "routing replacement" `Slow test_better_routing_reduces_delay;
-      Alcotest.test_case "flow runner smoke" `Slow test_flow_runner_smoke ] )
+      Alcotest.test_case "flow runner smoke" `Slow test_flow_runner_smoke;
+      Alcotest.test_case "flow runner nets" `Quick test_flow_runner_nets ] )

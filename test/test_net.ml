@@ -58,6 +58,32 @@ let test_io_roundtrip () =
   let net' = Net_io.of_string (Net_io.to_string net) in
   Alcotest.(check string) "roundtrip" (Net_io.to_string net) (Net_io.to_string net')
 
+let test_io_many_roundtrip () =
+  let nets =
+    List.init 4 (fun i ->
+        Net_gen.random_net ~seed:(30 + i) ~name:(Printf.sprintf "m%d" i)
+          ~n:(3 + i) tech)
+  in
+  let back = Net_io.of_string_many (Net_io.to_string_many nets) in
+  Alcotest.(check int) "count survives" (List.length nets) (List.length back);
+  List.iter2
+    (fun a b ->
+       Alcotest.(check string) "net bytes survive" (Net_io.to_string a)
+         (Net_io.to_string b))
+    nets back;
+  Alcotest.(check int) "empty netlist" 0
+    (List.length (Net_io.of_string_many (Net_io.to_string_many [])));
+  let path = Filename.temp_file "merlin-nets" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       Net_io.save_many path nets;
+       List.iter2
+         (fun a b ->
+            Alcotest.(check string) "file bytes survive" (Net_io.to_string a)
+              (Net_io.to_string b))
+         nets (Net_io.load_many path))
+
 let test_io_errors () =
   Alcotest.check_raises "garbage" (Failure "Net_io.of_string: line 1: unrecognised line \"what\"")
     (fun () -> ignore (Net_io.of_string "what"));
@@ -130,6 +156,7 @@ let suite =
       Alcotest.test_case "box side recipe" `Quick test_box_side_recipe;
       Alcotest.test_case "table1 specs" `Quick test_table1_specs;
       Alcotest.test_case "io roundtrip" `Quick test_io_roundtrip;
+      Alcotest.test_case "io many roundtrip" `Quick test_io_many_roundtrip;
       Alcotest.test_case "io errors" `Quick test_io_errors;
       Alcotest.test_case "shape names" `Quick test_shape_names ]
     @ props )

@@ -1,12 +1,17 @@
-(* Unit tests for the serving layer: LRU cache behaviour, wire-protocol
-   round trips (qcheck) and the cache-key/fingerprint semantics. *)
+(* Unit tests for the serving layer: LRU and two-tier cache behaviour,
+   persistent-store crash safety, wire-protocol round trips for every
+   v2 frame kind (qcheck), v1 compatibility decoding and the
+   cache-key/fingerprint semantics. *)
 
 open Merlin_tech
 open Merlin_net
 module Flows = Merlin_flows.Flows
 module Json = Merlin_report.Json
+module Metrics = Merlin_report.Metrics
 module Wire = Merlin_serve.Wire
 module Lru = Merlin_serve.Lru
+module Store = Merlin_serve.Store
+module Cache = Merlin_serve.Cache
 module Scheduler = Merlin_serve.Scheduler
 module Pool = Merlin_exec.Pool
 
@@ -55,6 +60,122 @@ let test_lru_capacity_one () =
     (Invalid_argument "Lru.create: capacity must be >= 1") (fun () ->
       ignore (Lru.create ~capacity:0))
 
+(* ---------------- store & two-tier cache ---------------- *)
+
+let fresh_dir =
+  let seq = ref 0 in
+  fun () ->
+    incr seq;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "merlin-store-test-%d-%d" (Unix.getpid ()) !seq)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> try rm_rf dir with Sys_error _ | Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let test_store_roundtrip () =
+  with_dir (fun dir ->
+      let s = Store.open_dir dir in
+      Alcotest.(check (option string)) "cold miss" None (Store.find s "k1");
+      Store.add s "k1" "payload one";
+      Store.add s "k2" "";
+      Alcotest.(check (option string)) "hit" (Some "payload one")
+        (Store.find s "k1");
+      Alcotest.(check (option string)) "empty payload ok" (Some "")
+        (Store.find s "k2");
+      (* A second handle on the same directory sees the blobs: the
+         store is the persistence, not the process. *)
+      let s2 = Store.open_dir dir in
+      Alcotest.(check (option string)) "reopened hit" (Some "payload one")
+        (Store.find s2 "k1");
+      let st = Store.stats s in
+      Alcotest.(check int) "writes" 2 st.Store.writes;
+      Alcotest.(check int) "hits" 2 st.Store.hits;
+      Alcotest.(check int) "misses" 1 st.Store.misses;
+      Alcotest.(check int) "errors" 0 st.Store.errors;
+      Alcotest.check_raises "bad key rejected"
+        (Invalid_argument "Store.find: invalid store key \"a/b\"") (fun () ->
+          ignore (Store.find s "a/b")))
+
+(* Crash safety: damaged blobs read as misses (and recompute works),
+   never as exceptions; half-written tmp files are invisible. *)
+let test_store_corruption () =
+  with_dir (fun dir ->
+      let s = Store.open_dir dir in
+      Store.add s "trunc" "a payload long enough to truncate";
+      Store.add s "garbage" "some payload";
+      (* Truncate one blob mid-payload, overwrite the other with noise. *)
+      let path key = Filename.concat dir (key ^ ".blob") in
+      Unix.truncate (path "trunc") 10;
+      Out_channel.with_open_bin (path "garbage") (fun oc ->
+          output_string oc "!!! not a merlin-store blob !!!");
+      Alcotest.(check (option string)) "truncated reads as miss" None
+        (Store.find s "trunc");
+      Alcotest.(check (option string)) "garbage reads as miss" None
+        (Store.find s "garbage");
+      Alcotest.(check int) "both damages counted" 2
+        (Store.stats s).Store.errors;
+      (* Recompute-and-rewrite heals the entry. *)
+      Store.add s "trunc" "recomputed";
+      Alcotest.(check (option string)) "healed" (Some "recomputed")
+        (Store.find s "trunc");
+      (* A half-written tmp file (no rename yet) is not a blob. *)
+      Out_channel.with_open_bin
+        (Filename.concat dir ".tmp-999-1")
+        (fun oc -> output_string oc "partial");
+      Alcotest.(check (option string)) "partial write invisible" None
+        (Store.find s "tmp-999-1"))
+
+let string_codec =
+  { Cache.encode = Fun.id; decode = (fun s -> Some s) }
+
+let test_cache_two_tier () =
+  with_dir (fun dir ->
+      let store = Store.open_dir dir in
+      let c = Cache.create ~store:(store, string_codec) ~capacity:2 () in
+      Alcotest.(check (option string)) "cold miss" None (Cache.find c "a");
+      Cache.add c "a" "alpha";
+      Alcotest.(check (option string)) "memory hit" (Some "alpha")
+        (Cache.find c "a");
+      (* Evict "a" from the memory tier; the store still has it and the
+         find promotes it back. *)
+      Cache.add c "b" "beta";
+      Cache.add c "c" "gamma";
+      Alcotest.(check (option string)) "store fallback after eviction"
+        (Some "alpha") (Cache.find c "a");
+      (* A fresh cache over the same store = a daemon restart: values
+         come back from disk without any compute. *)
+      let c2 = Cache.create ~store:(store, string_codec) ~capacity:2 () in
+      Alcotest.(check (option string)) "warm restart" (Some "beta")
+        (Cache.find c2 "b");
+      let st = Cache.stats c2 in
+      Alcotest.(check bool) "store stats attached" true
+        (match st.Cache.store with Some _ -> true | None -> false);
+      (* A codec that rejects the blob turns a store hit into a miss. *)
+      let never =
+        { Cache.encode = Fun.id; decode = (fun _ -> None) }
+      in
+      let c3 = Cache.create ~store:(store, never) ~capacity:2 () in
+      Alcotest.(check (option string)) "undecodable blob is a miss" None
+        (Cache.find c3 "a"))
+
+let test_cache_memory_only () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c "a" 1;
+  Alcotest.(check (option int)) "hit" (Some 1) (Cache.find c "a");
+  Alcotest.(check bool) "no store stats" true
+    (match (Cache.stats c).Cache.store with None -> true | Some _ -> false)
+
 (* ---------------- scheduler dedup ---------------- *)
 
 (* Simultaneous identical submits must put exactly one task on the
@@ -66,7 +187,7 @@ let test_lru_capacity_one () =
    up on the pending entry and the join path actually runs. *)
 let test_schedule_dedup () =
   Pool.with_pool ~domains:2 (fun pool ->
-      let sched = Scheduler.create ~cache_capacity:8 pool in
+      let sched = Scheduler.create ~cache:(Cache.create ~capacity:8 ()) pool in
       let n = 8 in
       let job () =
         Thread.delay 0.05;
@@ -198,10 +319,39 @@ let gen_net =
 let gen_request =
   QCheck.Gen.(
     map
-      (fun (id, spec, net, (deadline_s, want_tree)) ->
-         { Wire.id; spec; net; deadline_s; want_tree })
+      (fun (job, spec, net, (deadline_s, want_tree)) ->
+         { Wire.job; spec; net; deadline_s; want_tree })
       (quad gen_name gen_spec gen_net
          (pair (opt (float_range 0.001 100.0)) bool)))
+
+let gen_named_nets =
+  QCheck.Gen.(
+    map
+      (List.mapi (fun i net -> (Printf.sprintf "net%d" i, net)))
+      (list_size (int_range 1 4) gen_net))
+
+let gen_batch =
+  QCheck.Gen.(
+    map
+      (fun ((job, spec, nets), (deadline_s, want_tree, with_manifest)) ->
+         let manifest =
+           if with_manifest then
+             (* A plausible ECO manifest: some entries match the net's
+                real fingerprint, some don't, some name unknown nets. *)
+             Some
+               (("ghost", "0123456789abcdef")
+               :: List.mapi
+                    (fun i (name, net) ->
+                       ( name,
+                         if i mod 2 = 0 then Net_io.fingerprint net
+                         else "fedcba9876543210" ))
+                    nets)
+           else None
+         in
+         { Wire.job; spec; nets; deadline_s; want_tree; manifest })
+      (pair
+         (triple gen_name gen_spec gen_named_nets)
+         (triple (opt (float_range 0.001 100.0)) bool bool)))
 
 let arb_spec = QCheck.make ~print:(fun s -> Json.to_string (Wire.spec_to_json s)) gen_spec
 
@@ -209,6 +359,9 @@ let arb_request =
   QCheck.make
     ~print:(fun r -> Wire.encode_client (Wire.Route r))
     gen_request
+
+let arb_batch =
+  QCheck.make ~print:(fun b -> Wire.encode_client (Wire.Batch b)) gen_batch
 
 (* ---------------- wire round trips ---------------- *)
 
@@ -221,52 +374,144 @@ let spec_roundtrip spec =
        must reconstruct a spec that re-encodes byte-identically. *)
     String.equal (Json.to_string j) (Json.to_string (Wire.spec_to_json spec'))
 
-let client_roundtrip r =
-  let text = Wire.encode_client (Wire.Route r) in
+let client_msg_roundtrip m =
+  let text = Wire.encode_client m in
   match Wire.decode_client text with
   | Error msg -> QCheck.Test.fail_reportf "client decode failed: %s" msg
-  | Ok msg -> String.equal text (Wire.encode_client msg)
+  | Ok (Wire.V1, _) -> QCheck.Test.fail_reportf "own encoding decoded as v1"
+  | Ok (Wire.V2, msg) -> String.equal text (Wire.encode_client msg)
+
+let client_roundtrip r = client_msg_roundtrip (Wire.Route r)
+
+let batch_roundtrip b = client_msg_roundtrip (Wire.Batch b)
 
 let admin_roundtrip () =
   List.iter
-    (fun m ->
+    (fun op ->
+       let m = Wire.Admin { job = "adm1"; op } in
        match Wire.decode_client (Wire.encode_client m) with
-       | Ok m' ->
+       | Ok (Wire.V2, m') ->
          Alcotest.(check string) "admin msg" (Wire.encode_client m)
            (Wire.encode_client m')
+       | Ok (Wire.V1, _) -> Alcotest.fail "own encoding decoded as v1"
        | Error msg -> Alcotest.fail msg)
     [ Wire.Stats; Wire.Ping; Wire.Drain; Wire.Shutdown ]
 
+let sample_metrics =
+  { Metrics.flow = "III:MERLIN";
+    area = 48.25;
+    delay = 1056.71;
+    root_req = 2564.0 /. 3.0;
+    runtime = 0.125;
+    n_buffers = 4;
+    wirelength = 8393;
+    loops = 2;
+    clusters = 3;
+    levels = 2;
+    cluster_sizes = [ 4; 5; 3 ];
+    tree = None }
+
+(* Every v2 server frame kind re-encodes byte-identically through the
+   decoder. *)
 let server_msg_roundtrip () =
-  let metrics =
-    { Merlin_report.Metrics.flow = "III:MERLIN";
-      area = 48.25;
-      delay = 1056.71;
-      root_req = 2564.0 /. 3.0;
-      runtime = 0.125;
-      n_buffers = 4;
-      wirelength = 8393;
-      loops = 2;
-      clusters = 3;
-      levels = 2;
-      cluster_sizes = [ 4; 5; 3 ];
-      tree = None }
+  let metrics = sample_metrics in
+  let statuses =
+    [ Wire.Routed { cached = Wire.Hit; metrics };
+      Wire.Routed { cached = Wire.Miss; metrics };
+      Wire.Unchanged;
+      Wire.Net_failed { kind = Wire.Timeout; message = "too slow" };
+      Wire.Cancelled ]
+  in
+  let progress =
+    List.mapi
+      (fun i status ->
+         Wire.Progress
+           { job = "b1"; seq = i + 1; index = i; name = Printf.sprintf "n%d" i;
+             status })
+      statuses
   in
   List.iter
     (fun m ->
        match Wire.decode_server (Wire.encode_server m) with
-       | Ok m' ->
+       | Ok (Wire.V2, m') ->
          Alcotest.(check string) "server msg" (Wire.encode_server m)
            (Wire.encode_server m')
+       | Ok (Wire.V1, _) -> Alcotest.fail "own encoding decoded as v1"
        | Error msg -> Alcotest.fail msg)
-    [ Wire.Reply { id = "r1"; cached = Wire.Hit; metrics };
-      Wire.Reply { id = "r2"; cached = Wire.Miss; metrics };
-      Wire.Refused
-        { id = Some "r3"; kind = Wire.Timeout; message = "deadline exceeded" };
-      Wire.Refused { id = None; kind = Wire.Bad_request; message = "nope" };
-      Wire.Stats_reply (Json.Obj [ ("x", Json.Num 1.0) ]);
-      Wire.Pong;
-      Wire.Admin_ok "draining" ]
+    ([ Wire.Reply { job = "r1"; cached = Wire.Hit; metrics };
+       Wire.Reply { job = "r2"; cached = Wire.Miss; metrics };
+       Wire.Refused
+         { job = "r3"; kind = Wire.Timeout; message = "deadline exceeded" };
+       Wire.Refused { job = ""; kind = Wire.Bad_request; message = "nope" };
+       Wire.Batch_done
+         { job = "b1";
+           seq = 6;
+           summary =
+             { Wire.total = 5; routed = 2; hits = 1; unchanged = 1; failed = 1;
+               cancelled = 0; wall_s = 1.5 } };
+       Wire.Stats_reply { job = "s"; stats = Json.Obj [ ("x", Json.Num 1.0) ] };
+       Wire.Pong { job = "p" };
+       Wire.Admin_ok { job = "d"; what = "draining" } ]
+    @ progress)
+
+(* v1 frames — the pre-envelope grammar — must keep decoding, with the
+   v1 [id] mapped to [job] and admin frames getting job "". *)
+let v1_compat_decode () =
+  let spec =
+    { Flows.tech; buffers; algo = Flows.Lttree_ptree { max_fanout = 10 } }
+  in
+  let net = Net_gen.random_net ~seed:5 ~name:"v1" ~n:4 tech in
+  let v1_route =
+    Json.to_string
+      (Json.Obj
+         [ ("v", Json.Num 1.0);
+           ("type", Json.Str "route");
+           ("id", Json.Str "legacy");
+           ("spec", Wire.spec_to_json spec);
+           ("net", Json.Str (Net_io.to_string net)) ])
+  in
+  (match Wire.decode_client v1_route with
+   | Ok (Wire.V1, Wire.Route r) ->
+     Alcotest.(check string) "v1 id becomes job" "legacy" r.Wire.job;
+     Alcotest.(check string) "net survives"
+       (Net_io.fingerprint net)
+       (Net_io.fingerprint r.Wire.net);
+     Alcotest.(check string) "spec survives (same cache key)"
+       (Wire.request_key spec net)
+       (Wire.request_key r.Wire.spec r.Wire.net)
+   | Ok _ -> Alcotest.fail "v1 route decoded to the wrong shape"
+   | Error msg -> Alcotest.fail msg);
+  (match Wire.decode_client "{\"v\":1,\"type\":\"ping\"}" with
+   | Ok (Wire.V1, Wire.Admin { job = ""; op = Wire.Ping }) -> ()
+   | Ok _ -> Alcotest.fail "v1 ping decoded to the wrong shape"
+   | Error msg -> Alcotest.fail msg);
+  (* Replies rendered for a v1 peer round trip through the v1 grammar
+     and carry the v1 field names. *)
+  let reply =
+    Wire.Reply { job = "legacy"; cached = Wire.Hit; metrics = sample_metrics }
+  in
+  let text = Wire.encode_server ~proto:Wire.V1 reply in
+  Alcotest.(check bool) "v1 reply carries id" true
+    (let sub = "\"id\":\"legacy\"" in
+     let rec contains i =
+       i + String.length sub <= String.length text
+       && (String.equal (String.sub text i (String.length sub)) sub
+           || contains (i + 1))
+     in
+     contains 0);
+  (match Wire.decode_server text with
+   | Ok (Wire.V1, Wire.Reply { job = "legacy"; cached = Wire.Hit; _ }) -> ()
+   | Ok _ -> Alcotest.fail "v1 reply decoded to the wrong shape"
+   | Error msg -> Alcotest.fail msg);
+  (* The v1 grammar has no multi-frame kinds: encoding them as v1 is a
+     caller bug. *)
+  Alcotest.check_raises "no v1 progress"
+    (Invalid_argument "Wire.encode_server: v1 cannot carry multi-frame replies")
+    (fun () ->
+       ignore
+         (Wire.encode_server ~proto:Wire.V1
+            (Wire.Progress
+               { job = "b"; seq = 1; index = 0; name = "n"; status = Wire.Unchanged })))
 
 let decode_rejects () =
   let is_error = function Error _ -> true | Ok _ -> false in
@@ -275,12 +520,25 @@ let decode_rejects () =
     (is_error (Wire.decode_client "{\"v\":1}"));
   Alcotest.(check bool) "wrong version" true
     (is_error (Wire.decode_client "{\"v\":99,\"type\":\"ping\"}"));
-  Alcotest.(check bool) "unknown type" true
+  Alcotest.(check bool) "unknown v1 type" true
     (is_error (Wire.decode_client "{\"v\":1,\"type\":\"frobnicate\"}"));
+  Alcotest.(check bool) "v1 has no batch" true
+    (is_error
+       (Wire.decode_client "{\"v\":1,\"type\":\"batch\",\"id\":\"x\"}"));
+  Alcotest.(check bool) "unknown v2 type" true
+    (is_error
+       (Wire.decode_client
+          "{\"v\":2,\"job\":\"x\",\"seq\":0,\"type\":\"frobnicate\"}"));
+  Alcotest.(check bool) "v2 without job" true
+    (is_error (Wire.decode_client "{\"v\":2,\"type\":\"ping\"}"));
   Alcotest.(check bool) "bad net text" true
     (is_error
        (Wire.decode_client
-          "{\"v\":1,\"type\":\"route\",\"id\":\"x\",\"spec\":{},\"net\":\"zz\"}"))
+          "{\"v\":1,\"type\":\"route\",\"id\":\"x\",\"spec\":{},\"net\":\"zz\"}"));
+  Alcotest.(check bool) "batch with bad manifest" true
+    (is_error
+       (Wire.decode_client
+          "{\"v\":2,\"job\":\"x\",\"seq\":0,\"type\":\"batch\",\"spec\":{},\"nets\":[],\"manifest\":[{\"name\":3}]}"))
 
 (* ---------------- cache keys ---------------- *)
 
@@ -331,12 +589,19 @@ let suite =
     [ Alcotest.test_case "lru basic" `Quick test_lru_basic;
       Alcotest.test_case "lru eviction order" `Quick test_lru_evicts_least_recent;
       Alcotest.test_case "lru capacity one" `Quick test_lru_capacity_one;
+      Alcotest.test_case "store round trip" `Quick test_store_roundtrip;
+      Alcotest.test_case "store survives corruption" `Quick
+        test_store_corruption;
+      Alcotest.test_case "two-tier cache" `Quick test_cache_two_tier;
+      Alcotest.test_case "memory-only cache" `Quick test_cache_memory_only;
       Alcotest.test_case "scheduler dedups in-flight keys" `Quick
         test_schedule_dedup;
       qtest "spec json round trip" arb_spec spec_roundtrip;
       qtest ~count:60 "route msg round trip" arb_request client_roundtrip;
+      qtest ~count:60 "batch msg round trip" arb_batch batch_roundtrip;
       Alcotest.test_case "admin msg round trip" `Quick admin_roundtrip;
       Alcotest.test_case "server msg round trip" `Quick server_msg_roundtrip;
+      Alcotest.test_case "v1 compatibility decode" `Quick v1_compat_decode;
       Alcotest.test_case "decoder rejects bad input" `Quick decode_rejects;
       Alcotest.test_case "fingerprint vs sink order" `Quick
         test_fingerprint_sink_order;
